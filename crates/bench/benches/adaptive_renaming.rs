@@ -1,0 +1,44 @@
+//! Criterion bench for Experiments E5/E7: adaptive strong renaming vs the
+//! linear-probing baseline across contention levels.
+
+use adaptive_renaming::adaptive::AdaptiveRenaming;
+use adaptive_renaming::linear_probe::LinearProbeRenaming;
+use adaptive_renaming::traits::Renaming;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shmem::adversary::ExecConfig;
+use shmem::executor::Executor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_adaptive_renaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_renaming_contention");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for k in [4usize, 16, 48] {
+        group.bench_with_input(BenchmarkId::new("adaptive", k), &k, |b, &k| {
+            b.iter(|| {
+                let renaming = Arc::new(AdaptiveRenaming::new());
+                let outcome = Executor::new(ExecConfig::new(5)).run(k, {
+                    let renaming = Arc::clone(&renaming);
+                    move |ctx| renaming.acquire(ctx).expect("never fails")
+                });
+                assert_eq!(outcome.completed().count(), k);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linear_probe", k), &k, |b, &k| {
+            b.iter(|| {
+                let renaming = Arc::new(LinearProbeRenaming::new(k));
+                let outcome = Executor::new(ExecConfig::new(5)).run(k, {
+                    let renaming = Arc::clone(&renaming);
+                    move |ctx| renaming.acquire(ctx).expect("k slots for k processes")
+                });
+                assert_eq!(outcome.completed().count(), k);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive_renaming);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Experiment E1/E2: BitBatching renaming under full load.
+
+use adaptive_renaming::bit_batching::BitBatchingRenaming;
+use adaptive_renaming::traits::Renaming;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shmem::adversary::ExecConfig;
+use shmem::executor::Executor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_bit_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bit_batching_full_load");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for n in [32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let renaming = Arc::new(BitBatchingRenaming::new(n));
+                let outcome = Executor::new(ExecConfig::new(7)).run(n, {
+                    let renaming = Arc::clone(&renaming);
+                    move |ctx| renaming.acquire(ctx).expect("full load fits")
+                });
+                assert_eq!(outcome.completed().count(), n);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bit_batching);
+criterion_main!(benches);

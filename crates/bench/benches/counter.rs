@@ -1,0 +1,48 @@
+//! Criterion bench for Experiment E8: the monotone-consistent counter against
+//! the fetch-and-add baseline.
+
+use adaptive_renaming::counter::{CasCounter, Counter, MonotoneCounter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shmem::adversary::ExecConfig;
+use shmem::executor::Executor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_increment_then_read");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for k in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("monotone", k), &k, |b, &k| {
+            b.iter(|| {
+                let counter = Arc::new(MonotoneCounter::new());
+                let outcome = Executor::new(ExecConfig::new(1)).run(k, {
+                    let counter = Arc::clone(&counter);
+                    move |ctx| {
+                        counter.increment(ctx);
+                        counter.read(ctx)
+                    }
+                });
+                assert_eq!(outcome.completed().count(), k);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fetch_and_add", k), &k, |b, &k| {
+            b.iter(|| {
+                let counter = Arc::new(CasCounter::new());
+                let outcome = Executor::new(ExecConfig::new(1)).run(k, {
+                    let counter = Arc::clone(&counter);
+                    move |ctx| {
+                        counter.increment(ctx);
+                        counter.read(ctx)
+                    }
+                });
+                assert_eq!(outcome.completed().count(), k);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

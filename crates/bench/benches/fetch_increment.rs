@@ -1,0 +1,35 @@
+//! Criterion bench for Experiment E10: the m-valued fetch-and-increment.
+
+use adaptive_renaming::fetch_increment::BoundedFetchIncrement;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shmem::adversary::ExecConfig;
+use shmem::executor::Executor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_fetch_increment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fetch_and_increment");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for (k, m) in [(4usize, 64u64), (8, 64), (8, 1024)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_m{m}")),
+            &(k, m),
+            |b, &(k, m)| {
+                b.iter(|| {
+                    let object = Arc::new(BoundedFetchIncrement::new(m));
+                    let outcome = Executor::new(ExecConfig::new(2)).run(k, {
+                        let object = Arc::clone(&object);
+                        move |ctx| object.fetch_and_increment(ctx)
+                    });
+                    assert_eq!(outcome.completed().count(), k);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch_increment);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for Experiment E3: renaming networks over fixed sorting
+//! networks, for both comparator implementations.
+
+use adaptive_renaming::renaming_network::RenamingNetwork;
+use adaptive_renaming::traits::Renaming;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shmem::adversary::ExecConfig;
+use shmem::executor::Executor;
+use shmem::process::ProcessId;
+use sortnet::batcher::odd_even_network;
+use std::sync::Arc;
+use std::time::Duration;
+use tas::hardware::HardwareTas;
+use tas::two_process::TwoProcessTas;
+
+fn ids(count: usize, namespace: usize) -> Vec<ProcessId> {
+    (0..count)
+        .map(|i| ProcessId::new(i * namespace / count))
+        .collect()
+}
+
+fn bench_renaming_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("renaming_network");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for m in [64usize, 256] {
+        let k = m / 4;
+        group.bench_with_input(
+            BenchmarkId::new("two_process_tas", m),
+            &m,
+            |b, &m| {
+                b.iter(|| {
+                    let network: Arc<RenamingNetwork<_, TwoProcessTas>> =
+                        Arc::new(RenamingNetwork::new(odd_even_network(m)));
+                    let outcome = Executor::new(ExecConfig::new(3)).run_with_ids(&ids(k, m), {
+                        let network = Arc::clone(&network);
+                        move |ctx| network.acquire(ctx).expect("ids fit")
+                    });
+                    assert_eq!(outcome.completed().count(), k);
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("hardware_tas", m), &m, |b, &m| {
+            b.iter(|| {
+                let network: Arc<RenamingNetwork<_, HardwareTas>> =
+                    Arc::new(RenamingNetwork::new(odd_even_network(m)));
+                let outcome = Executor::new(ExecConfig::new(3)).run_with_ids(&ids(k, m), {
+                    let network = Arc::clone(&network);
+                    move |ctx| network.acquire(ctx).expect("ids fit")
+                });
+                assert_eq!(outcome.completed().count(), k);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_renaming_network);
+criterion_main!(benches);

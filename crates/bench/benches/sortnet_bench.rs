@@ -1,0 +1,57 @@
+//! Criterion bench for Experiments E4/E13: sorting-network construction and
+//! application costs by family, plus the adaptive construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sortnet::adaptive::AdaptiveNetwork;
+use sortnet::batcher::odd_even_network;
+use sortnet::bitonic::bitonic_network;
+use sortnet::family::NetworkFamily;
+use sortnet::network::ComparatorNetwork;
+use std::time::Duration;
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorting_network_apply");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let mut rng = StdRng::seed_from_u64(11);
+    for width in [256usize, 1024] {
+        let input: Vec<u32> = (0..width).map(|_| rng.gen()).collect();
+        let families: [(&str, ComparatorNetwork); 2] = [
+            ("odd-even-merge", odd_even_network(width)),
+            ("bitonic", bitonic_network(width)),
+        ];
+        for (name, network) in families {
+            group.bench_with_input(
+                BenchmarkId::new(name, width),
+                &input,
+                |b, input| {
+                    b.iter(|| {
+                        let output = network.apply(input);
+                        assert_eq!(output.len(), input.len());
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("adaptive_network_construction");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for level in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            b.iter(|| {
+                let network = AdaptiveNetwork::new(NetworkFamily::OddEven, level);
+                assert!(network.total_depth() > 0);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_families);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Experiment E12: test-and-set objects under contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shmem::adversary::ExecConfig;
+use shmem::executor::Executor;
+use std::sync::Arc;
+use std::time::Duration;
+use tas::hardware::HardwareTas;
+use tas::ratrace::RatRaceTas;
+use tas::tournament::TournamentTas;
+use tas::TestAndSet;
+
+fn run_tas<T: TestAndSet + 'static>(object: Arc<T>, k: usize) {
+    let outcome = Executor::new(ExecConfig::new(9)).run(k, {
+        let object = Arc::clone(&object);
+        move |ctx| object.test_and_set(ctx)
+    });
+    assert_eq!(
+        outcome.results().into_iter().filter(|w| *w).count(),
+        1,
+        "exactly one winner"
+    );
+}
+
+fn bench_tas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("test_and_set_contention");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for k in [2usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("ratrace", k), &k, |b, &k| {
+            b.iter(|| run_tas(Arc::new(RatRaceTas::new()), k));
+        });
+        group.bench_with_input(BenchmarkId::new("tournament", k), &k, |b, &k| {
+            b.iter(|| run_tas(Arc::new(TournamentTas::new(k)), k));
+        });
+        group.bench_with_input(BenchmarkId::new("hardware", k), &k, |b, &k| {
+            b.iter(|| run_tas(Arc::new(HardwareTas::new()), k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tas);
+criterion_main!(benches);

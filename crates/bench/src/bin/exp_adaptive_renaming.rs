@@ -1,0 +1,113 @@
+//! Experiments E5 + E6: adaptive strong renaming (Theorem 3) and the TempName
+//! first stage.
+//!
+//! For each contention level `k`, `k` processes with scattered identities
+//! acquire names from one `AdaptiveRenaming` object under simultaneous
+//! arrival. Reported: per-process register steps and comparators played
+//! (against `log k` and `log² k` references), the largest temporary name and
+//! splitter depth produced by stage one, and the per-process probes of the
+//! linear-probing baseline on the same workload (which grow linearly in `k`).
+//!
+//! Run with `cargo run --release -p renaming-bench --bin exp_adaptive_renaming`.
+
+use adaptive_renaming::adaptive::AdaptiveRenaming;
+use adaptive_renaming::linear_probe::LinearProbeRenaming;
+use adaptive_renaming::traits::assert_tight_namespace;
+use renaming_bench::{fmt1, log2, Aggregate, Table};
+use shmem::adversary::ExecConfig;
+use shmem::executor::Executor;
+use shmem::process::ProcessId;
+use std::sync::Arc;
+
+fn main() {
+    let seeds: Vec<u64> = (0..3).collect();
+    let mut adaptive_table = Table::new(
+        "E5 — adaptive strong renaming: per-process cost vs contention k (mean over seeds)",
+        &[
+            "k",
+            "steps/proc (mean)",
+            "steps/proc (max)",
+            "comparators/proc (mean)",
+            "log²k ref",
+            "tight namespace",
+            "linear-probe TAS/proc (max)",
+        ],
+    );
+    let mut temp_table = Table::new(
+        "E6 — TempName stage: temporary namespace vs contention k (mean over seeds)",
+        &[
+            "k",
+            "max temp name",
+            "k² reference",
+            "max splitter depth",
+            "3·log k reference",
+        ],
+    );
+
+    for k in [2usize, 4, 8, 16, 32, 64] {
+        let mut steps_mean = 0.0;
+        let mut steps_max = 0u64;
+        let mut comp_mean = 0.0;
+        let mut tight = true;
+        let mut max_temp = 0usize;
+        let mut max_depth = 0usize;
+        let mut linear_max = 0usize;
+
+        for &seed in &seeds {
+            let renaming = Arc::new(AdaptiveRenaming::new());
+            let ids: Vec<ProcessId> = (0..k).map(|i| ProcessId::new(i * 1000 + 17)).collect();
+            let outcome = Executor::new(ExecConfig::new(seed)).run_with_ids(&ids, {
+                let renaming = Arc::clone(&renaming);
+                move |ctx| renaming.acquire_with_report(ctx).expect("never fails")
+            });
+            let reports = outcome.results();
+            tight &= assert_tight_namespace(
+                &reports.iter().map(|r| r.name).collect::<Vec<_>>(),
+            )
+            .is_ok();
+            let steps = Aggregate::of_register_steps(&outcome.per_process_steps());
+            let comps = Aggregate::of(reports.iter().map(|r| r.comparators_played as u64));
+            steps_mean += steps.mean;
+            steps_max = steps_max.max(steps.max);
+            comp_mean += comps.mean;
+            max_temp = max_temp.max(reports.iter().map(|r| r.temp_name).max().unwrap_or(0));
+            max_depth = max_depth.max(reports.iter().map(|r| r.splitter_depth).max().unwrap_or(0));
+
+            // Baseline: linear probing over exactly k slots.
+            let linear = Arc::new(LinearProbeRenaming::new(k));
+            let linear_outcome = Executor::new(ExecConfig::new(seed)).run(k, {
+                let linear = Arc::clone(&linear);
+                move |ctx| linear.acquire_with_probes(ctx).expect("k slots for k processes")
+            });
+            linear_max = linear_max.max(
+                linear_outcome
+                    .results()
+                    .iter()
+                    .map(|(_, probes)| *probes)
+                    .max()
+                    .unwrap_or(0),
+            );
+        }
+
+        let runs = seeds.len() as f64;
+        adaptive_table.row(vec![
+            k.to_string(),
+            fmt1(steps_mean / runs),
+            steps_max.to_string(),
+            fmt1(comp_mean / runs),
+            fmt1(log2(k) * log2(k)),
+            if tight { "yes".into() } else { "VIOLATED".into() },
+            linear_max.to_string(),
+        ]);
+        temp_table.row(vec![
+            k.to_string(),
+            max_temp.to_string(),
+            (k * k).to_string(),
+            max_depth.to_string(),
+            fmt1(3.0 * log2(k)),
+        ]);
+    }
+
+    adaptive_table.print();
+    temp_table.print();
+}

@@ -1,0 +1,89 @@
+//! Experiment E10: ℓ-test-and-set and m-valued fetch-and-increment
+//! (Lemma 5, Theorem 6).
+//!
+//! For a grid of contention levels `k` and value bounds `m`, `k` processes
+//! each perform one `fetch_and_increment`. Reported: per-process cost against
+//! the `log k · log m` reference, the returned value set, and the
+//! linearizability verdict on the recorded history. A second table reports
+//! ℓ-test-and-set winner counts.
+//!
+//! Run with `cargo run --release -p renaming-bench --bin exp_fetch_increment`.
+
+use adaptive_renaming::fetch_increment::{BoundedFetchIncrement, FetchIncrementSpec};
+use adaptive_renaming::ltas::BoundedTas;
+use renaming_bench::{fmt1, log2, Aggregate, Table};
+use shmem::adversary::ExecConfig;
+use shmem::consistency::check_linearizable;
+use shmem::executor::Executor;
+use shmem::history::Recorder;
+use std::sync::Arc;
+
+fn main() {
+    let mut fai = Table::new(
+        "E10 — m-valued fetch-and-increment: cost and linearizability",
+        &[
+            "k",
+            "m",
+            "steps/op (mean)",
+            "steps/op (max)",
+            "log k · log m ref",
+            "values returned",
+            "linearizable",
+        ],
+    );
+
+    for (k, m) in [(4usize, 16u64), (8, 16), (8, 64), (16, 64), (16, 256)] {
+        let object = Arc::new(BoundedFetchIncrement::new(m));
+        let recorder: Arc<Recorder<(), u64>> = Arc::new(Recorder::new());
+        let outcome = Executor::new(ExecConfig::new(k as u64 + m)).run(k, {
+            let object = Arc::clone(&object);
+            let recorder = Arc::clone(&recorder);
+            move |ctx| {
+                let invoke = recorder.invoke();
+                let value = object.fetch_and_increment(ctx);
+                recorder.record(ctx.id(), (), value, invoke);
+                value
+            }
+        });
+        let steps = Aggregate::of_register_steps(&outcome.per_process_steps());
+        let mut values = outcome.results();
+        values.sort_unstable();
+        let consecutive = values == (0..k as u64).collect::<Vec<_>>();
+        let history = recorder.take_history();
+        let linearizable = check_linearizable(&FetchIncrementSpec { limit: m }, &history).is_ok();
+        fai.row(vec![
+            k.to_string(),
+            m.to_string(),
+            fmt1(steps.mean),
+            steps.max.to_string(),
+            fmt1(log2(k) * log2(m as usize)),
+            if consecutive {
+                format!("0..{k}")
+            } else {
+                format!("{values:?}")
+            },
+            if linearizable { "yes".into() } else { "VIOLATED".into() },
+        ]);
+    }
+    fai.print();
+
+    let mut ltas = Table::new(
+        "E10 — ℓ-test-and-set winner counts (Lemma 5)",
+        &["k", "limit ℓ", "winners", "expected min(ℓ, k)"],
+    );
+    for (k, limit) in [(8usize, 1usize), (8, 3), (8, 8), (12, 5), (3, 6)] {
+        let object = Arc::new(BoundedTas::new(limit));
+        let outcome = Executor::new(ExecConfig::new((k + limit) as u64)).run(k, {
+            let object = Arc::clone(&object);
+            move |ctx| object.invoke(ctx)
+        });
+        let winners = outcome.results().into_iter().filter(|w| *w).count();
+        ltas.row(vec![
+            k.to_string(),
+            limit.to_string(),
+            winners.to_string(),
+            limit.min(k).to_string(),
+        ]);
+    }
+    ltas.print();
+}

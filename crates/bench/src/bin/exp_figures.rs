@@ -1,0 +1,61 @@
+//! Experiment E11: regenerate the paper's structural figures.
+//!
+//! Figure 1 illustrates the BitBatching batch layout (halving batches with a
+//! logarithmic tail); Figure 2 illustrates one "A–B–C sandwich" stage of the
+//! adaptive sorting-network construction. Both are regenerated here from the
+//! actual data structures.
+//!
+//! Run with `cargo run --release -p renaming-bench --bin exp_figures`.
+
+use adaptive_renaming::bit_batching::BitBatchingRenaming;
+use renaming_bench::Table;
+use sortnet::adaptive::AdaptiveNetwork;
+use sortnet::family::NetworkFamily;
+use tas::ratrace::RatRaceTas;
+
+fn main() {
+    figure_1();
+    figure_2();
+}
+
+fn figure_1() {
+    println!("Figure 1 — BitBatching batch layout (regenerated)\n");
+    for n in [64usize, 1024] {
+        let batches = BitBatchingRenaming::<RatRaceTas>::batch_layout(n);
+        let mut table = Table::new(
+            &format!("batches for n = {n}"),
+            &["batch", "positions (1-based)", "size", "size as fraction of n"],
+        );
+        for (index, batch) in batches.iter().enumerate() {
+            table.row(vec![
+                format!("B{}", index + 1),
+                format!("{}..={}", batch.start + 1, batch.end),
+                batch.len().to_string(),
+                format!("{:.3}", batch.len() as f64 / n as f64),
+            ]);
+        }
+        table.print();
+    }
+}
+
+fn figure_2() {
+    println!("Figure 2 — one stage of the adaptive sorting network (regenerated)\n");
+    let network = AdaptiveNetwork::new(NetworkFamily::OddEven, 3);
+    let mut table = Table::new(
+        "sections of S3 in traversal order (A-sandwich around S2 around S1 around S0)",
+        &["section", "channels", "width", "depth (stages)"],
+    );
+    for section in network.sections() {
+        table.row(vec![
+            section.kind.to_string(),
+            format!("{}..{}", section.offset, section.offset + section.width()),
+            section.width().to_string(),
+            section.schedule.depth().to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "Each A_j/C_j pair sandwiches the inner network on the channels above l_j = w_(j-1)/2,\n\
+         exactly as in the paper's Figure 2; the inner network B occupies the low channels."
+    );
+}

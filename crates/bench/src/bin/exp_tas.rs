@@ -1,0 +1,96 @@
+//! Experiment E12: the test-and-set substrate (§2).
+//!
+//! The paper assumes a two-process test-and-set with `O(1)` expected steps
+//! (Tromp–Vitányi) and an adaptive `n`-process test-and-set with `O(log² k)`
+//! steps w.h.p. (RatRace). This experiment measures both, plus the
+//! tournament and hardware baselines, across contention levels.
+//!
+//! Run with `cargo run --release -p renaming-bench --bin exp_tas`.
+
+use renaming_bench::{fmt1, log2, Aggregate, Table};
+use shmem::adversary::ExecConfig;
+use shmem::executor::Executor;
+use std::sync::Arc;
+use tas::ratrace::RatRaceTas;
+use tas::tournament::TournamentTas;
+use tas::two_process::TwoProcessTas;
+use tas::{Side, TestAndSet, TwoPartyTas};
+
+fn main() {
+    two_process_table();
+    n_process_table();
+}
+
+fn two_process_table() {
+    let mut table = Table::new(
+        "E12a — two-process test-and-set (expected O(1) steps)",
+        &["seeds", "steps/play (mean)", "steps/play (max)", "winners per object"],
+    );
+    let trials = 50u64;
+    let mut stats = Vec::new();
+    let mut winners_ok = true;
+    for seed in 0..trials {
+        let object = Arc::new(TwoProcessTas::new());
+        let outcome = Executor::new(ExecConfig::new(seed)).run(2, {
+            let object = Arc::clone(&object);
+            move |ctx| {
+                let side = if ctx.id().as_usize() == 0 {
+                    Side::Top
+                } else {
+                    Side::Bottom
+                };
+                object.play(ctx, side)
+            }
+        });
+        winners_ok &= outcome.results().into_iter().filter(|w| *w).count() == 1;
+        stats.extend(outcome.per_process_steps());
+    }
+    let agg = Aggregate::of_register_steps(&stats);
+    table.row(vec![
+        trials.to_string(),
+        fmt1(agg.mean),
+        agg.max.to_string(),
+        if winners_ok { "always exactly 1".into() } else { "VIOLATED".into() },
+    ]);
+    table.print();
+}
+
+fn n_process_table() {
+    let mut table = Table::new(
+        "E12b — n-process test-and-set under contention k",
+        &[
+            "k",
+            "RatRace steps (mean)",
+            "RatRace steps (max)",
+            "log²k ref",
+            "Tournament steps (mean)",
+            "Hardware-TAS capable",
+        ],
+    );
+    for k in [2usize, 8, 32, 128] {
+        let ratrace = Arc::new(RatRaceTas::new());
+        let outcome = Executor::new(ExecConfig::new(k as u64)).run(k, {
+            let ratrace = Arc::clone(&ratrace);
+            move |ctx| ratrace.test_and_set(ctx)
+        });
+        let winners = outcome.results().into_iter().filter(|w| *w).count();
+        let ratrace_agg = Aggregate::of_register_steps(&outcome.per_process_steps());
+
+        let tournament = Arc::new(TournamentTas::new(k));
+        let outcome = Executor::new(ExecConfig::new(k as u64)).run(k, {
+            let tournament = Arc::clone(&tournament);
+            move |ctx| tournament.test_and_set(ctx)
+        });
+        let tournament_agg = Aggregate::of_register_steps(&outcome.per_process_steps());
+
+        table.row(vec![
+            k.to_string(),
+            fmt1(ratrace_agg.mean),
+            ratrace_agg.max.to_string(),
+            fmt1(log2(k) * log2(k)),
+            fmt1(tournament_agg.mean),
+            if winners == 1 { "1 winner".into() } else { "VIOLATED".into() },
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,398 @@
+//! Strong adaptive renaming (§6.2) — the paper's headline result.
+//!
+//! The algorithm has two stages:
+//!
+//! 1. [`TempName`](crate::temp_name::TempName): a randomized splitter tree
+//!    assigns each participant a unique temporary name that is polynomial in
+//!    the contention `k` with high probability, in `O(log k)` steps.
+//! 2. A renaming network built over the §6.1 *adaptive sorting network*
+//!    ([`sortnet::adaptive::AdaptiveNetwork`]): the process enters the network
+//!    at the input port given by its temporary name and plays a two-process
+//!    test-and-set at every comparator it meets, returning the index of the
+//!    output port it reaches.
+//!
+//! Because the adaptive network is a sorting network under every truncation
+//! (Theorem 2), the outputs are exactly `1..=k` (Theorem 1), and because a
+//! value entering port `n` traverses only `O(log^c max(n, m))` comparators,
+//! the expected step complexity is `O(log k)` for a depth-`O(log n)` base
+//! family — `O(log² k)` for the constructible Batcher family used here
+//! (Theorem 3, adjusted for the constructible-network substitution recorded
+//! in `DESIGN.md`).
+
+use crate::error::RenamingError;
+use crate::temp_name::{TempName, TempNameReport};
+use crate::traits::Renaming;
+use parking_lot::RwLock;
+use shmem::process::ProcessCtx;
+use sortnet::adaptive::AdaptiveNetwork;
+use sortnet::family::{NetworkFamily, SortingFamily};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use tas::two_process::TwoProcessTas;
+use tas::{Side, TwoPartyTas};
+
+/// Diagnostics of one adaptive-renaming acquisition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdaptiveReport {
+    /// The final name (1-based; in `1..=k` in every execution).
+    pub name: usize,
+    /// The temporary name produced by the first stage.
+    pub temp_name: usize,
+    /// Depth at which the first stage acquired its splitter.
+    pub splitter_depth: usize,
+    /// Number of two-process test-and-set objects played in the second stage.
+    pub comparators_played: usize,
+    /// How many of those the process won.
+    pub wins: usize,
+}
+
+/// The §6 adaptive strong renaming object.
+///
+/// The object is unbounded: it never needs to know `n`, `M` or `k`, and with
+/// `k` participants it hands out exactly the names `1..=k`.
+///
+/// # Example
+///
+/// ```
+/// use adaptive_renaming::adaptive::AdaptiveRenaming;
+/// use adaptive_renaming::traits::{assert_tight_namespace, Renaming};
+/// use shmem::adversary::ExecConfig;
+/// use shmem::executor::Executor;
+/// use shmem::process::ProcessId;
+/// use std::sync::Arc;
+///
+/// // Identifiers are irrelevant: huge, scattered initial names still map to 1..=4.
+/// let renaming = Arc::new(AdaptiveRenaming::new());
+/// let ids: Vec<ProcessId> = [7usize, 123_456, 42, 999_999_999]
+///     .iter().copied().map(ProcessId::new).collect();
+/// let outcome = Executor::new(ExecConfig::new(11)).run_with_ids(&ids, {
+///     let renaming = Arc::clone(&renaming);
+///     move |ctx| renaming.acquire(ctx).expect("adaptive renaming never fails")
+/// });
+/// assert!(assert_tight_namespace(&outcome.results()).is_ok());
+/// ```
+pub struct AdaptiveRenaming<T: TwoPartyTas + Default = TwoProcessTas> {
+    temp: TempName,
+    network: AdaptiveNetwork,
+    /// Lazily allocated comparator objects, keyed by
+    /// `(section index, stage, top channel)`.
+    games: RwLock<HashMap<(usize, usize, usize), Arc<T>>>,
+}
+
+impl AdaptiveRenaming<TwoProcessTas> {
+    /// Creates the adaptive renaming object with the default configuration:
+    /// randomized two-process test-and-set comparators over the adaptive
+    /// network based on Batcher's odd-even mergesort, truncated at the
+    /// maximum supported level (2³² input ports).
+    pub fn new() -> Self {
+        Self::with_network(AdaptiveNetwork::new(
+            NetworkFamily::OddEven,
+            sortnet::adaptive::MAX_LEVEL,
+        ))
+    }
+}
+
+impl Default for AdaptiveRenaming<TwoProcessTas> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: TwoPartyTas + Default> AdaptiveRenaming<T> {
+    /// Creates the object over an explicit adaptive network (choice of base
+    /// family and truncation level).
+    pub fn with_network(network: AdaptiveNetwork) -> Self {
+        AdaptiveRenaming {
+            temp: TempName::new(),
+            network,
+            games: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Creates the object over the adaptive network built from the given base
+    /// family and truncation level. Materialized families should keep
+    /// `max_level ≤ 3`; the analytic odd-even family supports the maximum
+    /// level cheaply.
+    pub fn with_family<F: SortingFamily + 'static>(family: F, max_level: usize) -> Self {
+        Self::with_network(AdaptiveNetwork::new(family, max_level))
+    }
+
+    /// The underlying adaptive sorting network.
+    pub fn network(&self) -> &AdaptiveNetwork {
+        &self.network
+    }
+
+    /// The temporary-name stage (exposed for experiments).
+    pub fn temp_name_stage(&self) -> &TempName {
+        &self.temp
+    }
+
+    /// Number of comparator objects allocated so far (harness inspection).
+    pub fn allocated_comparators(&self) -> usize {
+        self.games.read().len()
+    }
+
+    fn game(&self, section: usize, stage: usize, top: usize) -> Arc<T> {
+        let key = (section, stage, top);
+        if let Some(game) = self.games.read().get(&key) {
+            return Arc::clone(game);
+        }
+        let mut games = self.games.write();
+        Arc::clone(games.entry(key).or_insert_with(|| Arc::new(T::default())))
+    }
+
+    /// Runs the second stage from an explicit input port (0-based channel),
+    /// returning the output channel and traversal counts.
+    fn traverse(&self, ctx: &mut ProcessCtx, port: usize) -> Result<(usize, usize, usize), RenamingError> {
+        if port >= self.network.width() {
+            return Err(RenamingError::IdentifierOutOfRange {
+                identifier: port,
+                namespace: self.network.width(),
+            });
+        }
+        let mut channel = port;
+        let mut comparators_played = 0;
+        let mut wins = 0;
+        for section in self.network.sections() {
+            if !section.covers(channel) {
+                continue;
+            }
+            for stage in 0..section.schedule.depth() {
+                if let Some(comparator) = section.comparator_at(stage, channel) {
+                    let game = self.game(section.index, stage, comparator.top);
+                    let side = if channel == comparator.top {
+                        Side::Top
+                    } else {
+                        Side::Bottom
+                    };
+                    comparators_played += 1;
+                    if game.play(ctx, side) {
+                        wins += 1;
+                        channel = comparator.top;
+                    } else {
+                        channel = comparator.bottom;
+                    }
+                }
+            }
+        }
+        Ok((channel, comparators_played, wins))
+    }
+
+    /// Acquires a name, returning full diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::IdentifierOutOfRange`] in the astronomically
+    /// unlikely event that the first stage produces a temporary name beyond
+    /// the network's truncation width.
+    pub fn acquire_with_report(
+        &self,
+        ctx: &mut ProcessCtx,
+    ) -> Result<AdaptiveReport, RenamingError> {
+        let TempNameReport {
+            name: temp_name,
+            depth: splitter_depth,
+            ..
+        } = self.temp.acquire_with_report(ctx);
+        let (channel, comparators_played, wins) = self.traverse(ctx, temp_name - 1)?;
+        Ok(AdaptiveReport {
+            name: channel + 1,
+            temp_name,
+            splitter_depth,
+            comparators_played,
+            wins,
+        })
+    }
+}
+
+impl<T: TwoPartyTas + Default> fmt::Debug for AdaptiveRenaming<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdaptiveRenaming")
+            .field("network", &self.network)
+            .field("allocated_comparators", &self.allocated_comparators())
+            .finish()
+    }
+}
+
+impl<T: TwoPartyTas + Default> Renaming for AdaptiveRenaming<T> {
+    fn acquire(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+        self.acquire_with_report(ctx).map(|report| report.name)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        None
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{assert_tight_namespace, assert_unique_names};
+    use shmem::adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
+    use shmem::executor::Executor;
+    use shmem::process::ProcessId;
+    use std::time::Duration;
+    use tas::hardware::HardwareTas;
+
+    #[test]
+    fn solo_process_gets_name_one() {
+        let renaming = AdaptiveRenaming::new();
+        let mut ctx = ProcessCtx::new(ProcessId::new(123_456_789), 3);
+        let report = renaming.acquire_with_report(&mut ctx).unwrap();
+        assert_eq!(report.name, 1);
+        assert_eq!(report.temp_name, 1);
+        assert_eq!(report.wins, report.comparators_played);
+    }
+
+    #[test]
+    fn sequential_processes_get_a_tight_namespace() {
+        let renaming = AdaptiveRenaming::new();
+        let mut names = Vec::new();
+        for id in 0..12usize {
+            let mut ctx = ProcessCtx::new(ProcessId::new(id * 1000 + 7), 5);
+            names.push(renaming.acquire(&mut ctx).unwrap());
+        }
+        assert_tight_namespace(&names).unwrap();
+    }
+
+    #[test]
+    fn concurrent_processes_get_a_tight_namespace() {
+        for seed in 0..6 {
+            let renaming = Arc::new(AdaptiveRenaming::new());
+            let k = 12usize;
+            let config = ExecConfig::new(seed)
+                .with_yield_policy(YieldPolicy::Probabilistic(0.15))
+                .with_arrival(ArrivalSchedule::Simultaneous);
+            let outcome = Executor::new(config).run(k, {
+                let renaming = Arc::clone(&renaming);
+                move |ctx| renaming.acquire(ctx).unwrap()
+            });
+            assert_tight_namespace(&outcome.results())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn namespace_is_independent_of_initial_identifiers() {
+        let renaming = Arc::new(AdaptiveRenaming::new());
+        let ids: Vec<ProcessId> = [5usize, 1_000_000, 77, 123_456_789, 31_337, 2]
+            .iter()
+            .copied()
+            .map(ProcessId::new)
+            .collect();
+        let outcome = Executor::new(ExecConfig::new(21)).run_with_ids(&ids, {
+            let renaming = Arc::clone(&renaming);
+            move |ctx| renaming.acquire(ctx).unwrap()
+        });
+        assert_tight_namespace(&outcome.results()).unwrap();
+    }
+
+    #[test]
+    fn staggered_arrivals_still_get_a_tight_namespace() {
+        let renaming = Arc::new(AdaptiveRenaming::new());
+        let config = ExecConfig::new(8).with_arrival(ArrivalSchedule::Staggered {
+            gap: Duration::from_micros(300),
+        });
+        let outcome = Executor::new(config).run(10, {
+            let renaming = Arc::clone(&renaming);
+            move |ctx| renaming.acquire(ctx).unwrap()
+        });
+        assert_tight_namespace(&outcome.results()).unwrap();
+    }
+
+    #[test]
+    fn crashed_processes_never_break_safety() {
+        for seed in 0..5 {
+            let renaming = Arc::new(AdaptiveRenaming::new());
+            let k = 16usize;
+            let config = ExecConfig::new(seed).with_crash_plan(CrashPlan::Random {
+                prob: 0.3,
+                max_steps: 60,
+            });
+            let outcome = Executor::new(config).run(k, {
+                let renaming = Arc::clone(&renaming);
+                move |ctx| renaming.acquire(ctx).unwrap()
+            });
+            let names = outcome.results();
+            assert_unique_names(&names).unwrap();
+            assert!(names.iter().all(|&name| name <= k));
+        }
+    }
+
+    #[test]
+    fn hardware_comparators_give_the_deterministic_variant() {
+        let renaming: Arc<AdaptiveRenaming<HardwareTas>> = Arc::new(
+            AdaptiveRenaming::with_network(AdaptiveNetwork::new(NetworkFamily::OddEven, 5)),
+        );
+        let outcome = Executor::new(ExecConfig::new(2)).run(8, {
+            let renaming = Arc::clone(&renaming);
+            move |ctx| renaming.acquire(ctx).unwrap()
+        });
+        assert_tight_namespace(&outcome.results()).unwrap();
+    }
+
+    #[test]
+    fn comparators_played_grow_polylogarithmically_with_contention() {
+        // Theorem 3's cost profile: the number of two-process test-and-sets a
+        // process plays is bounded by the traversal-depth bound for its
+        // temporary name, which is polylogarithmic in k.
+        let renaming = Arc::new(AdaptiveRenaming::new());
+        let k = 16usize;
+        let outcome = Executor::new(ExecConfig::new(33)).run(k, {
+            let renaming = Arc::clone(&renaming);
+            move |ctx| renaming.acquire_with_report(ctx).unwrap()
+        });
+        for report in outcome.results() {
+            let bound = renaming
+                .network()
+                .traversal_depth_bound(report.temp_name.max(report.name) - 1);
+            assert!(
+                report.comparators_played <= bound,
+                "played {} > bound {bound} (temp name {})",
+                report.comparators_played,
+                report.temp_name
+            );
+        }
+        assert!(renaming.allocated_comparators() > 0);
+    }
+
+    #[test]
+    fn smaller_truncations_work_for_small_contention() {
+        let renaming: Arc<AdaptiveRenaming> = Arc::new(AdaptiveRenaming::with_family(
+            NetworkFamily::OddEven,
+            3, // 256 input ports
+        ));
+        let outcome = Executor::new(ExecConfig::new(14)).run(6, {
+            let renaming = Arc::clone(&renaming);
+            move |ctx| renaming.acquire(ctx).unwrap()
+        });
+        assert_tight_namespace(&outcome.results()).unwrap();
+    }
+
+    #[test]
+    fn metadata_is_reported() {
+        let renaming = AdaptiveRenaming::new();
+        assert_eq!(renaming.capacity(), None);
+        assert!(renaming.is_adaptive());
+        assert_eq!(renaming.temp_name_stage().allocated_splitters(), 0);
+        assert!(format!("{renaming:?}").contains("AdaptiveRenaming"));
+    }
+
+    #[test]
+    fn repeated_acquisitions_by_one_process_stay_unique() {
+        // The counter increments by re-acquiring from the same object; each
+        // acquisition acts as a fresh virtual participant.
+        let renaming = AdaptiveRenaming::new();
+        let mut ctx = ProcessCtx::new(ProcessId::new(4), 6);
+        let mut names = Vec::new();
+        for _ in 0..10 {
+            names.push(renaming.acquire(&mut ctx).unwrap());
+        }
+        assert_tight_namespace(&names).unwrap();
+    }
+}

@@ -1,0 +1,285 @@
+//! The monotone-consistent counter (§8.1) and baselines.
+//!
+//! The paper's counter pairs an adaptive strong renaming object with a max
+//! register: an increment acquires a fresh name and writes it to the max
+//! register; a read returns the max register's value. Because the renaming
+//! object hands out exactly the names `1..=v` after `v` increments, reads are
+//! always sandwiched between the number of *completed* and the number of
+//! *started* increments — the monotone-consistency guarantee of Lemma 4 —
+//! at an expected cost of `O(log v)` per operation. The counter is
+//! deliberately *not* linearizable (§8.1 exhibits a counterexample, reproduced
+//! in this crate's tests and in experiment E9).
+
+use crate::adaptive::AdaptiveRenaming;
+use crate::traits::Renaming;
+use maxreg::{MaxRegister, UnboundedMaxRegister};
+use shmem::process::ProcessCtx;
+use shmem::register::AtomicU64Register;
+use std::fmt;
+
+/// A shared counter supporting concurrent increments and reads.
+pub trait Counter: Send + Sync {
+    /// Increments the counter by one.
+    fn increment(&self, ctx: &mut ProcessCtx);
+
+    /// Returns the counter's current value.
+    fn read(&self, ctx: &mut ProcessCtx) -> u64;
+}
+
+/// The §8.1 monotone-consistent counter: adaptive renaming + max register.
+///
+/// # Example
+///
+/// ```
+/// use adaptive_renaming::counter::{Counter, MonotoneCounter};
+/// use shmem::adversary::ExecConfig;
+/// use shmem::executor::Executor;
+/// use std::sync::Arc;
+///
+/// let counter = Arc::new(MonotoneCounter::new());
+/// let outcome = Executor::new(ExecConfig::new(4)).run(6, {
+///     let counter = Arc::clone(&counter);
+///     move |ctx| {
+///         counter.increment(ctx);
+///         counter.read(ctx)
+///     }
+/// });
+/// // After all six increments the counter reads exactly six.
+/// assert!(outcome.results().into_iter().max().unwrap() == 6);
+/// ```
+pub struct MonotoneCounter<R: Renaming = AdaptiveRenaming, M: MaxRegister = UnboundedMaxRegister> {
+    renaming: R,
+    max: M,
+}
+
+impl MonotoneCounter<AdaptiveRenaming, UnboundedMaxRegister> {
+    /// Creates the counter with the paper's default components: adaptive
+    /// strong renaming and an unbounded max register.
+    pub fn new() -> Self {
+        MonotoneCounter {
+            renaming: AdaptiveRenaming::new(),
+            max: UnboundedMaxRegister::new(),
+        }
+    }
+}
+
+impl Default for MonotoneCounter<AdaptiveRenaming, UnboundedMaxRegister> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: Renaming, M: MaxRegister> MonotoneCounter<R, M> {
+    /// Builds the counter from an explicit renaming object and max register.
+    ///
+    /// The counter's guarantees require the renaming object to be *strong
+    /// adaptive* (names exactly `1..=v` for `v` acquisitions); plugging in a
+    /// loose renaming object produces a counter that may over-count.
+    pub fn with_parts(renaming: R, max: M) -> Self {
+        MonotoneCounter { renaming, max }
+    }
+
+    /// The underlying renaming object.
+    pub fn renaming(&self) -> &R {
+        &self.renaming
+    }
+
+    /// The underlying max register.
+    pub fn max_register(&self) -> &M {
+        &self.max
+    }
+}
+
+impl<R: Renaming, M: MaxRegister> fmt::Debug for MonotoneCounter<R, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonotoneCounter").finish_non_exhaustive()
+    }
+}
+
+impl<R: Renaming, M: MaxRegister> Counter for MonotoneCounter<R, M> {
+    /// # Panics
+    ///
+    /// Panics if the underlying renaming object reports an error (only
+    /// possible for bounded backends whose capacity is exceeded; the default
+    /// adaptive backend never fails).
+    fn increment(&self, ctx: &mut ProcessCtx) {
+        let name = self
+            .renaming
+            .acquire(ctx)
+            .expect("the counter's renaming backend ran out of names");
+        self.max.write_max(ctx, name as u64);
+    }
+
+    fn read(&self, ctx: &mut ProcessCtx) -> u64 {
+        self.max.read_max(ctx)
+    }
+}
+
+/// A fetch-and-add baseline counter (linearizable, but built on a
+/// read-modify-write primitive the paper's model does not assume).
+#[derive(Debug, Default)]
+pub struct CasCounter {
+    value: AtomicU64Register,
+}
+
+impl CasCounter {
+    /// Creates a counter holding zero.
+    pub fn new() -> Self {
+        CasCounter {
+            value: AtomicU64Register::new(0),
+        }
+    }
+}
+
+impl Counter for CasCounter {
+    fn increment(&self, ctx: &mut ProcessCtx) {
+        self.value.fetch_add(ctx, 1);
+    }
+
+    fn read(&self, ctx: &mut ProcessCtx) -> u64 {
+        self.value.read(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxreg::BoundedMaxRegister;
+    use shmem::adversary::{ArrivalSchedule, ExecConfig, YieldPolicy};
+    use shmem::consistency::{check_monotone_consistent, CounterOp};
+    use shmem::executor::Executor;
+    use shmem::history::Recorder;
+    use shmem::process::ProcessId;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_increments_and_reads_count_exactly() {
+        let counter = MonotoneCounter::new();
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 1);
+        assert_eq!(counter.read(&mut ctx), 0);
+        for expected in 1..=10u64 {
+            counter.increment(&mut ctx);
+            assert_eq!(counter.read(&mut ctx), expected);
+        }
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_counted() {
+        for seed in 0..4 {
+            let counter = Arc::new(MonotoneCounter::new());
+            let k = 10usize;
+            let config = ExecConfig::new(seed)
+                .with_yield_policy(YieldPolicy::Probabilistic(0.1))
+                .with_arrival(ArrivalSchedule::Simultaneous);
+            let outcome = Executor::new(config).run(k, {
+                let counter = Arc::clone(&counter);
+                move |ctx| {
+                    counter.increment(ctx);
+                    counter.read(ctx)
+                }
+            });
+            let reads = outcome.results();
+            // Every read is at least 1 (its own increment) and at most k.
+            assert!(reads.iter().all(|&v| v >= 1 && v <= k as u64), "seed {seed}");
+            // A final quiescent read sees exactly k.
+            let mut ctx = ProcessCtx::new(ProcessId::new(10_000), seed);
+            assert_eq!(counter.read(&mut ctx), k as u64, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn recorded_histories_are_monotone_consistent() {
+        for seed in 0..3 {
+            let counter = Arc::new(MonotoneCounter::new());
+            let recorder: Arc<Recorder<CounterOp, u64>> = Arc::new(Recorder::new());
+            let outcome = Executor::new(
+                ExecConfig::new(seed).with_yield_policy(YieldPolicy::Probabilistic(0.2)),
+            )
+            .run(8, {
+                let counter = Arc::clone(&counter);
+                let recorder = Arc::clone(&recorder);
+                move |ctx| {
+                    for round in 0..3 {
+                        if (ctx.id().as_usize() + round) % 2 == 0 {
+                            let invoke = recorder.invoke();
+                            counter.increment(ctx);
+                            recorder.record(ctx.id(), CounterOp::Increment, 0, invoke);
+                        } else {
+                            let invoke = recorder.invoke();
+                            let value = counter.read(ctx);
+                            recorder.record(ctx.id(), CounterOp::Read, value, invoke);
+                        }
+                    }
+                }
+            });
+            assert_eq!(outcome.crashed_count(), 0);
+            let history = recorder.take_history();
+            check_monotone_consistent(&history, &[])
+                .unwrap_or_else(|violation| panic!("seed {seed}: {violation}"));
+        }
+    }
+
+    #[test]
+    fn custom_parts_are_supported() {
+        let counter = MonotoneCounter::with_parts(
+            crate::linear_probe::LinearProbeRenaming::new(32),
+            BoundedMaxRegister::new(64),
+        );
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 2);
+        counter.increment(&mut ctx);
+        counter.increment(&mut ctx);
+        assert_eq!(counter.read(&mut ctx), 2);
+        assert_eq!(counter.renaming().capacity(), Some(32));
+        assert_eq!(counter.max_register().capacity(), 64);
+        assert!(format!("{counter:?}").contains("MonotoneCounter"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ran out of names")]
+    fn exhausted_bounded_backends_panic_loudly() {
+        let counter = MonotoneCounter::with_parts(
+            crate::linear_probe::LinearProbeRenaming::new(2),
+            BoundedMaxRegister::new(8),
+        );
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 0);
+        counter.increment(&mut ctx);
+        counter.increment(&mut ctx);
+        counter.increment(&mut ctx);
+    }
+
+    #[test]
+    fn cas_counter_counts_under_contention() {
+        let counter = Arc::new(CasCounter::new());
+        let outcome = Executor::new(ExecConfig::new(5)).run(16, {
+            let counter = Arc::clone(&counter);
+            move |ctx| {
+                counter.increment(ctx);
+                counter.read(ctx)
+            }
+        });
+        let mut ctx = ProcessCtx::new(ProcessId::new(99), 0);
+        assert_eq!(counter.read(&mut ctx), 16);
+        assert!(outcome.results().iter().all(|&v| v >= 1));
+    }
+
+    #[test]
+    fn increment_cost_grows_slowly_with_the_number_of_increments() {
+        // Lemma 4: expected O(log v) per increment. Compare the cost of the
+        // first increment with the cost of the 64th: the ratio must stay far
+        // below the linear-growth ratio of 64.
+        let counter = MonotoneCounter::new();
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 9);
+        counter.increment(&mut ctx);
+        let first_cost = ctx.stats().total();
+        let mut before = ctx.stats().total();
+        for _ in 0..63 {
+            before = ctx.stats().total();
+            counter.increment(&mut ctx);
+        }
+        let last_cost = ctx.stats().total() - before;
+        assert!(
+            last_cost < first_cost * 32,
+            "cost grew from {first_cost} to {last_cost}; not logarithmic"
+        );
+    }
+}

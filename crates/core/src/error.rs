@@ -1,0 +1,77 @@
+//! Error types for the renaming objects.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error returned by a renaming object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RenamingError {
+    /// More processes requested names than the object was built for.
+    ///
+    /// Fixed-capacity objects (BitBatching with `n` slots, linear probing,
+    /// bounded renaming networks) can only serve as many participants as
+    /// their capacity; the adaptive algorithms never return this error.
+    CapacityExceeded {
+        /// The maximum number of names the object can hand out.
+        capacity: usize,
+    },
+    /// The process's initial identifier does not fit the object's input
+    /// namespace (a renaming network has one input port per possible initial
+    /// name).
+    IdentifierOutOfRange {
+        /// The offending identifier.
+        identifier: usize,
+        /// The exclusive upper bound on accepted identifiers.
+        namespace: usize,
+    },
+}
+
+impl fmt::Display for RenamingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenamingError::CapacityExceeded { capacity } => {
+                write!(f, "renaming capacity of {capacity} names exhausted")
+            }
+            RenamingError::IdentifierOutOfRange {
+                identifier,
+                namespace,
+            } => write!(
+                f,
+                "initial identifier {identifier} outside the supported namespace 0..{namespace}"
+            ),
+        }
+    }
+}
+
+impl Error for RenamingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let capacity = RenamingError::CapacityExceeded { capacity: 8 };
+        assert!(capacity.to_string().contains('8'));
+        let range = RenamingError::IdentifierOutOfRange {
+            identifier: 99,
+            namespace: 16,
+        };
+        assert!(range.to_string().contains("99"));
+        assert!(range.to_string().contains("16"));
+    }
+
+    #[test]
+    fn errors_are_comparable_and_copyable() {
+        let a = RenamingError::CapacityExceeded { capacity: 4 };
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            RenamingError::IdentifierOutOfRange {
+                identifier: 0,
+                namespace: 4
+            }
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Adaptive strong renaming, with applications to counting.
+//!
+//! This crate is a from-scratch Rust reproduction of the algorithms of
+//! Alistarh, Aspnes, Censor-Hillel, Gilbert and Zadimoghaddam,
+//! *Optimal-Time Adaptive Strong Renaming, with Applications to Counting*
+//! (PODC 2011). It provides:
+//!
+//! * [`BitBatchingRenaming`](bit_batching::BitBatchingRenaming) — the §4
+//!   non-adaptive strong renaming algorithm: `n` processes obtain names
+//!   `1..=n` by repeatedly sampling test-and-set objects over geometrically
+//!   shrinking batches, using `O(log² n)` test-and-set probes per process with
+//!   high probability.
+//! * [`RenamingNetwork`](renaming_network::RenamingNetwork) — the §5
+//!   construction: any sorting network becomes a strong adaptive renaming
+//!   object by replacing comparators with two-process test-and-sets.
+//! * [`TempName`](temp_name::TempName) — the §6.2 first stage: a randomized
+//!   splitter tree assigning temporary names polynomial in the contention `k`.
+//! * [`AdaptiveRenaming`](adaptive::AdaptiveRenaming) — the paper's headline
+//!   result (§6): strong adaptive renaming into exactly `1..=k` with `O(log k)`
+//!   expected step complexity, built from `TempName` plus a renaming network
+//!   over the §6.1 unbounded adaptive sorting network.
+//! * [`LinearProbeRenaming`](linear_probe::LinearProbeRenaming) — the folklore
+//!   `Θ(k)`-step baseline the paper's introduction compares against.
+//! * [`MonotoneCounter`](counter::MonotoneCounter) — the §8.1
+//!   monotone-consistent counter (renaming + max register), plus a
+//!   compare-and-swap baseline counter.
+//! * [`BoundedTas`](ltas::BoundedTas) and
+//!   [`BoundedFetchIncrement`](fetch_increment::BoundedFetchIncrement) — the
+//!   §8.2 linearizable ℓ-test-and-set and m-valued fetch-and-increment.
+//!
+//! # Quick start
+//!
+//! ```
+//! use adaptive_renaming::adaptive::AdaptiveRenaming;
+//! use adaptive_renaming::traits::Renaming;
+//! use shmem::adversary::ExecConfig;
+//! use shmem::executor::Executor;
+//! use std::sync::Arc;
+//!
+//! // Eight threads with arbitrary identities acquire names 1..=8.
+//! let renaming = Arc::new(AdaptiveRenaming::new());
+//! let outcome = Executor::new(ExecConfig::new(7)).run(8, {
+//!     let renaming = Arc::clone(&renaming);
+//!     move |ctx| renaming.acquire(ctx).expect("adaptive renaming never fails")
+//! });
+//! let mut names = outcome.results();
+//! names.sort_unstable();
+//! assert_eq!(names, (1..=8).collect::<Vec<_>>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod bit_batching;
+pub mod counter;
+pub mod error;
+pub mod fetch_increment;
+pub mod linear_probe;
+pub mod loose;
+pub mod ltas;
+pub mod renaming_network;
+pub mod temp_name;
+pub mod traits;
+
+pub use adaptive::AdaptiveRenaming;
+pub use bit_batching::BitBatchingRenaming;
+pub use counter::{CasCounter, Counter, MonotoneCounter};
+pub use error::RenamingError;
+pub use fetch_increment::BoundedFetchIncrement;
+pub use linear_probe::LinearProbeRenaming;
+pub use loose::LooseRenaming;
+pub use ltas::BoundedTas;
+pub use renaming_network::RenamingNetwork;
+pub use temp_name::TempName;
+pub use traits::Renaming;

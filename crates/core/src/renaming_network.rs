@@ -1,0 +1,340 @@
+//! Renaming networks over a fixed sorting network (§5).
+//!
+//! Take any sorting network with `M` input wires and replace every comparator
+//! with a two-process test-and-set object. A process enters the network on the
+//! input wire given by its (unique) initial name, and at every comparator it
+//! meets it plays the test-and-set: winning moves it to the comparator's top
+//! wire, losing to the bottom wire. The index of the output wire it reaches is
+//! its new name. Theorem 1 shows this solves strong adaptive renaming — the
+//! `k` participating processes obtain exactly the names `1..=k`, in every
+//! execution — and the per-process cost is the network's depth in
+//! test-and-set operations.
+
+use crate::error::RenamingError;
+use crate::traits::Renaming;
+use parking_lot::RwLock;
+use shmem::process::ProcessCtx;
+use sortnet::schedule::ComparatorSchedule;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use tas::two_process::TwoProcessTas;
+use tas::{Side, TwoPartyTas};
+
+/// Diagnostics of one traversal of a renaming network.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalReport {
+    /// The name acquired (1-based output-port index).
+    pub name: usize,
+    /// How many comparators (two-process test-and-sets) the process played.
+    pub comparators_played: usize,
+    /// How many of those the process won (moves "up").
+    pub wins: usize,
+}
+
+/// A renaming network over an arbitrary comparator schedule.
+///
+/// The type is generic in the two-process test-and-set used at the
+/// comparators; the default is the randomized register-based
+/// [`TwoProcessTas`], and [`tas::hardware::HardwareTas`] gives the
+/// deterministic hardware-assisted variant the paper mentions in its
+/// discussion section.
+///
+/// # Example
+///
+/// ```
+/// use adaptive_renaming::renaming_network::RenamingNetwork;
+/// use adaptive_renaming::traits::{assert_tight_namespace, Renaming};
+/// use shmem::adversary::ExecConfig;
+/// use shmem::executor::Executor;
+/// use shmem::process::ProcessId;
+/// use sortnet::batcher::odd_even_network;
+/// use std::sync::Arc;
+///
+/// // 16 possible initial names, 5 participants with scattered identities.
+/// let network: Arc<RenamingNetwork<_>> = Arc::new(RenamingNetwork::new(odd_even_network(16)));
+/// let ids: Vec<ProcessId> = [0usize, 3, 7, 11, 15].iter().copied().map(ProcessId::new).collect();
+/// let outcome = Executor::new(ExecConfig::new(5)).run_with_ids(&ids, {
+///     let network = Arc::clone(&network);
+///     move |ctx| network.acquire(ctx).expect("identities fit the network")
+/// });
+/// assert!(assert_tight_namespace(&outcome.results()).is_ok());
+/// ```
+pub struct RenamingNetwork<S: ComparatorSchedule, T: TwoPartyTas + Default = TwoProcessTas> {
+    schedule: S,
+    /// Lazily allocated comparator objects, keyed by `(stage, top wire)`.
+    comparators: RwLock<HashMap<(usize, usize), Arc<T>>>,
+}
+
+impl<S: ComparatorSchedule, T: TwoPartyTas + Default> RenamingNetwork<S, T> {
+    /// Creates a renaming network over the given sorting network.
+    pub fn new(schedule: S) -> Self {
+        RenamingNetwork {
+            schedule,
+            comparators: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The size of the initial namespace (number of input ports).
+    pub fn namespace(&self) -> usize {
+        self.schedule.width()
+    }
+
+    /// The depth of the underlying sorting network — an upper bound on the
+    /// number of test-and-set objects any process plays.
+    pub fn depth(&self) -> usize {
+        self.schedule.depth()
+    }
+
+    /// Number of comparator objects allocated so far (harness inspection).
+    pub fn allocated_comparators(&self) -> usize {
+        self.comparators.read().len()
+    }
+
+    fn comparator(&self, stage: usize, top: usize) -> Arc<T> {
+        if let Some(game) = self.comparators.read().get(&(stage, top)) {
+            return Arc::clone(game);
+        }
+        let mut games = self.comparators.write();
+        Arc::clone(games.entry((stage, top)).or_insert_with(|| Arc::new(T::default())))
+    }
+
+    /// Runs the calling process through the network from the input port given
+    /// by its initial name, returning detailed diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::IdentifierOutOfRange`] if the process's
+    /// identifier is not a valid input port.
+    pub fn acquire_with_report(
+        &self,
+        ctx: &mut ProcessCtx,
+    ) -> Result<TraversalReport, RenamingError> {
+        let port = ctx.id().as_usize();
+        self.traverse_from(ctx, port)
+    }
+
+    /// Runs the calling process through the network from an explicit input
+    /// port (0-based). Used by the adaptive algorithm, which enters on the
+    /// port given by its temporary name rather than by its identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::IdentifierOutOfRange`] if `port` is not a
+    /// valid input port.
+    pub fn traverse_from(
+        &self,
+        ctx: &mut ProcessCtx,
+        port: usize,
+    ) -> Result<TraversalReport, RenamingError> {
+        if port >= self.schedule.width() {
+            return Err(RenamingError::IdentifierOutOfRange {
+                identifier: port,
+                namespace: self.schedule.width(),
+            });
+        }
+        let mut wire = port;
+        let mut comparators_played = 0;
+        let mut wins = 0;
+        for stage in 0..self.schedule.depth() {
+            if let Some(comparator) = self.schedule.comparator_at(stage, wire) {
+                let game = self.comparator(stage, comparator.top);
+                let side = if wire == comparator.top {
+                    Side::Top
+                } else {
+                    Side::Bottom
+                };
+                comparators_played += 1;
+                if game.play(ctx, side) {
+                    wins += 1;
+                    wire = comparator.top;
+                } else {
+                    wire = comparator.bottom;
+                }
+            }
+        }
+        Ok(TraversalReport {
+            name: wire + 1,
+            comparators_played,
+            wins,
+        })
+    }
+}
+
+impl<S: ComparatorSchedule, T: TwoPartyTas + Default> fmt::Debug for RenamingNetwork<S, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RenamingNetwork")
+            .field("namespace", &self.namespace())
+            .field("depth", &self.depth())
+            .field("allocated_comparators", &self.allocated_comparators())
+            .finish()
+    }
+}
+
+impl<S: ComparatorSchedule, T: TwoPartyTas + Default> Renaming for RenamingNetwork<S, T> {
+    fn acquire(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+        self.acquire_with_report(ctx).map(|report| report.name)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.schedule.width())
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{assert_tight_namespace, assert_unique_names};
+    use shmem::adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
+    use shmem::executor::Executor;
+    use shmem::process::ProcessId;
+    use sortnet::batcher::odd_even_network;
+    use sortnet::transposition::transposition_network;
+    use std::sync::Arc;
+    use tas::hardware::HardwareTas;
+
+    fn scattered_ids(count: usize, namespace: usize, seed: u64) -> Vec<ProcessId> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut all: Vec<usize> = (0..namespace).collect();
+        all.shuffle(&mut rng);
+        all.into_iter().take(count).map(ProcessId::new).collect()
+    }
+
+    #[test]
+    fn solo_process_gets_name_one_from_any_port() {
+        for port in [0usize, 3, 7, 12, 15] {
+            let network = RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(16));
+            let mut ctx = ProcessCtx::new(ProcessId::new(port), 3);
+            let report = network.acquire_with_report(&mut ctx).unwrap();
+            assert_eq!(report.name, 1, "port {port}");
+            assert_eq!(report.wins, report.comparators_played);
+        }
+    }
+
+    #[test]
+    fn identifiers_outside_the_namespace_are_rejected() {
+        let network = RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(8));
+        let mut ctx = ProcessCtx::new(ProcessId::new(8), 0);
+        assert_eq!(
+            network.acquire(&mut ctx),
+            Err(RenamingError::IdentifierOutOfRange {
+                identifier: 8,
+                namespace: 8
+            })
+        );
+    }
+
+    #[test]
+    fn sequential_arrivals_get_a_tight_namespace() {
+        let network = RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(16));
+        let mut names = Vec::new();
+        for port in [15usize, 2, 9, 0, 7] {
+            let mut ctx = ProcessCtx::new(ProcessId::new(port), 5);
+            names.push(network.acquire(&mut ctx).unwrap());
+        }
+        assert_tight_namespace(&names).unwrap();
+    }
+
+    #[test]
+    fn concurrent_arrivals_get_a_tight_namespace() {
+        for seed in 0..8 {
+            let network = Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(32)));
+            let ids = scattered_ids(10, 32, seed);
+            let config = ExecConfig::new(seed)
+                .with_yield_policy(YieldPolicy::Probabilistic(0.2))
+                .with_arrival(ArrivalSchedule::Simultaneous);
+            let outcome = Executor::new(config).run_with_ids(&ids, {
+                let network = Arc::clone(&network);
+                move |ctx| network.acquire(ctx).unwrap()
+            });
+            assert_tight_namespace(&outcome.results())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn full_load_is_a_permutation_of_the_namespace() {
+        let namespace = 16;
+        let network = Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(
+            namespace,
+        )));
+        let ids: Vec<ProcessId> = (0..namespace).map(ProcessId::new).collect();
+        let outcome = Executor::new(ExecConfig::new(3)).run_with_ids(&ids, {
+            let network = Arc::clone(&network);
+            move |ctx| network.acquire(ctx).unwrap()
+        });
+        assert_tight_namespace(&outcome.results()).unwrap();
+    }
+
+    #[test]
+    fn hardware_comparators_give_the_deterministic_variant() {
+        let network: Arc<RenamingNetwork<_, HardwareTas>> =
+            Arc::new(RenamingNetwork::new(odd_even_network(16)));
+        let ids = scattered_ids(6, 16, 99);
+        let outcome = Executor::new(ExecConfig::new(4)).run_with_ids(&ids, {
+            let network = Arc::clone(&network);
+            move |ctx| network.acquire(ctx).unwrap()
+        });
+        assert_tight_namespace(&outcome.results()).unwrap();
+    }
+
+    #[test]
+    fn crashed_processes_never_break_uniqueness() {
+        for seed in 0..5 {
+            let network = Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(32)));
+            let ids = scattered_ids(16, 32, seed + 100);
+            let config = ExecConfig::new(seed).with_crash_plan(CrashPlan::Random {
+                prob: 0.3,
+                max_steps: 25,
+            });
+            let outcome = Executor::new(config).run_with_ids(&ids, {
+                let network = Arc::clone(&network);
+                move |ctx| network.acquire(ctx).unwrap()
+            });
+            // Crashed processes return nothing; survivors keep unique names
+            // bounded by the number of participants that took steps.
+            let names = outcome.results();
+            assert_unique_names(&names).unwrap();
+            assert!(names.iter().all(|&name| name <= ids.len()));
+        }
+    }
+
+    #[test]
+    fn comparators_played_is_bounded_by_the_network_depth() {
+        let schedule = odd_even_network(64);
+        let depth = sortnet::schedule::ComparatorSchedule::depth(&schedule);
+        let network = Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(schedule));
+        let ids = scattered_ids(20, 64, 7);
+        let outcome = Executor::new(ExecConfig::new(7)).run_with_ids(&ids, {
+            let network = Arc::clone(&network);
+            move |ctx| network.acquire_with_report(ctx).unwrap()
+        });
+        for report in outcome.results() {
+            assert!(report.comparators_played <= depth);
+            assert!(report.wins <= report.comparators_played);
+        }
+        assert!(network.allocated_comparators() > 0);
+        assert!(format!("{network:?}").contains("RenamingNetwork"));
+    }
+
+    #[test]
+    fn slower_networks_still_rename_correctly() {
+        // The transposition network has Θ(n) depth but is still a sorting
+        // network, so renaming over it must still be tight.
+        let network = Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(
+            transposition_network(12),
+        ));
+        let ids = scattered_ids(12, 12, 42);
+        let outcome = Executor::new(ExecConfig::new(6)).run_with_ids(&ids, {
+            let network = Arc::clone(&network);
+            move |ctx| network.acquire(ctx).unwrap()
+        });
+        assert_tight_namespace(&outcome.results()).unwrap();
+    }
+}

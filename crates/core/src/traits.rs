@@ -1,0 +1,107 @@
+//! Common interfaces of the renaming objects.
+
+use crate::error::RenamingError;
+use shmem::process::ProcessCtx;
+
+/// A one-shot-per-participant renaming object.
+///
+/// Every participating process calls [`Renaming::acquire`] and receives a
+/// name. The guarantees, matching the paper's problem statement (§2):
+///
+/// * **Uniqueness** — no two acquisitions return the same name, in every
+///   execution.
+/// * **Termination** — every acquisition by a correct process returns, with
+///   probability 1.
+/// * **Namespace** — *tight* objects return names in `1..=n` where `n` is the
+///   object's capacity; *adaptive tight* (strong adaptive) objects return
+///   names in `1..=k` where `k` is the number of participants in the current
+///   execution.
+pub trait Renaming: Send + Sync {
+    /// Acquires a unique name (1-based).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::CapacityExceeded`] if more processes
+    /// participate than the object supports, and
+    /// [`RenamingError::IdentifierOutOfRange`] if the calling process's
+    /// initial identifier does not fit the object's input namespace.
+    fn acquire(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError>;
+
+    /// The maximum number of names this object can hand out, or `None` if it
+    /// is unbounded (adaptive).
+    fn capacity(&self) -> Option<usize>;
+
+    /// Whether the size of the acquired namespace adapts to the contention
+    /// `k` (as opposed to being fixed at `n`).
+    fn is_adaptive(&self) -> bool;
+}
+
+/// Checks a set of acquired names for the *strong* (tight) renaming
+/// guarantee: with `k` participants the names must be exactly `1..=k`.
+///
+/// Returns `Err` with a human-readable description of the violation.
+///
+/// # Example
+///
+/// ```
+/// use adaptive_renaming::traits::assert_tight_namespace;
+///
+/// assert!(assert_tight_namespace(&[2, 1, 3]).is_ok());
+/// assert!(assert_tight_namespace(&[1, 3]).is_err()); // hole at 2
+/// assert!(assert_tight_namespace(&[1, 1]).is_err()); // duplicate
+/// ```
+pub fn assert_tight_namespace(names: &[usize]) -> Result<(), String> {
+    let k = names.len();
+    let mut seen = vec![false; k + 1];
+    for &name in names {
+        if name == 0 || name > k {
+            return Err(format!(
+                "name {name} outside the tight namespace 1..={k} ({k} participants)"
+            ));
+        }
+        if seen[name] {
+            return Err(format!("name {name} acquired twice"));
+        }
+        seen[name] = true;
+    }
+    Ok(())
+}
+
+/// Checks a set of acquired names for uniqueness only (the *loose* renaming
+/// guarantee): duplicates are violations, holes are allowed.
+pub fn assert_unique_names(names: &[usize]) -> Result<(), String> {
+    let mut sorted = names.to_vec();
+    sorted.sort_unstable();
+    for pair in sorted.windows(2) {
+        if pair[0] == pair[1] {
+            return Err(format!("name {} acquired twice", pair[0]));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_namespace_accepts_permutations() {
+        assert!(assert_tight_namespace(&[]).is_ok());
+        assert!(assert_tight_namespace(&[1]).is_ok());
+        assert!(assert_tight_namespace(&[3, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn tight_namespace_rejects_holes_duplicates_and_zero() {
+        assert!(assert_tight_namespace(&[1, 2, 4]).is_err());
+        assert!(assert_tight_namespace(&[1, 2, 2]).is_err());
+        assert!(assert_tight_namespace(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn unique_names_allows_holes_but_not_duplicates() {
+        assert!(assert_unique_names(&[10, 20, 30]).is_ok());
+        assert!(assert_unique_names(&[7, 7]).is_err());
+        assert!(assert_unique_names(&[]).is_ok());
+    }
+}

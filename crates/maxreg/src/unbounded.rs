@@ -1,0 +1,218 @@
+//! An unbounded max register with `O(log v)` cost.
+//!
+//! The §8.1 counter needs a max register whose cost scales with the *values
+//! actually written* (the number of increments so far), not with a statically
+//! chosen capacity. [`UnboundedMaxRegister`] achieves this by bucketing values
+//! into doubling ranges: bucket `b` covers `[2^b − 1, 2^(b+1) − 1)` and holds a
+//! [`BoundedMaxRegister`] of capacity `2^b` plus a one-bit occupancy switch.
+//! A write to value `v` updates bucket `⌊log₂(v+1)⌋` and then raises the
+//! occupancy switches of every bucket up to it; a read scans the occupancy
+//! switches upward until the first unset one and returns the maximum stored in
+//! the last occupied bucket. Both operations therefore cost `O(log v)`
+//! register steps, where `v` bounds the values involved.
+
+use crate::bounded::BoundedMaxRegister;
+use crate::MaxRegister;
+use shmem::process::ProcessCtx;
+use shmem::register::AtomicBoolRegister;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Number of doubling buckets: covers every `u64` value.
+const BUCKETS: usize = 64;
+
+struct Bucket {
+    occupied: AtomicBoolRegister,
+    values: OnceLock<BoundedMaxRegister>,
+}
+
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
+            occupied: AtomicBoolRegister::new(false),
+            values: OnceLock::new(),
+        }
+    }
+
+    fn values(&self, capacity: u64) -> &BoundedMaxRegister {
+        self.values.get_or_init(|| BoundedMaxRegister::new(capacity))
+    }
+}
+
+/// An unbounded linearizable max register with `O(log v)`-step operations.
+///
+/// # Example
+///
+/// ```
+/// use maxreg::{MaxRegister, UnboundedMaxRegister};
+/// use shmem::process::{ProcessCtx, ProcessId};
+///
+/// let register = UnboundedMaxRegister::new();
+/// let mut ctx = ProcessCtx::new(ProcessId::new(0), 0);
+/// register.write_max(&mut ctx, 1_000_000);
+/// register.write_max(&mut ctx, 12);
+/// assert_eq!(register.read_max(&mut ctx), 1_000_000);
+/// ```
+pub struct UnboundedMaxRegister {
+    buckets: Vec<Bucket>,
+}
+
+impl UnboundedMaxRegister {
+    /// Creates an empty unbounded max register.
+    pub fn new() -> Self {
+        UnboundedMaxRegister {
+            buckets: (0..BUCKETS).map(|_| Bucket::new()).collect(),
+        }
+    }
+
+    /// The bucket index covering `value` and the value's offset within it.
+    fn locate(value: u64) -> (usize, u64) {
+        // Bucket b covers [2^b - 1, 2^(b+1) - 1).
+        let bucket = (64 - (value + 1).leading_zeros() - 1) as usize;
+        let offset = value - ((1u64 << bucket) - 1);
+        (bucket, offset)
+    }
+
+    /// The capacity of bucket `b`.
+    fn bucket_capacity(bucket: usize) -> u64 {
+        1u64 << bucket
+    }
+}
+
+impl Default for UnboundedMaxRegister {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for UnboundedMaxRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UnboundedMaxRegister")
+            .field("buckets", &BUCKETS)
+            .finish()
+    }
+}
+
+impl MaxRegister for UnboundedMaxRegister {
+    fn write_max(&self, ctx: &mut ProcessCtx, value: u64) {
+        let (bucket, offset) = Self::locate(value);
+        // Record the value inside its bucket first, then announce occupancy
+        // from the bucket downward, so a reader that sees an occupied bucket
+        // is guaranteed to find the value (or a larger one) inside it.
+        self.buckets[bucket]
+            .values(Self::bucket_capacity(bucket))
+            .write_max(ctx, offset);
+        for b in (0..=bucket).rev() {
+            self.buckets[b].occupied.write(ctx, true);
+        }
+    }
+
+    fn read_max(&self, ctx: &mut ProcessCtx) -> u64 {
+        // Scan upward for the first unoccupied bucket.
+        let mut highest: Option<usize> = None;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            if bucket.occupied.read(ctx) {
+                highest = Some(index);
+            } else {
+                break;
+            }
+        }
+        match highest {
+            None => 0,
+            Some(bucket) => {
+                let within = self.buckets[bucket]
+                    .values(Self::bucket_capacity(bucket))
+                    .read_max(ctx);
+                ((1u64 << bucket) - 1) + within
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem::process::ProcessId;
+
+    fn ctx() -> ProcessCtx {
+        ProcessCtx::new(ProcessId::new(0), 0)
+    }
+
+    #[test]
+    fn locate_assigns_doubling_buckets() {
+        assert_eq!(UnboundedMaxRegister::locate(0), (0, 0));
+        assert_eq!(UnboundedMaxRegister::locate(1), (1, 0));
+        assert_eq!(UnboundedMaxRegister::locate(2), (1, 1));
+        assert_eq!(UnboundedMaxRegister::locate(3), (2, 0));
+        assert_eq!(UnboundedMaxRegister::locate(6), (2, 3));
+        assert_eq!(UnboundedMaxRegister::locate(7), (3, 0));
+        let (bucket, offset) = UnboundedMaxRegister::locate(u64::MAX - 1);
+        assert!(bucket < BUCKETS);
+        assert!(offset < UnboundedMaxRegister::bucket_capacity(bucket));
+    }
+
+    #[test]
+    fn initial_value_is_zero() {
+        let register = UnboundedMaxRegister::new();
+        assert_eq!(register.read_max(&mut ctx()), 0);
+    }
+
+    #[test]
+    fn read_returns_the_running_maximum() {
+        let register = UnboundedMaxRegister::new();
+        let mut ctx = ctx();
+        let mut expected = 0;
+        for value in [3u64, 17, 2, 250, 90, 4096, 511, 100_000, 99_999] {
+            register.write_max(&mut ctx, value);
+            expected = expected.max(value);
+            assert_eq!(register.read_max(&mut ctx), expected);
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_the_value_not_with_a_fixed_capacity() {
+        // Writing/reading small values must cost far fewer steps than large
+        // values, demonstrating the O(log v) profile.
+        let register = UnboundedMaxRegister::new();
+        let mut small_ctx = ctx();
+        register.write_max(&mut small_ctx, 1);
+        let small_cost = small_ctx.stats().total();
+        assert!(small_cost <= 8, "small write cost {small_cost}");
+
+        let register = UnboundedMaxRegister::new();
+        let mut large_ctx = ctx();
+        register.write_max(&mut large_ctx, 1 << 40);
+        let large_cost = large_ctx.stats().total();
+        assert!(large_cost > small_cost);
+        assert!(
+            large_cost <= 3 * 41 + 3,
+            "large write cost {large_cost} should stay O(log v)"
+        );
+    }
+
+    #[test]
+    fn read_cost_scales_with_the_largest_written_value() {
+        let register = UnboundedMaxRegister::new();
+        let mut ctx = ctx();
+        register.write_max(&mut ctx, 100);
+        let before = ctx.stats().total();
+        assert_eq!(register.read_max(&mut ctx), 100);
+        let read_cost = ctx.stats().total() - before;
+        assert!(read_cost <= 2 * 8 + 4, "read cost {read_cost}");
+    }
+
+    #[test]
+    fn zero_is_a_valid_written_value() {
+        let register = UnboundedMaxRegister::new();
+        let mut ctx = ctx();
+        register.write_max(&mut ctx, 0);
+        assert_eq!(register.read_max(&mut ctx), 0);
+        register.write_max(&mut ctx, 5);
+        assert_eq!(register.read_max(&mut ctx), 5);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        assert!(format!("{:?}", UnboundedMaxRegister::new()).contains("UnboundedMaxRegister"));
+    }
+}

@@ -1,0 +1,384 @@
+//! Schedule perturbation standing in for the strong adaptive adversary.
+//!
+//! The paper's adversary controls scheduling and crashes and may observe local
+//! coin flips (§2). A true worst-case adaptive adversary cannot be enumerated
+//! at runtime, so the execution harness approximates it with three orthogonal
+//! knobs, all of which the safety properties of the algorithms must tolerate:
+//!
+//! * [`ArrivalSchedule`] — when each process begins taking steps (simultaneous
+//!   burst, staggered arrival, random jitter). Contention patterns are the
+//!   main lever an adversary has against *adaptive* algorithms, whose
+//!   complexity must track the realized contention `k`.
+//! * [`YieldPolicy`] — forced descheduling points injected between
+//!   shared-memory steps, widening the space of interleavings explored.
+//! * [`CrashPlan`] — crash-fault injection: a process silently stops taking
+//!   steps after a chosen number of shared-memory operations.
+//!
+//! [`ExecConfig`] bundles the three together with a global random seed so an
+//! execution is reproducible given its configuration.
+
+use rand::Rng;
+use std::time::Duration;
+
+/// Policy describing when the harness forces a process to yield the CPU
+/// between shared-memory steps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum YieldPolicy {
+    /// Never inject yields; only the OS scheduler interleaves processes.
+    None,
+    /// Yield after every shared-memory step. Maximizes interleaving at the
+    /// cost of slower executions.
+    EveryStep,
+    /// Yield after each step independently with the given probability.
+    Probabilistic(f64),
+    /// Yield after every `n`-th shared-memory step taken by the process.
+    EveryNth(u64),
+}
+
+impl YieldPolicy {
+    /// Decides whether to yield after a step, given the per-process step
+    /// counter and the process-local random number generator.
+    pub fn should_yield<R: Rng + ?Sized>(&self, steps_taken: u64, rng: &mut R) -> bool {
+        match *self {
+            YieldPolicy::None => false,
+            YieldPolicy::EveryStep => true,
+            YieldPolicy::Probabilistic(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
+            YieldPolicy::EveryNth(n) => n > 0 && steps_taken % n == 0,
+        }
+    }
+}
+
+impl Default for YieldPolicy {
+    fn default() -> Self {
+        YieldPolicy::None
+    }
+}
+
+/// When each of the `k` processes starts taking steps.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalSchedule {
+    /// All processes start together behind a barrier (maximum contention).
+    Simultaneous,
+    /// Processes start as soon as their thread is spawned, with no barrier.
+    Unsynchronized,
+    /// Process `i` starts roughly `i * gap` after the barrier opens
+    /// (staggered, low-contention arrivals).
+    Staggered {
+        /// Gap between consecutive arrivals.
+        gap: Duration,
+    },
+    /// Each process waits a uniformly random delay in `[0, max_delay]` after
+    /// the barrier opens.
+    RandomJitter {
+        /// Upper bound on the random arrival delay.
+        max_delay: Duration,
+    },
+}
+
+impl ArrivalSchedule {
+    /// Whether the schedule requires a start barrier shared by all processes.
+    pub fn uses_barrier(&self) -> bool {
+        !matches!(self, ArrivalSchedule::Unsynchronized)
+    }
+
+    /// The delay process `index` should wait after the start barrier opens.
+    pub fn delay_for<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> Duration {
+        match *self {
+            ArrivalSchedule::Simultaneous | ArrivalSchedule::Unsynchronized => Duration::ZERO,
+            ArrivalSchedule::Staggered { gap } => gap.saturating_mul(index as u32),
+            ArrivalSchedule::RandomJitter { max_delay } => {
+                if max_delay.is_zero() {
+                    Duration::ZERO
+                } else {
+                    let nanos = rng.gen_range(0..=max_delay.as_nanos().min(u64::MAX as u128) as u64);
+                    Duration::from_nanos(nanos)
+                }
+            }
+        }
+    }
+}
+
+impl Default for ArrivalSchedule {
+    fn default() -> Self {
+        ArrivalSchedule::Simultaneous
+    }
+}
+
+/// Crash-fault injection plan.
+///
+/// A crashed process stops taking shared-memory steps forever; it never
+/// returns from its operation. The renaming algorithms must remain safe (names
+/// stay unique, the namespace stays tight with respect to *participating*
+/// processes) in the presence of such crashes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CrashPlan {
+    /// No process crashes.
+    None,
+    /// Process `i` crashes after `steps[i]` shared-memory steps (if `Some`).
+    /// Processes beyond the vector's length do not crash.
+    Fixed(Vec<Option<u64>>),
+    /// Each process independently crashes with probability `prob`, after a
+    /// uniformly random number of steps in `[1, max_steps]`.
+    Random {
+        /// Probability that an individual process crashes at all.
+        prob: f64,
+        /// Upper bound on the step at which a crashing process stops.
+        max_steps: u64,
+    },
+    /// Crash every process with index `>= first_survivors` after the given
+    /// number of steps — a deterministic "half the system dies" scenario.
+    CrashSuffix {
+        /// Number of low-indexed processes that never crash.
+        survivors: usize,
+        /// Step count after which the rest crash.
+        after_steps: u64,
+    },
+}
+
+impl CrashPlan {
+    /// Computes the crash step for process `index`, or `None` if it runs to
+    /// completion.
+    pub fn crash_step_for<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> Option<u64> {
+        match self {
+            CrashPlan::None => None,
+            CrashPlan::Fixed(steps) => steps.get(index).copied().flatten(),
+            CrashPlan::Random { prob, max_steps } => {
+                if *max_steps == 0 || !rng.gen_bool(prob.clamp(0.0, 1.0)) {
+                    None
+                } else {
+                    Some(rng.gen_range(1..=*max_steps))
+                }
+            }
+            CrashPlan::CrashSuffix {
+                survivors,
+                after_steps,
+            } => {
+                if index >= *survivors {
+                    Some((*after_steps).max(1))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl Default for CrashPlan {
+    fn default() -> Self {
+        CrashPlan::None
+    }
+}
+
+/// Configuration for one adversarial execution: seed, arrival schedule, yield
+/// policy and crash plan.
+///
+/// # Example
+///
+/// ```
+/// use shmem::adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
+/// use std::time::Duration;
+///
+/// let config = ExecConfig::default()
+///     .with_seed(42)
+///     .with_yield_policy(YieldPolicy::Probabilistic(0.1))
+///     .with_arrival(ArrivalSchedule::Staggered { gap: Duration::from_micros(50) })
+///     .with_crash_plan(CrashPlan::Random { prob: 0.2, max_steps: 100 });
+/// assert_eq!(config.seed, 42);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecConfig {
+    /// Global random seed; each process derives its own stream from it.
+    pub seed: u64,
+    /// Forced-yield policy applied after shared-memory steps.
+    pub yield_policy: YieldPolicy,
+    /// Arrival schedule for the participating processes.
+    pub arrival: ArrivalSchedule,
+    /// Crash-fault injection plan.
+    pub crash_plan: CrashPlan,
+}
+
+impl ExecConfig {
+    /// Creates a configuration with the given seed and default (benign)
+    /// adversary settings.
+    pub fn new(seed: u64) -> Self {
+        ExecConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the global random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the yield policy.
+    pub fn with_yield_policy(mut self, policy: YieldPolicy) -> Self {
+        self.yield_policy = policy;
+        self
+    }
+
+    /// Sets the arrival schedule.
+    pub fn with_arrival(mut self, arrival: ArrivalSchedule) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the crash plan.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn yield_policy_none_never_yields() {
+        let mut r = rng();
+        for step in 0..100 {
+            assert!(!YieldPolicy::None.should_yield(step, &mut r));
+        }
+    }
+
+    #[test]
+    fn yield_policy_every_step_always_yields() {
+        let mut r = rng();
+        for step in 0..100 {
+            assert!(YieldPolicy::EveryStep.should_yield(step, &mut r));
+        }
+    }
+
+    #[test]
+    fn yield_policy_every_nth_yields_on_multiples() {
+        let mut r = rng();
+        let policy = YieldPolicy::EveryNth(3);
+        assert!(policy.should_yield(3, &mut r));
+        assert!(policy.should_yield(6, &mut r));
+        assert!(!policy.should_yield(4, &mut r));
+        // n == 0 must not divide by zero and never yields.
+        assert!(!YieldPolicy::EveryNth(0).should_yield(5, &mut r));
+    }
+
+    #[test]
+    fn yield_policy_probabilistic_clamps_probability() {
+        let mut r = rng();
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(YieldPolicy::Probabilistic(2.0).should_yield(0, &mut r));
+        assert!(!YieldPolicy::Probabilistic(-1.0).should_yield(0, &mut r));
+    }
+
+    #[test]
+    fn simultaneous_arrival_has_zero_delay_and_barrier() {
+        let mut r = rng();
+        let schedule = ArrivalSchedule::Simultaneous;
+        assert!(schedule.uses_barrier());
+        assert_eq!(schedule.delay_for(5, &mut r), Duration::ZERO);
+    }
+
+    #[test]
+    fn unsynchronized_arrival_skips_barrier() {
+        assert!(!ArrivalSchedule::Unsynchronized.uses_barrier());
+    }
+
+    #[test]
+    fn staggered_arrival_grows_linearly() {
+        let mut r = rng();
+        let schedule = ArrivalSchedule::Staggered {
+            gap: Duration::from_micros(10),
+        };
+        assert_eq!(schedule.delay_for(0, &mut r), Duration::ZERO);
+        assert_eq!(schedule.delay_for(3, &mut r), Duration::from_micros(30));
+    }
+
+    #[test]
+    fn random_jitter_stays_within_bound() {
+        let mut r = rng();
+        let max = Duration::from_micros(100);
+        let schedule = ArrivalSchedule::RandomJitter { max_delay: max };
+        for i in 0..50 {
+            assert!(schedule.delay_for(i, &mut r) <= max);
+        }
+        let zero = ArrivalSchedule::RandomJitter {
+            max_delay: Duration::ZERO,
+        };
+        assert_eq!(zero.delay_for(1, &mut r), Duration::ZERO);
+    }
+
+    #[test]
+    fn crash_plan_none_never_crashes() {
+        let mut r = rng();
+        assert_eq!(CrashPlan::None.crash_step_for(0, &mut r), None);
+    }
+
+    #[test]
+    fn crash_plan_fixed_uses_per_process_entries() {
+        let mut r = rng();
+        let plan = CrashPlan::Fixed(vec![Some(5), None, Some(9)]);
+        assert_eq!(plan.crash_step_for(0, &mut r), Some(5));
+        assert_eq!(plan.crash_step_for(1, &mut r), None);
+        assert_eq!(plan.crash_step_for(2, &mut r), Some(9));
+        // Out-of-range processes never crash.
+        assert_eq!(plan.crash_step_for(3, &mut r), None);
+    }
+
+    #[test]
+    fn crash_plan_random_respects_bounds() {
+        let mut r = rng();
+        let plan = CrashPlan::Random {
+            prob: 1.0,
+            max_steps: 10,
+        };
+        for i in 0..50 {
+            let step = plan.crash_step_for(i, &mut r).expect("prob=1 must crash");
+            assert!((1..=10).contains(&step));
+        }
+        let never = CrashPlan::Random {
+            prob: 0.0,
+            max_steps: 10,
+        };
+        assert_eq!(never.crash_step_for(0, &mut r), None);
+        let zero_steps = CrashPlan::Random {
+            prob: 1.0,
+            max_steps: 0,
+        };
+        assert_eq!(zero_steps.crash_step_for(0, &mut r), None);
+    }
+
+    #[test]
+    fn crash_suffix_spares_survivors() {
+        let mut r = rng();
+        let plan = CrashPlan::CrashSuffix {
+            survivors: 2,
+            after_steps: 7,
+        };
+        assert_eq!(plan.crash_step_for(0, &mut r), None);
+        assert_eq!(plan.crash_step_for(1, &mut r), None);
+        assert_eq!(plan.crash_step_for(2, &mut r), Some(7));
+        assert_eq!(plan.crash_step_for(9, &mut r), Some(7));
+    }
+
+    #[test]
+    fn exec_config_builder_sets_fields() {
+        let config = ExecConfig::new(3)
+            .with_yield_policy(YieldPolicy::EveryStep)
+            .with_arrival(ArrivalSchedule::Unsynchronized)
+            .with_crash_plan(CrashPlan::CrashSuffix {
+                survivors: 1,
+                after_steps: 2,
+            });
+        assert_eq!(config.seed, 3);
+        assert_eq!(config.yield_policy, YieldPolicy::EveryStep);
+        assert_eq!(config.arrival, ArrivalSchedule::Unsynchronized);
+        assert!(matches!(config.crash_plan, CrashPlan::CrashSuffix { .. }));
+    }
+}

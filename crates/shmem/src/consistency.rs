@@ -1,0 +1,580 @@
+//! Consistency checkers: linearizability and monotone consistency.
+//!
+//! Two correctness notions appear in the paper's applications:
+//!
+//! * **Linearizability** — required of the ℓ-test-and-set (Lemma 5) and the
+//!   m-valued fetch-and-increment (Theorem 6). [`check_linearizable`] is a
+//!   Wing&Gong-style exhaustive checker with memoization, suitable for the
+//!   small histories produced by stress tests.
+//! * **Monotone consistency** — the weaker guarantee the §8.1 counter
+//!   provides. [`check_monotone_consistent`] implements the three conditions
+//!   of Lemma 4 directly on a recorded history.
+//!
+//! Both checkers consume [`History`](crate::history::History) values produced
+//! by a [`Recorder`](crate::history::Recorder).
+
+use crate::history::{History, OpRecord};
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// A sequential specification of a shared object, used by the
+/// linearizability checker.
+///
+/// Implementations describe the object's state machine: starting from
+/// [`initial`](SequentialSpec::initial), applying operations one at a time in
+/// some sequential order must reproduce the results observed in the concurrent
+/// history.
+pub trait SequentialSpec {
+    /// Operation type.
+    type Op;
+    /// Result type returned by operations.
+    type Ret: PartialEq;
+    /// Object state.
+    type State: Clone + Eq + Hash;
+
+    /// The object's initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Applies `op` to `state`, returning the successor state and the result
+    /// the operation returns in that sequential execution.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+/// The reason a history failed a consistency check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// No linearization order consistent with real time reproduces the
+    /// observed results.
+    NotLinearizable,
+    /// Two reads ordered in real time returned decreasing values
+    /// (monotone-consistency condition 1).
+    NonMonotoneReads {
+        /// Value returned by the earlier read.
+        earlier: u64,
+        /// Value returned by the later read.
+        later: u64,
+    },
+    /// A read returned less than the number of increments that had completed
+    /// before it started (monotone-consistency condition 2).
+    ReadBelowCompletedIncrements {
+        /// Value the read returned.
+        returned: u64,
+        /// Number of increments completed before the read's invocation.
+        completed: u64,
+    },
+    /// A read returned more than the number of increments that had started
+    /// before it responded (monotone-consistency condition 3).
+    ReadAboveStartedIncrements {
+        /// Value the read returned.
+        returned: u64,
+        /// Number of increments started before the read's response.
+        started: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NotLinearizable => write!(f, "history is not linearizable"),
+            Violation::NonMonotoneReads { earlier, later } => write!(
+                f,
+                "reads are not monotone: an earlier read returned {earlier} but a later read returned {later}"
+            ),
+            Violation::ReadBelowCompletedIncrements { returned, completed } => write!(
+                f,
+                "a read returned {returned} but {completed} increments had already completed"
+            ),
+            Violation::ReadAboveStartedIncrements { returned, started } => write!(
+                f,
+                "a read returned {returned} but only {started} increments had started"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks whether `history` is linearizable with respect to `spec`.
+///
+/// On success, returns one witness linearization as a list of indices into
+/// `history.records()`.
+///
+/// The search is exponential in the worst case (linearizability checking is
+/// NP-complete); memoization over (set of linearized operations, object state)
+/// keeps it fast for the history sizes produced by the test suite (tens of
+/// operations).
+///
+/// # Errors
+///
+/// Returns [`Violation::NotLinearizable`] if no valid linearization exists.
+pub fn check_linearizable<S>(
+    spec: &S,
+    history: &History<S::Op, S::Ret>,
+) -> Result<Vec<usize>, Violation>
+where
+    S: SequentialSpec,
+{
+    let records = history.records();
+    let n = records.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    assert!(
+        n <= 64,
+        "the exhaustive linearizability checker supports at most 64 operations per history"
+    );
+
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut visited: HashSet<(u64, S::State)> = HashSet::new();
+    if search(spec, records, 0, &spec.initial(), &mut order, &mut visited) {
+        Ok(order)
+    } else {
+        Err(Violation::NotLinearizable)
+    }
+}
+
+fn search<S>(
+    spec: &S,
+    records: &[OpRecord<S::Op, S::Ret>],
+    done_mask: u64,
+    state: &S::State,
+    order: &mut Vec<usize>,
+    visited: &mut HashSet<(u64, S::State)>,
+) -> bool
+where
+    S: SequentialSpec,
+{
+    let n = records.len();
+    if order.len() == n {
+        return true;
+    }
+    if !visited.insert((done_mask, state.clone())) {
+        return false;
+    }
+
+    // Minimum response among operations not yet linearized: an operation can
+    // only be linearized next if no other pending operation finished entirely
+    // before it began.
+    let min_response = records
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| done_mask & (1 << i) == 0)
+        .map(|(_, r)| r.response)
+        .min()
+        .expect("at least one pending operation");
+
+    for (i, record) in records.iter().enumerate() {
+        if done_mask & (1 << i) != 0 || record.invoke > min_response {
+            continue;
+        }
+        let (next_state, result) = spec.apply(state, &record.op);
+        if result != record.result {
+            continue;
+        }
+        order.push(i);
+        if search(
+            spec,
+            records,
+            done_mask | (1 << i),
+            &next_state,
+            order,
+            visited,
+        ) {
+            return true;
+        }
+        order.pop();
+    }
+    false
+}
+
+/// Operations of a counter object, as used by the §8.1 monotone-consistent
+/// counter and its baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CounterOp {
+    /// Increment the counter. Counter increments return no value to callers;
+    /// by convention records of increments carry result `0`, and both
+    /// checkers ignore it.
+    Increment,
+    /// Read the counter. The recorded result is the value returned.
+    Read,
+}
+
+/// Sequential specification of a standard counter: increments add one (and by
+/// convention "return" 0), reads return the current value. Used to check
+/// *linearizability* of counter histories (which the paper's counter
+/// deliberately does not satisfy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSpec;
+
+impl SequentialSpec for CounterSpec {
+    type Op = CounterOp;
+    type Ret = u64;
+    type State = u64;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, op: &CounterOp) -> (u64, u64) {
+        match op {
+            // Increments have no return value; records carry 0 by convention.
+            CounterOp::Increment => (*state + 1, 0),
+            CounterOp::Read => (*state, *state),
+        }
+    }
+}
+
+/// Checks the three monotone-consistency conditions of Lemma 4 on a counter
+/// history.
+///
+/// 1. There is a total order on reads, consistent with their real-time order,
+///    along which returned values are non-decreasing.
+/// 2. Every read returns at least the number of increments completed before it
+///    started.
+/// 3. Every read returns at most the number of increments started before it
+///    responded.
+///
+/// Increment results are ignored; only their invocation/response times matter.
+/// `pending_increment_invokes` lists the invocation timestamps of increments
+/// that started but never completed in the recorded execution (crashed
+/// processes, or operations still in flight when recording stopped); they
+/// count towards condition 3 but not condition 2.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn check_monotone_consistent(
+    history: &History<CounterOp, u64>,
+    pending_increment_invokes: &[u64],
+) -> Result<(), Violation> {
+    let reads: Vec<&OpRecord<CounterOp, u64>> = history
+        .iter()
+        .filter(|r| r.op == CounterOp::Read)
+        .collect();
+    let increments: Vec<&OpRecord<CounterOp, u64>> = history
+        .iter()
+        .filter(|r| r.op == CounterOp::Increment)
+        .collect();
+
+    // Condition 1: pairwise — if R1 finishes before R2 starts, then
+    // value(R1) <= value(R2). (Sorting reads by value with invoke-time
+    // tie-breaks then yields a witness total order.)
+    for r1 in &reads {
+        for r2 in &reads {
+            if r1.response < r2.invoke && r1.result > r2.result {
+                return Err(Violation::NonMonotoneReads {
+                    earlier: r1.result,
+                    later: r2.result,
+                });
+            }
+        }
+    }
+
+    for read in &reads {
+        // Condition 2: completed increments before the read started.
+        let completed = increments
+            .iter()
+            .filter(|inc| inc.response < read.invoke)
+            .count() as u64;
+        if read.result < completed {
+            return Err(Violation::ReadBelowCompletedIncrements {
+                returned: read.result,
+                completed,
+            });
+        }
+        // Condition 3: started increments (completed or pending) before the
+        // read responded.
+        let started = increments
+            .iter()
+            .filter(|inc| inc.invoke < read.response)
+            .count() as u64
+            + pending_increment_invokes
+                .iter()
+                .filter(|&&invoke| invoke < read.response)
+                .count() as u64;
+        if read.result > started {
+            return Err(Violation::ReadAboveStartedIncrements {
+                returned: read.result,
+                started,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessId;
+
+    fn op(
+        process: usize,
+        op: CounterOp,
+        result: u64,
+        invoke: u64,
+        response: u64,
+    ) -> OpRecord<CounterOp, u64> {
+        OpRecord {
+            process: ProcessId::new(process),
+            op,
+            result,
+            invoke,
+            response,
+        }
+    }
+
+    /// Sequential spec of a single-value register for checker tests.
+    #[derive(Clone, Copy, Debug)]
+    struct RegisterSpec;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    enum RegOp {
+        Write(u64),
+        Read,
+    }
+
+    impl SequentialSpec for RegisterSpec {
+        type Op = RegOp;
+        type Ret = u64;
+        type State = u64;
+
+        fn initial(&self) -> u64 {
+            0
+        }
+
+        fn apply(&self, state: &u64, op: &RegOp) -> (u64, u64) {
+            match op {
+                RegOp::Write(v) => (*v, *v),
+                RegOp::Read => (*state, *state),
+            }
+        }
+    }
+
+    fn reg(
+        op_: RegOp,
+        result: u64,
+        invoke: u64,
+        response: u64,
+    ) -> OpRecord<RegOp, u64> {
+        OpRecord {
+            process: ProcessId::new(0),
+            op: op_,
+            result,
+            invoke,
+            response,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let history: History<RegOp, u64> = History::new(vec![]);
+        assert_eq!(check_linearizable(&RegisterSpec, &history), Ok(vec![]));
+    }
+
+    #[test]
+    fn sequential_register_history_is_linearizable() {
+        let history = History::new(vec![
+            reg(RegOp::Write(5), 5, 1, 2),
+            reg(RegOp::Read, 5, 3, 4),
+            reg(RegOp::Write(9), 9, 5, 6),
+            reg(RegOp::Read, 9, 7, 8),
+        ]);
+        let order = check_linearizable(&RegisterSpec, &history).expect("linearizable");
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn stale_read_after_write_is_not_linearizable() {
+        // Write(7) completes strictly before the read starts, yet the read
+        // returns the initial value 0.
+        let history = History::new(vec![
+            reg(RegOp::Write(7), 7, 1, 2),
+            reg(RegOp::Read, 0, 3, 4),
+        ]);
+        assert_eq!(
+            check_linearizable(&RegisterSpec, &history),
+            Err(Violation::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn overlapping_ops_may_linearize_in_either_order() {
+        // The read overlaps the write, so returning either 0 or 7 is fine.
+        for observed in [0u64, 7] {
+            let history = History::new(vec![
+                reg(RegOp::Write(7), 7, 1, 4),
+                reg(RegOp::Read, observed, 2, 3),
+            ]);
+            assert!(check_linearizable(&RegisterSpec, &history).is_ok());
+        }
+    }
+
+    #[test]
+    fn counter_spec_linearizability_accepts_correct_histories() {
+        let history = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(1, CounterOp::Read, 1, 3, 4),
+            op(2, CounterOp::Increment, 0, 5, 6),
+            op(1, CounterOp::Read, 2, 7, 8),
+        ]);
+        assert!(check_linearizable(&CounterSpec, &history).is_ok());
+    }
+
+    #[test]
+    fn linearization_witness_respects_real_time_order() {
+        let history = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(1, CounterOp::Increment, 0, 3, 4),
+            op(2, CounterOp::Read, 2, 5, 6),
+        ]);
+        let order = check_linearizable(&CounterSpec, &history).expect("linearizable");
+        // The read is last in real time, so it must be last in the witness.
+        assert_eq!(*order.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn monotone_consistency_accepts_a_valid_history() {
+        let history = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 4),
+            op(1, CounterOp::Increment, 0, 2, 6),
+            op(2, CounterOp::Read, 1, 5, 7),
+            op(2, CounterOp::Read, 2, 8, 9),
+        ]);
+        assert_eq!(check_monotone_consistent(&history, &[]), Ok(()));
+    }
+
+    #[test]
+    fn monotone_consistency_rejects_decreasing_reads() {
+        let history = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(1, CounterOp::Increment, 0, 3, 4),
+            op(2, CounterOp::Read, 2, 5, 6),
+            op(2, CounterOp::Read, 1, 7, 8),
+        ]);
+        assert!(matches!(
+            check_monotone_consistent(&history, &[]),
+            Err(Violation::NonMonotoneReads { earlier: 2, later: 1 })
+        ));
+    }
+
+    #[test]
+    fn monotone_consistency_rejects_reads_below_completed_increments() {
+        let history = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(1, CounterOp::Increment, 0, 3, 4),
+            op(2, CounterOp::Read, 1, 5, 6),
+        ]);
+        assert!(matches!(
+            check_monotone_consistent(&history, &[]),
+            Err(Violation::ReadBelowCompletedIncrements {
+                returned: 1,
+                completed: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn monotone_consistency_rejects_reads_above_started_increments() {
+        let history = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(2, CounterOp::Read, 3, 3, 4),
+        ]);
+        assert!(matches!(
+            check_monotone_consistent(&history, &[]),
+            Err(Violation::ReadAboveStartedIncrements {
+                returned: 3,
+                started: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn pending_increments_count_towards_started_but_not_completed() {
+        // One completed increment plus one pending increment: a read of 2 is
+        // fine (condition 3 counts the pending one), but a read of 3 is not.
+        let history = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(2, CounterOp::Read, 2, 4, 5),
+        ]);
+        assert_eq!(check_monotone_consistent(&history, &[3]), Ok(()));
+
+        let too_high = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(2, CounterOp::Read, 3, 4, 5),
+        ]);
+        assert!(check_monotone_consistent(&too_high, &[3]).is_err());
+
+        // A pending increment that starts only after the read responded does
+        // not count.
+        let late_pending = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(2, CounterOp::Read, 2, 4, 5),
+        ]);
+        assert!(check_monotone_consistent(&late_pending, &[9]).is_err());
+    }
+
+    #[test]
+    fn paper_counterexample_is_monotone_but_not_linearizable() {
+        // The §8.1 non-linearizability scenario: p3 starts an increment and
+        // stalls before writing the max register; concurrently p2 increments
+        // and obtains name 2. A read R1 then returns 2. Afterwards p1
+        // increments, obtains name 1 (possible in a renaming network), and a
+        // second read R2 still returns 2. p1's completed increment lies
+        // strictly between two reads returning the same value, so the history
+        // is not linearizable — but it is monotone-consistent because p3's
+        // increment has started.
+        let history = History::new(vec![
+            op(2, CounterOp::Increment, 0, 2, 3), // p2 obtains name 2
+            op(9, CounterOp::Read, 2, 4, 5),      // R1 returns 2
+            op(1, CounterOp::Increment, 0, 6, 7), // p1 obtains name 1
+            op(9, CounterOp::Read, 2, 8, 9),      // R2 still returns 2
+        ]);
+        let pending_p3 = [1u64]; // p3's increment started at time 1, never finished
+        assert_eq!(check_monotone_consistent(&history, &pending_p3), Ok(()));
+        assert_eq!(
+            check_linearizable(&CounterSpec, &history),
+            Err(Violation::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn monotone_consistency_of_empty_and_read_only_histories() {
+        let empty: History<CounterOp, u64> = History::new(vec![]);
+        assert_eq!(check_monotone_consistent(&empty, &[]), Ok(()));
+
+        let reads_only = History::new(vec![op(0, CounterOp::Read, 0, 1, 2)]);
+        assert_eq!(check_monotone_consistent(&reads_only, &[]), Ok(()));
+
+        let bad_read = History::new(vec![op(0, CounterOp::Read, 1, 1, 2)]);
+        assert!(check_monotone_consistent(&bad_read, &[]).is_err());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let violations = vec![
+            Violation::NotLinearizable,
+            Violation::NonMonotoneReads { earlier: 2, later: 1 },
+            Violation::ReadBelowCompletedIncrements {
+                returned: 0,
+                completed: 3,
+            },
+            Violation::ReadAboveStartedIncrements {
+                returned: 5,
+                started: 2,
+            },
+        ];
+        for v in violations {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 operations")]
+    fn linearizability_checker_rejects_oversized_histories() {
+        let records: Vec<OpRecord<CounterOp, u64>> = (0..65)
+            .map(|i| op(i, CounterOp::Increment, i as u64 + 1, 2 * i as u64 + 1, 2 * i as u64 + 2))
+            .collect();
+        let _ = check_linearizable(&CounterSpec, &History::new(records));
+    }
+}

@@ -1,0 +1,405 @@
+//! Multi-threaded execution harness.
+//!
+//! The [`Executor`] runs `k` processes — each an OS thread executing the same
+//! closure against `Arc`-shared objects — under an adversarial
+//! [`ExecConfig`](crate::adversary::ExecConfig): arrival schedule, yield
+//! injection and crash injection. It collects every process's return value and
+//! step statistics into an [`ExecutionOutcome`], the raw material for all
+//! correctness checks and experiments.
+
+use crate::adversary::ExecConfig;
+use crate::process::{install_crash_panic_silencer, CrashSignal, ProcessCtx, ProcessId};
+use crate::steps::{StepStats, StepSummary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::AssertUnwindSafe;
+use std::time::Duration;
+
+/// The fate of one process in an execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProcessOutcome<R> {
+    /// The process's operation returned a value.
+    Completed {
+        /// The value returned by the process's closure.
+        result: R,
+        /// Shared-memory steps the process took.
+        steps: StepStats,
+    },
+    /// The process crashed (stopped taking steps) before returning.
+    Crashed {
+        /// Shared-memory steps the process took before crashing.
+        steps: StepStats,
+    },
+}
+
+impl<R> ProcessOutcome<R> {
+    /// The steps taken by the process, whether or not it completed.
+    pub fn steps(&self) -> StepStats {
+        match self {
+            ProcessOutcome::Completed { steps, .. } | ProcessOutcome::Crashed { steps } => *steps,
+        }
+    }
+
+    /// The result if the process completed.
+    pub fn result(&self) -> Option<&R> {
+        match self {
+            ProcessOutcome::Completed { result, .. } => Some(result),
+            ProcessOutcome::Crashed { .. } => None,
+        }
+    }
+
+    /// Whether the process crashed.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, ProcessOutcome::Crashed { .. })
+    }
+}
+
+/// The collected results of one adversarial execution of `k` processes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionOutcome<R> {
+    outcomes: Vec<(ProcessId, ProcessOutcome<R>)>,
+}
+
+impl<R> ExecutionOutcome<R> {
+    /// Number of processes that participated (completed or crashed).
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no process participated.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Iterates over `(process, outcome)` pairs in process-index order.
+    pub fn iter(&self) -> impl Iterator<Item = &(ProcessId, ProcessOutcome<R>)> {
+        self.outcomes.iter()
+    }
+
+    /// Iterates over the processes that completed, with their results.
+    pub fn completed(&self) -> impl Iterator<Item = (ProcessId, &R)> {
+        self.outcomes.iter().filter_map(|(id, outcome)| match outcome {
+            ProcessOutcome::Completed { result, .. } => Some((*id, result)),
+            ProcessOutcome::Crashed { .. } => None,
+        })
+    }
+
+    /// The results of all completed processes, in process-index order.
+    pub fn results(&self) -> Vec<R>
+    where
+        R: Clone,
+    {
+        self.completed().map(|(_, r)| r.clone()).collect()
+    }
+
+    /// Number of processes that crashed.
+    pub fn crashed_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| o.is_crashed())
+            .count()
+    }
+
+    /// Per-process step statistics (completed and crashed alike), in
+    /// process-index order.
+    pub fn per_process_steps(&self) -> Vec<StepStats> {
+        self.outcomes.iter().map(|(_, o)| o.steps()).collect()
+    }
+
+    /// Step statistics of completed processes only.
+    pub fn completed_steps(&self) -> Vec<StepStats> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| !o.is_crashed())
+            .map(|(_, o)| o.steps())
+            .collect()
+    }
+
+    /// Total steps across all processes.
+    pub fn total_steps(&self) -> StepStats {
+        self.per_process_steps().into_iter().sum()
+    }
+
+    /// Summary statistics (max / mean / total) over per-process step counts.
+    pub fn step_summary(&self) -> StepSummary {
+        StepSummary::from_stats(&self.per_process_steps())
+    }
+}
+
+impl<R> IntoIterator for ExecutionOutcome<R> {
+    type Item = (ProcessId, ProcessOutcome<R>);
+    type IntoIter = std::vec::IntoIter<Self::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.outcomes.into_iter()
+    }
+}
+
+/// Runs `k` processes concurrently against shared objects under an
+/// adversarial configuration.
+///
+/// # Example
+///
+/// ```
+/// use shmem::adversary::ExecConfig;
+/// use shmem::executor::Executor;
+/// use shmem::register::AtomicUsizeRegister;
+/// use std::sync::Arc;
+///
+/// let slots = Arc::new(AtomicUsizeRegister::new(0));
+/// let exec = Executor::new(ExecConfig::new(1));
+/// let outcome = exec.run(4, {
+///     let slots = Arc::clone(&slots);
+///     move |ctx| slots.fetch_add(ctx, 1)
+/// });
+/// let mut claims = outcome.results();
+/// claims.sort_unstable();
+/// assert_eq!(claims, vec![0, 1, 2, 3]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Executor {
+    config: ExecConfig,
+}
+
+impl Executor {
+    /// Creates an executor with the given adversarial configuration.
+    pub fn new(config: ExecConfig) -> Self {
+        Executor { config }
+    }
+
+    /// Creates an executor with a benign configuration and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Executor {
+            config: ExecConfig::new(seed),
+        }
+    }
+
+    /// The configuration this executor runs with.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Runs `k` processes with consecutive identifiers `0..k`.
+    ///
+    /// Each process executes `f(&mut ctx)`; the closure is shared by all
+    /// processes, so per-process state must live in the `ProcessCtx` or in
+    /// values captured behind `Arc`.
+    pub fn run<R, F>(&self, k: usize, f: F) -> ExecutionOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut ProcessCtx) -> R + Send + Sync,
+    {
+        let ids: Vec<ProcessId> = (0..k).map(ProcessId::new).collect();
+        self.run_with_ids(&ids, f)
+    }
+
+    /// Runs one process per entry of `ids`, using each entry as the process's
+    /// initial name. This is how experiments model a large, sparse initial
+    /// namespace (`M ≫ k`).
+    pub fn run_with_ids<R, F>(&self, ids: &[ProcessId], f: F) -> ExecutionOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut ProcessCtx) -> R + Send + Sync,
+    {
+        install_crash_panic_silencer();
+        let k = ids.len();
+        if k == 0 {
+            return ExecutionOutcome {
+                outcomes: Vec::new(),
+            };
+        }
+
+        // Pre-compute each process's adversarial parameters from the global
+        // seed so the whole execution is reproducible.
+        let mut plan_rng = StdRng::seed_from_u64(self.config.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let params: Vec<(ProcessId, Duration, Option<u64>)> = ids
+            .iter()
+            .enumerate()
+            .map(|(index, id)| {
+                let delay = self.config.arrival.delay_for(index, &mut plan_rng);
+                let crash_at = self.config.crash_plan.crash_step_for(index, &mut plan_rng);
+                (*id, delay, crash_at)
+            })
+            .collect();
+
+        let barrier = std::sync::Barrier::new(k);
+        let use_barrier = self.config.arrival.uses_barrier();
+        let f = &f;
+        let barrier = &barrier;
+        let yield_policy = self.config.yield_policy;
+        let seed = self.config.seed;
+
+        let mut outcomes: Vec<(ProcessId, ProcessOutcome<R>)> = Vec::with_capacity(k);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = params
+                .iter()
+                .map(|&(id, delay, crash_at)| {
+                    scope.spawn(move || {
+                        if use_barrier {
+                            barrier.wait();
+                        }
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        let mut ctx =
+                            ProcessCtx::with_adversary(id, seed, yield_policy, crash_at);
+                        let run = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                        match run {
+                            Ok(result) => (
+                                id,
+                                ProcessOutcome::Completed {
+                                    result,
+                                    steps: ctx.stats(),
+                                },
+                            ),
+                            Err(payload) => {
+                                if let Some(signal) = payload.downcast_ref::<CrashSignal>() {
+                                    (
+                                        id,
+                                        ProcessOutcome::Crashed {
+                                            steps: signal.steps,
+                                        },
+                                    )
+                                } else {
+                                    // A genuine bug in the algorithm under
+                                    // test: propagate it.
+                                    std::panic::resume_unwind(payload)
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                outcomes.push(handle.join().expect("process thread panicked"));
+            }
+        });
+
+        ExecutionOutcome { outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{ArrivalSchedule, CrashPlan, YieldPolicy};
+    use crate::register::AtomicUsizeRegister;
+    use std::sync::Arc;
+
+    #[test]
+    fn run_with_zero_processes_is_empty() {
+        let outcome: ExecutionOutcome<()> = Executor::with_seed(0).run(0, |_| ());
+        assert!(outcome.is_empty());
+        assert_eq!(outcome.len(), 0);
+        assert_eq!(outcome.total_steps().total_all(), 0);
+    }
+
+    #[test]
+    fn every_process_completes_and_reports_steps() {
+        let reg = Arc::new(AtomicUsizeRegister::new(0));
+        let outcome = Executor::with_seed(7).run(8, {
+            let reg = Arc::clone(&reg);
+            move |ctx| {
+                reg.write(ctx, ctx.id().as_usize());
+                reg.read(ctx)
+            }
+        });
+        assert_eq!(outcome.len(), 8);
+        assert_eq!(outcome.crashed_count(), 0);
+        assert_eq!(outcome.completed().count(), 8);
+        for stats in outcome.per_process_steps() {
+            assert_eq!(stats.total(), 2);
+        }
+        assert_eq!(outcome.total_steps().total(), 16);
+        assert_eq!(outcome.step_summary().processes, 8);
+    }
+
+    #[test]
+    fn fetch_add_hands_out_distinct_values_under_contention() {
+        let reg = Arc::new(AtomicUsizeRegister::new(0));
+        let outcome = Executor::new(
+            ExecConfig::new(3).with_yield_policy(YieldPolicy::Probabilistic(0.3)),
+        )
+        .run(16, {
+            let reg = Arc::clone(&reg);
+            move |ctx| reg.fetch_add(ctx, 1)
+        });
+        let mut values = outcome.results();
+        values.sort_unstable();
+        assert_eq!(values, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_with_ids_passes_sparse_initial_names() {
+        let ids = vec![ProcessId::new(10), ProcessId::new(999), ProcessId::new(5000)];
+        let outcome = Executor::with_seed(1).run_with_ids(&ids, |ctx| ctx.id().as_usize());
+        let mut names = outcome.results();
+        names.sort_unstable();
+        assert_eq!(names, vec![10, 999, 5000]);
+    }
+
+    #[test]
+    fn crashed_processes_are_reported_not_joined_on() {
+        let reg = Arc::new(AtomicUsizeRegister::new(0));
+        let config = ExecConfig::new(11).with_crash_plan(CrashPlan::Fixed(vec![
+            Some(3),
+            None,
+            Some(1),
+            None,
+        ]));
+        let outcome = Executor::new(config).run(4, {
+            let reg = Arc::clone(&reg);
+            move |ctx| {
+                for _ in 0..10 {
+                    reg.fetch_add(ctx, 1);
+                }
+                ctx.id().as_usize()
+            }
+        });
+        assert_eq!(outcome.len(), 4);
+        assert_eq!(outcome.crashed_count(), 2);
+        assert_eq!(outcome.completed().count(), 2);
+        // Crashed processes still report the steps they took before stopping.
+        for (_, o) in outcome.iter().filter(|(_, o)| o.is_crashed()) {
+            assert!(o.steps().total_all() >= 1);
+            assert!(o.result().is_none());
+        }
+    }
+
+    #[test]
+    fn staggered_and_jittered_arrivals_still_complete() {
+        for arrival in [
+            ArrivalSchedule::Staggered {
+                gap: Duration::from_micros(200),
+            },
+            ArrivalSchedule::RandomJitter {
+                max_delay: Duration::from_micros(500),
+            },
+            ArrivalSchedule::Unsynchronized,
+        ] {
+            let outcome = Executor::new(ExecConfig::new(5).with_arrival(arrival)).run(6, |ctx| {
+                ctx.flip();
+                ctx.id().as_usize()
+            });
+            assert_eq!(outcome.completed().count(), 6);
+        }
+    }
+
+    #[test]
+    fn execution_outcome_into_iter_yields_all_processes() {
+        let outcome = Executor::with_seed(2).run(3, |ctx| ctx.id().as_usize());
+        let collected: Vec<_> = outcome.into_iter().collect();
+        assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "process thread panicked")]
+    fn genuine_panics_inside_processes_propagate() {
+        let _ = Executor::with_seed(0).run(2, |ctx| {
+            if ctx.id().as_usize() == 1 {
+                panic!("algorithm bug");
+            }
+            0usize
+        });
+    }
+}

@@ -1,0 +1,327 @@
+//! Invoke/response history recording for concurrent objects.
+//!
+//! Correctness arguments in the paper (linearizability of the ℓ-test-and-set
+//! and fetch-and-increment objects, monotone consistency of the counter) are
+//! statements about *histories*: sequences of operation invocations and
+//! responses with their real-time order. The [`Recorder`] assigns globally
+//! ordered timestamps to invocations and responses so the checkers in
+//! [`consistency`](crate::consistency) can reconstruct the real-time partial
+//! order of any execution.
+
+use crate::process::ProcessId;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One completed operation in a history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord<O, V> {
+    /// The process that performed the operation.
+    pub process: ProcessId,
+    /// The operation performed.
+    pub op: O,
+    /// The value the operation returned.
+    pub result: V,
+    /// Logical timestamp at invocation.
+    pub invoke: u64,
+    /// Logical timestamp at response. Always greater than `invoke`.
+    pub response: u64,
+}
+
+impl<O, V> OpRecord<O, V> {
+    /// Whether this operation's response precedes `other`'s invocation
+    /// (i.e. it strictly precedes `other` in real time).
+    pub fn precedes(&self, other: &OpRecord<O, V>) -> bool {
+        self.response < other.invoke
+    }
+
+    /// Whether this operation overlaps `other` in real time.
+    pub fn overlaps(&self, other: &OpRecord<O, V>) -> bool {
+        !self.precedes(other) && !other.precedes(self)
+    }
+}
+
+/// A completed-operation history, ordered by invocation timestamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct History<O, V> {
+    records: Vec<OpRecord<O, V>>,
+}
+
+impl<O, V> History<O, V> {
+    /// Builds a history from raw records, sorting them by invocation time.
+    pub fn new(mut records: Vec<OpRecord<O, V>>) -> Self {
+        records.sort_by_key(|r| r.invoke);
+        History { records }
+    }
+
+    /// Number of operations in the history.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the history contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records in invocation order.
+    pub fn iter(&self) -> std::slice::Iter<'_, OpRecord<O, V>> {
+        self.records.iter()
+    }
+
+    /// The records in invocation order.
+    pub fn records(&self) -> &[OpRecord<O, V>] {
+        &self.records
+    }
+
+    /// Consumes the history, returning its records in invocation order.
+    pub fn into_records(self) -> Vec<OpRecord<O, V>> {
+        self.records
+    }
+
+    /// Returns the sub-history of operations satisfying `predicate`,
+    /// preserving timestamps.
+    pub fn filter<F>(&self, predicate: F) -> History<O, V>
+    where
+        O: Clone,
+        V: Clone,
+        F: Fn(&OpRecord<O, V>) -> bool,
+    {
+        History {
+            records: self
+                .records
+                .iter()
+                .filter(|r| predicate(r))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl<O, V> IntoIterator for History<O, V> {
+    type Item = OpRecord<O, V>;
+    type IntoIter = std::vec::IntoIter<OpRecord<O, V>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl<'a, O, V> IntoIterator for &'a History<O, V> {
+    type Item = &'a OpRecord<O, V>;
+    type IntoIter = std::slice::Iter<'a, OpRecord<O, V>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl<O, V> FromIterator<OpRecord<O, V>> for History<O, V> {
+    fn from_iter<I: IntoIterator<Item = OpRecord<O, V>>>(iter: I) -> Self {
+        History::new(iter.into_iter().collect())
+    }
+}
+
+/// A thread-safe recorder that timestamps operation invocations and responses
+/// with a global logical clock.
+///
+/// # Example
+///
+/// ```
+/// use shmem::history::Recorder;
+/// use shmem::process::ProcessId;
+///
+/// let recorder: Recorder<&'static str, u64> = Recorder::new();
+/// let invoke = recorder.invoke();
+/// // ... perform the operation on the shared object ...
+/// recorder.record(ProcessId::new(0), "increment", 1, invoke);
+/// let history = recorder.take_history();
+/// assert_eq!(history.len(), 1);
+/// assert!(history.records()[0].invoke < history.records()[0].response);
+/// ```
+pub struct Recorder<O, V> {
+    clock: AtomicU64,
+    records: Mutex<Vec<OpRecord<O, V>>>,
+}
+
+impl<O, V> Recorder<O, V> {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder {
+            clock: AtomicU64::new(1),
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns an invocation timestamp. Call this immediately before invoking
+    /// the operation on the shared object.
+    pub fn invoke(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Records a completed operation. The response timestamp is assigned at
+    /// the moment of this call, so call it immediately after the operation
+    /// returns.
+    pub fn record(&self, process: ProcessId, op: O, result: V, invoke: u64) {
+        let response = self.clock.fetch_add(1, Ordering::SeqCst);
+        self.records.lock().push(OpRecord {
+            process,
+            op,
+            result,
+            invoke,
+            response,
+        });
+    }
+
+    /// Number of operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Takes the recorded operations, leaving the recorder empty.
+    pub fn take_history(&self) -> History<O, V> {
+        History::new(std::mem::take(&mut *self.records.lock()))
+    }
+
+    /// Clones the recorded operations without clearing the recorder.
+    pub fn snapshot(&self) -> History<O, V>
+    where
+        O: Clone,
+        V: Clone,
+    {
+        History::new(self.records.lock().clone())
+    }
+}
+
+impl<O, V> Default for Recorder<O, V> {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl<O, V> fmt::Debug for Recorder<O, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("clock", &self.clock.load(Ordering::SeqCst))
+            .field("recorded", &self.records.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(invoke: u64, response: u64, result: u64) -> OpRecord<&'static str, u64> {
+        OpRecord {
+            process: ProcessId::new(0),
+            op: "op",
+            result,
+            invoke,
+            response,
+        }
+    }
+
+    #[test]
+    fn precedes_and_overlaps_follow_real_time() {
+        let a = record(1, 2, 0);
+        let b = record(3, 4, 0);
+        let c = record(2, 5, 0);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn history_sorts_by_invocation_time() {
+        let history = History::new(vec![record(5, 6, 2), record(1, 2, 0), record(3, 4, 1)]);
+        let invokes: Vec<u64> = history.iter().map(|r| r.invoke).collect();
+        assert_eq!(invokes, vec![1, 3, 5]);
+        assert_eq!(history.len(), 3);
+        assert!(!history.is_empty());
+    }
+
+    #[test]
+    fn history_filter_preserves_matching_records() {
+        let history = History::new(vec![record(1, 2, 10), record(3, 4, 20), record(5, 6, 30)]);
+        let filtered = history.filter(|r| r.result >= 20);
+        assert_eq!(filtered.len(), 2);
+        assert!(filtered.iter().all(|r| r.result >= 20));
+    }
+
+    #[test]
+    fn history_collects_from_iterator() {
+        let history: History<&str, u64> =
+            vec![record(9, 10, 1), record(1, 2, 2)].into_iter().collect();
+        assert_eq!(history.records()[0].invoke, 1);
+        let back: Vec<_> = (&history).into_iter().collect();
+        assert_eq!(back.len(), 2);
+        let owned: Vec<_> = history.into_iter().collect();
+        assert_eq!(owned.len(), 2);
+    }
+
+    #[test]
+    fn recorder_assigns_increasing_timestamps() {
+        let recorder: Recorder<&'static str, u64> = Recorder::new();
+        assert!(recorder.is_empty());
+        let t0 = recorder.invoke();
+        recorder.record(ProcessId::new(1), "read", 7, t0);
+        let t1 = recorder.invoke();
+        recorder.record(ProcessId::new(2), "read", 8, t1);
+        assert_eq!(recorder.len(), 2);
+
+        let history = recorder.snapshot();
+        assert_eq!(history.len(), 2);
+        let first = &history.records()[0];
+        let second = &history.records()[1];
+        assert!(first.invoke < first.response);
+        assert!(second.invoke < second.response);
+        assert!(first.response < second.response);
+
+        let taken = recorder.take_history();
+        assert_eq!(taken.len(), 2);
+        assert!(recorder.is_empty());
+    }
+
+    #[test]
+    fn recorder_is_usable_across_threads() {
+        use std::sync::Arc;
+        let recorder: Arc<Recorder<&'static str, usize>> = Arc::new(Recorder::new());
+        std::thread::scope(|scope| {
+            for process in 0..4 {
+                let recorder = Arc::clone(&recorder);
+                scope.spawn(move || {
+                    for round in 0..8 {
+                        let t = recorder.invoke();
+                        recorder.record(ProcessId::new(process), "op", round, t);
+                    }
+                });
+            }
+        });
+        let history = recorder.take_history();
+        assert_eq!(history.len(), 32);
+        // Every record has invoke < response, and timestamps are unique.
+        let mut stamps: Vec<u64> = Vec::new();
+        for r in &history {
+            assert!(r.invoke < r.response);
+            stamps.push(r.invoke);
+            stamps.push(r.response);
+        }
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 64);
+    }
+
+    #[test]
+    fn recorder_debug_is_nonempty() {
+        let recorder: Recorder<u8, u8> = Recorder::new();
+        assert!(format!("{recorder:?}").contains("Recorder"));
+    }
+}

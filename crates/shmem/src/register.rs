@@ -1,0 +1,324 @@
+//! Multi-writer multi-reader atomic registers with step accounting.
+//!
+//! The paper's processes "communicate through multiple-writer-multiple-reader
+//! atomic registers" (§2). Registers here are backed by `std` atomics (for the
+//! common word-sized cases) or a `parking_lot` lock (for arbitrary `Copy`
+//! values); both give linearizable single-word semantics, and every operation
+//! reports exactly one step to the calling process's [`ProcessCtx`].
+//!
+//! Read-modify-write operations (`compare_and_swap`, `swap`, `fetch_add`) are
+//! also provided. The renaming algorithms themselves never need them — they
+//! are used by baseline implementations (e.g. a CAS counter) and by the
+//! hardware test-and-set object that the paper's "unit-cost test-and-set"
+//! bounds assume.
+
+use crate::process::ProcessCtx;
+use crate::steps::StepKind;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// A multi-writer multi-reader atomic register holding a `u64`.
+#[derive(Debug, Default)]
+pub struct AtomicU64Register {
+    cell: AtomicU64,
+}
+
+impl AtomicU64Register {
+    /// Creates a register with the given initial value.
+    pub fn new(initial: u64) -> Self {
+        AtomicU64Register {
+            cell: AtomicU64::new(initial),
+        }
+    }
+
+    /// Atomically reads the register, charging one read step.
+    pub fn read(&self, ctx: &mut ProcessCtx) -> u64 {
+        ctx.record(StepKind::RegisterRead);
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// Atomically writes the register, charging one write step.
+    pub fn write(&self, ctx: &mut ProcessCtx, value: u64) {
+        ctx.record(StepKind::RegisterWrite);
+        self.cell.store(value, Ordering::SeqCst);
+    }
+
+    /// Atomically replaces the value, returning the previous one and charging
+    /// one read-modify-write step.
+    pub fn swap(&self, ctx: &mut ProcessCtx, value: u64) -> u64 {
+        ctx.record(StepKind::ReadModifyWrite);
+        self.cell.swap(value, Ordering::SeqCst)
+    }
+
+    /// Atomically performs compare-and-swap, charging one read-modify-write
+    /// step. Returns `Ok(previous)` on success and `Err(actual)` on failure.
+    pub fn compare_and_swap(
+        &self,
+        ctx: &mut ProcessCtx,
+        expected: u64,
+        new: u64,
+    ) -> Result<u64, u64> {
+        ctx.record(StepKind::ReadModifyWrite);
+        self.cell
+            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Atomically adds `delta`, returning the previous value and charging one
+    /// read-modify-write step.
+    pub fn fetch_add(&self, ctx: &mut ProcessCtx, delta: u64) -> u64 {
+        ctx.record(StepKind::ReadModifyWrite);
+        self.cell.fetch_add(delta, Ordering::SeqCst)
+    }
+
+    /// Reads the register without charging any step. Intended for harness and
+    /// test inspection only, never from algorithm code.
+    pub fn peek(&self) -> u64 {
+        self.cell.load(Ordering::SeqCst)
+    }
+}
+
+/// A multi-writer multi-reader atomic register holding a `usize`.
+#[derive(Debug, Default)]
+pub struct AtomicUsizeRegister {
+    cell: AtomicUsize,
+}
+
+impl AtomicUsizeRegister {
+    /// Creates a register with the given initial value.
+    pub fn new(initial: usize) -> Self {
+        AtomicUsizeRegister {
+            cell: AtomicUsize::new(initial),
+        }
+    }
+
+    /// Atomically reads the register, charging one read step.
+    pub fn read(&self, ctx: &mut ProcessCtx) -> usize {
+        ctx.record(StepKind::RegisterRead);
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// Atomically writes the register, charging one write step.
+    pub fn write(&self, ctx: &mut ProcessCtx, value: usize) {
+        ctx.record(StepKind::RegisterWrite);
+        self.cell.store(value, Ordering::SeqCst);
+    }
+
+    /// Atomically replaces the value, returning the previous one and charging
+    /// one read-modify-write step.
+    pub fn swap(&self, ctx: &mut ProcessCtx, value: usize) -> usize {
+        ctx.record(StepKind::ReadModifyWrite);
+        self.cell.swap(value, Ordering::SeqCst)
+    }
+
+    /// Atomically performs compare-and-swap, charging one read-modify-write
+    /// step. Returns `Ok(previous)` on success and `Err(actual)` on failure.
+    pub fn compare_and_swap(
+        &self,
+        ctx: &mut ProcessCtx,
+        expected: usize,
+        new: usize,
+    ) -> Result<usize, usize> {
+        ctx.record(StepKind::ReadModifyWrite);
+        self.cell
+            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+    }
+
+    /// Atomically adds `delta`, returning the previous value and charging one
+    /// read-modify-write step.
+    pub fn fetch_add(&self, ctx: &mut ProcessCtx, delta: usize) -> usize {
+        ctx.record(StepKind::ReadModifyWrite);
+        self.cell.fetch_add(delta, Ordering::SeqCst)
+    }
+
+    /// Reads the register without charging any step (harness/test use only).
+    pub fn peek(&self) -> usize {
+        self.cell.load(Ordering::SeqCst)
+    }
+}
+
+/// A multi-writer multi-reader atomic register holding a `bool`.
+#[derive(Debug, Default)]
+pub struct AtomicBoolRegister {
+    cell: AtomicBool,
+}
+
+impl AtomicBoolRegister {
+    /// Creates a register with the given initial value.
+    pub fn new(initial: bool) -> Self {
+        AtomicBoolRegister {
+            cell: AtomicBool::new(initial),
+        }
+    }
+
+    /// Atomically reads the register, charging one read step.
+    pub fn read(&self, ctx: &mut ProcessCtx) -> bool {
+        ctx.record(StepKind::RegisterRead);
+        self.cell.load(Ordering::SeqCst)
+    }
+
+    /// Atomically writes the register, charging one write step.
+    pub fn write(&self, ctx: &mut ProcessCtx, value: bool) {
+        ctx.record(StepKind::RegisterWrite);
+        self.cell.store(value, Ordering::SeqCst);
+    }
+
+    /// Atomically sets the register to `true`, returning the previous value
+    /// and charging one read-modify-write step. This is the hardware
+    /// test-and-set instruction.
+    pub fn test_and_set(&self, ctx: &mut ProcessCtx) -> bool {
+        ctx.record(StepKind::ReadModifyWrite);
+        self.cell.swap(true, Ordering::SeqCst)
+    }
+
+    /// Reads the register without charging any step (harness/test use only).
+    pub fn peek(&self) -> bool {
+        self.cell.load(Ordering::SeqCst)
+    }
+}
+
+/// A multi-writer multi-reader atomic register holding an arbitrary `Copy`
+/// value, backed by a `parking_lot::RwLock`.
+///
+/// Single-word registers ([`AtomicU64Register`], [`AtomicUsizeRegister`],
+/// [`AtomicBoolRegister`]) should be preferred where they fit; this type
+/// exists for compound values such as splitter states or labelled names.
+pub struct ValueRegister<T: Copy> {
+    cell: RwLock<T>,
+}
+
+impl<T: Copy> ValueRegister<T> {
+    /// Creates a register with the given initial value.
+    pub fn new(initial: T) -> Self {
+        ValueRegister {
+            cell: RwLock::new(initial),
+        }
+    }
+
+    /// Atomically reads the register, charging one read step.
+    pub fn read(&self, ctx: &mut ProcessCtx) -> T {
+        ctx.record(StepKind::RegisterRead);
+        *self.cell.read()
+    }
+
+    /// Atomically writes the register, charging one write step.
+    pub fn write(&self, ctx: &mut ProcessCtx, value: T) {
+        ctx.record(StepKind::RegisterWrite);
+        *self.cell.write() = value;
+    }
+
+    /// Atomically applies `f` to the stored value, charging one
+    /// read-modify-write step, and returns the value the update produced.
+    ///
+    /// This is provided for baselines and harness bookkeeping; the paper's
+    /// algorithms only require read/write registers plus test-and-set.
+    pub fn update<F>(&self, ctx: &mut ProcessCtx, f: F) -> T
+    where
+        F: FnOnce(T) -> T,
+    {
+        ctx.record(StepKind::ReadModifyWrite);
+        let mut guard = self.cell.write();
+        *guard = f(*guard);
+        *guard
+    }
+
+    /// Reads the register without charging any step (harness/test use only).
+    pub fn peek(&self) -> T {
+        *self.cell.read()
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for ValueRegister<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ValueRegister")
+            .field("value", &*self.cell.read())
+            .finish()
+    }
+}
+
+impl<T: Copy + Default> Default for ValueRegister<T> {
+    fn default() -> Self {
+        ValueRegister::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessId;
+
+    fn ctx() -> ProcessCtx {
+        ProcessCtx::new(ProcessId::new(0), 42)
+    }
+
+    #[test]
+    fn u64_register_read_write_swap_cas() {
+        let mut ctx = ctx();
+        let reg = AtomicU64Register::new(5);
+        assert_eq!(reg.read(&mut ctx), 5);
+        reg.write(&mut ctx, 9);
+        assert_eq!(reg.peek(), 9);
+        assert_eq!(reg.swap(&mut ctx, 11), 9);
+        assert_eq!(reg.compare_and_swap(&mut ctx, 11, 20), Ok(11));
+        assert_eq!(reg.compare_and_swap(&mut ctx, 11, 30), Err(20));
+        assert_eq!(reg.fetch_add(&mut ctx, 2), 20);
+        assert_eq!(reg.peek(), 22);
+
+        let stats = ctx.stats();
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.rmws, 4);
+    }
+
+    #[test]
+    fn usize_register_read_write_swap_cas() {
+        let mut ctx = ctx();
+        let reg = AtomicUsizeRegister::new(1);
+        assert_eq!(reg.read(&mut ctx), 1);
+        reg.write(&mut ctx, 2);
+        assert_eq!(reg.swap(&mut ctx, 3), 2);
+        assert_eq!(reg.compare_and_swap(&mut ctx, 3, 4), Ok(3));
+        assert_eq!(reg.fetch_add(&mut ctx, 10), 4);
+        assert_eq!(reg.peek(), 14);
+    }
+
+    #[test]
+    fn bool_register_test_and_set_returns_previous_value() {
+        let mut ctx = ctx();
+        let reg = AtomicBoolRegister::new(false);
+        assert!(!reg.read(&mut ctx));
+        assert!(!reg.test_and_set(&mut ctx), "first TAS sees false");
+        assert!(reg.test_and_set(&mut ctx), "second TAS sees true");
+        reg.write(&mut ctx, false);
+        assert!(!reg.peek());
+    }
+
+    #[test]
+    fn value_register_update_applies_closure_atomically() {
+        let mut ctx = ctx();
+        let reg: ValueRegister<(u32, u32)> = ValueRegister::new((1, 2));
+        assert_eq!(reg.read(&mut ctx), (1, 2));
+        reg.write(&mut ctx, (3, 4));
+        let updated = reg.update(&mut ctx, |(a, b)| (a + 10, b + 20));
+        assert_eq!(updated, (13, 24));
+        assert_eq!(reg.peek(), (13, 24));
+    }
+
+    #[test]
+    fn value_register_default_and_debug() {
+        let reg: ValueRegister<u8> = ValueRegister::default();
+        assert_eq!(reg.peek(), 0);
+        assert!(format!("{reg:?}").contains("ValueRegister"));
+    }
+
+    #[test]
+    fn registers_charge_exactly_one_step_per_operation() {
+        let mut ctx = ctx();
+        let reg = AtomicU64Register::new(0);
+        let before = ctx.stats().total_all();
+        reg.read(&mut ctx);
+        reg.write(&mut ctx, 1);
+        let after = ctx.stats().total_all();
+        assert_eq!(after - before, 2);
+    }
+}

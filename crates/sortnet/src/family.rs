@@ -1,0 +1,177 @@
+//! Named sorting-network families.
+//!
+//! The renaming-network results are parameterized by the underlying sorting
+//! network: AKS gives the optimal `O(log n)` depth (`c = 1` in the paper's
+//! notation) but is impractical; Batcher's constructible networks give
+//! `O(log² n)` (`c = 2`). [`SortingFamily`] abstracts the choice so the core
+//! crate's renaming networks, the §6.1 adaptive construction and the
+//! experiments can swap families freely, and [`aks_depth_estimate`] provides
+//! the idealized AKS depth curve for analytic comparison (Experiment E13).
+
+use crate::batcher::OddEvenSchedule;
+use crate::bitonic::bitonic_network;
+use crate::schedule::ComparatorSchedule;
+use crate::transposition::transposition_network;
+use std::fmt;
+use std::sync::Arc;
+
+/// A family of sorting networks, one per width.
+pub trait SortingFamily: Send + Sync {
+    /// Human-readable family name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// The exponent `c` such that the family's depth is `Θ(log^c n)`
+    /// (1 for AKS, 2 for Batcher's networks, `∞`-ish for transposition —
+    /// reported as `0` meaning "not polylogarithmic").
+    fn depth_exponent(&self) -> u32;
+
+    /// Builds the comparator schedule for a network of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `width < 2`.
+    fn schedule(&self, width: usize) -> Arc<dyn ComparatorSchedule>;
+
+    /// The depth of the family's network at the given width.
+    fn depth(&self, width: usize) -> usize {
+        self.schedule(width).depth()
+    }
+}
+
+impl fmt::Debug for dyn SortingFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SortingFamily({})", self.name())
+    }
+}
+
+/// The built-in sorting-network families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NetworkFamily {
+    /// Batcher's odd-even mergesort (analytic schedule, `Θ(log² n)` depth).
+    /// The default basis for renaming networks in this crate.
+    OddEven,
+    /// Batcher's bitonic sorter, ascending-comparator variant (materialized,
+    /// `Θ(log² n)` depth).
+    Bitonic,
+    /// Odd-even transposition (materialized, `Θ(n)` depth). Reference /
+    /// worst-case baseline only.
+    Transposition,
+}
+
+impl NetworkFamily {
+    /// All built-in families, in the order experiments report them.
+    pub fn all() -> [NetworkFamily; 3] {
+        [
+            NetworkFamily::OddEven,
+            NetworkFamily::Bitonic,
+            NetworkFamily::Transposition,
+        ]
+    }
+}
+
+impl fmt::Display for NetworkFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl SortingFamily for NetworkFamily {
+    fn name(&self) -> &'static str {
+        match self {
+            NetworkFamily::OddEven => "odd-even-merge",
+            NetworkFamily::Bitonic => "bitonic",
+            NetworkFamily::Transposition => "transposition",
+        }
+    }
+
+    fn depth_exponent(&self) -> u32 {
+        match self {
+            NetworkFamily::OddEven | NetworkFamily::Bitonic => 2,
+            NetworkFamily::Transposition => 0,
+        }
+    }
+
+    fn schedule(&self, width: usize) -> Arc<dyn ComparatorSchedule> {
+        match self {
+            NetworkFamily::OddEven => Arc::new(OddEvenSchedule::new(width)),
+            NetworkFamily::Bitonic => Arc::new(bitonic_network(width)),
+            NetworkFamily::Transposition => Arc::new(transposition_network(width)),
+        }
+    }
+}
+
+/// The idealized depth of an AKS sorting network of the given width, with a
+/// unit constant: `log₂ width`.
+///
+/// Real AKS constructions have enormous constant factors (the paper calls
+/// them "impractical"); this oracle exists so experiment E13 can plot the
+/// `Θ(log n)` shape the paper's optimal bound assumes next to the measured
+/// depths of the constructible families. It cannot be built or executed.
+pub fn aks_depth_estimate(width: usize) -> f64 {
+    if width <= 1 {
+        0.0
+    } else {
+        (width as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::schedule_sorts_exhaustive;
+
+    #[test]
+    fn every_family_produces_sorting_networks() {
+        for family in NetworkFamily::all() {
+            for width in [2usize, 5, 8, 13] {
+                let schedule = family.schedule(width);
+                assert_eq!(schedule.width(), width);
+                assert!(schedule.depth() > 0);
+                // Verify via an owned materialization (the trait object can't
+                // use the generic helper directly).
+                let network = {
+                    let mut materialized = crate::network::ComparatorNetwork::new(width);
+                    for stage in 0..schedule.depth() {
+                        let comparators = schedule.stage_comparators(stage);
+                        if !comparators.is_empty() {
+                            materialized.push_stage(comparators);
+                        }
+                    }
+                    materialized
+                };
+                assert!(
+                    schedule_sorts_exhaustive(&network),
+                    "{} width {width}",
+                    family.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_exponents_and_names_are_reported() {
+        assert_eq!(NetworkFamily::OddEven.depth_exponent(), 2);
+        assert_eq!(NetworkFamily::Bitonic.depth_exponent(), 2);
+        assert_eq!(NetworkFamily::Transposition.depth_exponent(), 0);
+        assert_eq!(NetworkFamily::OddEven.to_string(), "odd-even-merge");
+        assert_eq!(format!("{:?}", NetworkFamily::Bitonic), "Bitonic");
+    }
+
+    #[test]
+    fn constructible_families_have_polylog_depth_while_transposition_does_not() {
+        let width = 128;
+        let odd_even = NetworkFamily::OddEven.depth(width);
+        let bitonic = NetworkFamily::Bitonic.depth(width);
+        let transposition = NetworkFamily::Transposition.depth(width);
+        assert_eq!(odd_even, 28); // 7 * 8 / 2
+        assert_eq!(bitonic, 28);
+        assert!(transposition >= width - 1);
+    }
+
+    #[test]
+    fn aks_depth_estimate_is_logarithmic() {
+        assert_eq!(aks_depth_estimate(1), 0.0);
+        assert!((aks_depth_estimate(1024) - 10.0).abs() < 1e-9);
+        assert!(aks_depth_estimate(1 << 20) < NetworkFamily::OddEven.depth(1 << 10) as f64);
+    }
+}

@@ -1,0 +1,444 @@
+//! Materialized comparator networks.
+//!
+//! A comparator network is a sequence of *stages*; each stage is a set of
+//! comparators on pairwise-disjoint wires, so all comparators of a stage may
+//! execute in parallel. A comparator `(top, bottom)` with `top < bottom`
+//! routes the smaller value to the `top` wire and the larger value to the
+//! `bottom` wire — the "min up" convention the paper's renaming networks rely
+//! on (winning a test-and-set moves a process *up*).
+
+use std::fmt;
+
+/// A single min-up comparator between two wires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Comparator {
+    /// The upper wire (smaller index); receives the smaller value.
+    pub top: usize,
+    /// The lower wire (larger index); receives the larger value.
+    pub bottom: usize,
+}
+
+impl Comparator {
+    /// Creates a comparator between two distinct wires, normalizing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(a: usize, b: usize) -> Self {
+        assert_ne!(a, b, "a comparator needs two distinct wires");
+        Comparator {
+            top: a.min(b),
+            bottom: a.max(b),
+        }
+    }
+
+    /// Whether this comparator touches the given wire.
+    pub fn touches(&self, wire: usize) -> bool {
+        self.top == wire || self.bottom == wire
+    }
+
+    /// Given one of the comparator's wires, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is not one of the comparator's wires.
+    pub fn other(&self, wire: usize) -> usize {
+        if wire == self.top {
+            self.bottom
+        } else if wire == self.bottom {
+            self.top
+        } else {
+            panic!("wire {wire} is not part of comparator {self:?}")
+        }
+    }
+}
+
+impl fmt::Display for Comparator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.top, self.bottom)
+    }
+}
+
+/// A materialized comparator network: a fixed width and a sequence of stages.
+///
+/// # Example
+///
+/// ```
+/// use sortnet::network::{Comparator, ComparatorNetwork};
+///
+/// // A 3-wire sorting network (insertion sort).
+/// let mut network = ComparatorNetwork::new(3);
+/// network.push_stage(vec![Comparator::new(0, 1)]);
+/// network.push_stage(vec![Comparator::new(1, 2)]);
+/// network.push_stage(vec![Comparator::new(0, 1)]);
+/// assert_eq!(network.apply(&[3, 2, 1]), vec![1, 2, 3]);
+/// assert_eq!(network.depth(), 3);
+/// assert_eq!(network.size(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComparatorNetwork {
+    width: usize,
+    stages: Vec<Vec<Comparator>>,
+}
+
+impl ComparatorNetwork {
+    /// Creates an empty network over `width` wires.
+    pub fn new(width: usize) -> Self {
+        ComparatorNetwork {
+            width,
+            stages: Vec::new(),
+        }
+    }
+
+    /// The number of wires.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The number of stages (the network's depth).
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The total number of comparators.
+    pub fn size(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// The stages of the network, in execution order.
+    pub fn stages(&self) -> &[Vec<Comparator>] {
+        &self.stages
+    }
+
+    /// Iterates over every comparator with its stage index.
+    pub fn comparators(&self) -> impl Iterator<Item = (usize, Comparator)> + '_ {
+        self.stages
+            .iter()
+            .enumerate()
+            .flat_map(|(stage, comparators)| comparators.iter().map(move |&c| (stage, c)))
+    }
+
+    /// Appends a stage of comparators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any comparator references a wire `>= width`, or if two
+    /// comparators in the stage share a wire.
+    pub fn push_stage(&mut self, comparators: Vec<Comparator>) {
+        let mut seen = vec![false; self.width];
+        for comparator in &comparators {
+            assert!(
+                comparator.bottom < self.width,
+                "comparator {comparator} exceeds network width {}",
+                self.width
+            );
+            for wire in [comparator.top, comparator.bottom] {
+                assert!(
+                    !seen[wire],
+                    "wire {wire} appears twice in one stage ({comparator})"
+                );
+                seen[wire] = true;
+            }
+        }
+        self.stages.push(comparators);
+    }
+
+    /// Appends every comparator of a sequence, greedily packing them into the
+    /// fewest stages that keep each stage's wires disjoint while preserving
+    /// the sequential order of comparators that share a wire.
+    pub fn append_comparators<I: IntoIterator<Item = Comparator>>(&mut self, comparators: I) {
+        // `ready_stage[w]` = first stage index at which wire `w` is free,
+        // counting only stages appended by this call (earlier stages are
+        // considered busy to preserve ordering with existing content).
+        let base = self.stages.len();
+        let mut ready_stage = vec![base; self.width];
+        for comparator in comparators {
+            assert!(
+                comparator.bottom < self.width,
+                "comparator {comparator} exceeds network width {}",
+                self.width
+            );
+            let stage = ready_stage[comparator.top].max(ready_stage[comparator.bottom]);
+            while self.stages.len() <= stage {
+                self.stages.push(Vec::new());
+            }
+            self.stages[stage].push(comparator);
+            ready_stage[comparator.top] = stage + 1;
+            ready_stage[comparator.bottom] = stage + 1;
+        }
+    }
+
+    /// Applies the network to an input sequence, returning the output wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != width`.
+    pub fn apply<T: Ord + Clone>(&self, input: &[T]) -> Vec<T> {
+        assert_eq!(
+            input.len(),
+            self.width,
+            "input length must equal the network width"
+        );
+        let mut values: Vec<T> = input.to_vec();
+        for stage in &self.stages {
+            for comparator in stage {
+                if values[comparator.top] > values[comparator.bottom] {
+                    values.swap(comparator.top, comparator.bottom);
+                }
+            }
+        }
+        values
+    }
+
+    /// Applies the network and records, for each input position, the number
+    /// of comparators the value starting there traversed and the output wire
+    /// it reached. Used by the adaptivity experiments (Theorem 2).
+    pub fn trace<T: Ord + Clone>(&self, input: &[T]) -> Vec<TraceEntry> {
+        assert_eq!(
+            input.len(),
+            self.width,
+            "input length must equal the network width"
+        );
+        let mut values: Vec<T> = input.to_vec();
+        // `origin[w]` = index of the input whose value currently sits on wire w.
+        let mut origin: Vec<usize> = (0..self.width).collect();
+        let mut traversed = vec![0usize; self.width];
+        for stage in &self.stages {
+            for comparator in stage {
+                traversed[origin[comparator.top]] += 1;
+                traversed[origin[comparator.bottom]] += 1;
+                if values[comparator.top] > values[comparator.bottom] {
+                    values.swap(comparator.top, comparator.bottom);
+                    origin.swap(comparator.top, comparator.bottom);
+                }
+            }
+        }
+        let mut entries: Vec<TraceEntry> = (0..self.width)
+            .map(|input_wire| TraceEntry {
+                input_wire,
+                output_wire: 0,
+                comparators_traversed: traversed[input_wire],
+            })
+            .collect();
+        for (output_wire, &input_wire) in origin.iter().enumerate() {
+            entries[input_wire].output_wire = output_wire;
+        }
+        entries
+    }
+
+    /// Returns a copy of this network restricted to the first `width` wires:
+    /// comparators touching any dropped wire are removed.
+    ///
+    /// If the original network sorts and uses only min-up comparators, the
+    /// truncation sorts its `width` wires (dropped wires behave as `+∞`
+    /// inputs, which a min-up comparator never moves upward).
+    pub fn truncate(&self, width: usize) -> ComparatorNetwork {
+        let mut truncated = ComparatorNetwork::new(width);
+        for stage in &self.stages {
+            let kept: Vec<Comparator> = stage
+                .iter()
+                .copied()
+                .filter(|c| c.bottom < width)
+                .collect();
+            if !kept.is_empty() {
+                truncated.stages.push(kept);
+            }
+        }
+        truncated
+    }
+
+    /// Returns this network with every wire index shifted by `offset`, on a
+    /// total of `new_width` wires. Used to embed sub-networks into the §6.1
+    /// adaptive construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shifted network would not fit in `new_width` wires.
+    pub fn shift(&self, offset: usize, new_width: usize) -> ComparatorNetwork {
+        assert!(
+            self.width + offset <= new_width,
+            "shifted network ({} wires + offset {offset}) exceeds new width {new_width}",
+            self.width
+        );
+        let mut shifted = ComparatorNetwork::new(new_width);
+        for stage in &self.stages {
+            shifted.stages.push(
+                stage
+                    .iter()
+                    .map(|c| Comparator::new(c.top + offset, c.bottom + offset))
+                    .collect(),
+            );
+        }
+        shifted
+    }
+
+    /// Appends all stages of `other` (which must have the same width) after
+    /// this network's stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn concat(&mut self, other: &ComparatorNetwork) {
+        assert_eq!(
+            self.width, other.width,
+            "concatenated networks must have equal widths"
+        );
+        self.stages.extend(other.stages.iter().cloned());
+    }
+}
+
+/// The path summary of one input value through a network (see
+/// [`ComparatorNetwork::trace`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The wire on which the value entered.
+    pub input_wire: usize,
+    /// The wire on which the value exited.
+    pub output_wire: usize,
+    /// How many comparators the value passed through.
+    pub comparators_traversed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_wire_sorter() -> ComparatorNetwork {
+        let mut network = ComparatorNetwork::new(3);
+        network.push_stage(vec![Comparator::new(0, 1)]);
+        network.push_stage(vec![Comparator::new(1, 2)]);
+        network.push_stage(vec![Comparator::new(0, 1)]);
+        network
+    }
+
+    #[test]
+    fn comparator_normalizes_wire_order() {
+        let c = Comparator::new(5, 2);
+        assert_eq!(c.top, 2);
+        assert_eq!(c.bottom, 5);
+        assert!(c.touches(2) && c.touches(5) && !c.touches(3));
+        assert_eq!(c.other(2), 5);
+        assert_eq!(c.other(5), 2);
+        assert_eq!(format!("{c}"), "(2, 5)");
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct wires")]
+    fn comparator_rejects_equal_wires() {
+        let _ = Comparator::new(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not part of comparator")]
+    fn comparator_other_rejects_foreign_wires() {
+        Comparator::new(0, 1).other(2);
+    }
+
+    #[test]
+    fn apply_sorts_with_the_three_wire_network() {
+        let network = three_wire_sorter();
+        assert_eq!(network.width(), 3);
+        assert_eq!(network.depth(), 3);
+        assert_eq!(network.size(), 3);
+        for input in [[1, 2, 3], [3, 2, 1], [2, 3, 1], [2, 1, 3], [3, 1, 2], [1, 3, 2]] {
+            assert_eq!(network.apply(&input), vec![1, 2, 3], "input {input:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input length must equal")]
+    fn apply_rejects_wrong_input_length() {
+        three_wire_sorter().apply(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds network width")]
+    fn push_stage_rejects_out_of_range_wires() {
+        let mut network = ComparatorNetwork::new(2);
+        network.push_stage(vec![Comparator::new(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice in one stage")]
+    fn push_stage_rejects_overlapping_comparators() {
+        let mut network = ComparatorNetwork::new(3);
+        network.push_stage(vec![Comparator::new(0, 1), Comparator::new(1, 2)]);
+    }
+
+    #[test]
+    fn append_comparators_packs_disjoint_comparators_into_one_stage() {
+        let mut network = ComparatorNetwork::new(4);
+        network.append_comparators(vec![Comparator::new(0, 1), Comparator::new(2, 3)]);
+        assert_eq!(network.depth(), 1);
+        network.append_comparators(vec![Comparator::new(1, 2), Comparator::new(0, 1)]);
+        // (1,2) conflicts with nothing in the new batch's first stage, (0,1)
+        // conflicts with it, so two further stages are created.
+        assert_eq!(network.depth(), 3);
+        assert_eq!(network.size(), 4);
+    }
+
+    #[test]
+    fn comparators_iterator_yields_stage_indices() {
+        let network = three_wire_sorter();
+        let listed: Vec<(usize, Comparator)> = network.comparators().collect();
+        assert_eq!(listed.len(), 3);
+        assert_eq!(listed[0].0, 0);
+        assert_eq!(listed[2].0, 2);
+    }
+
+    #[test]
+    fn trace_counts_comparators_and_final_positions() {
+        let network = three_wire_sorter();
+        let trace = network.trace(&[3, 2, 1]);
+        // The value 3 (input wire 0) ends on output wire 2.
+        assert_eq!(trace[0].output_wire, 2);
+        // The value 1 (input wire 2) ends on output wire 0.
+        assert_eq!(trace[2].output_wire, 0);
+        // Every input passes through at least one comparator here.
+        assert!(trace.iter().all(|t| t.comparators_traversed >= 1));
+        // Traversal counts are bounded by the network size.
+        assert!(trace.iter().all(|t| t.comparators_traversed <= 3));
+    }
+
+    #[test]
+    fn truncate_drops_comparators_touching_removed_wires() {
+        let network = three_wire_sorter();
+        let truncated = network.truncate(2);
+        assert_eq!(truncated.width(), 2);
+        assert_eq!(truncated.size(), 2); // the two (0,1) comparators survive
+        assert_eq!(truncated.apply(&[2, 1]), vec![1, 2]);
+    }
+
+    #[test]
+    fn shift_moves_all_wires_by_an_offset() {
+        let network = three_wire_sorter();
+        let shifted = network.shift(2, 5);
+        assert_eq!(shifted.width(), 5);
+        assert!(shifted.comparators().all(|(_, c)| c.top >= 2));
+        assert_eq!(shifted.apply(&[9, 8, 3, 2, 1]), vec![9, 8, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds new width")]
+    fn shift_rejects_overflowing_offsets() {
+        three_wire_sorter().shift(3, 5);
+    }
+
+    #[test]
+    fn concat_appends_stages() {
+        let mut a = three_wire_sorter();
+        let b = three_wire_sorter();
+        a.concat(&b);
+        assert_eq!(a.depth(), 6);
+        assert_eq!(a.size(), 6);
+        assert_eq!(a.apply(&[3, 1, 2]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn concat_rejects_mismatched_widths() {
+        let mut a = ComparatorNetwork::new(2);
+        let b = ComparatorNetwork::new(3);
+        a.concat(&b);
+    }
+}

@@ -1,0 +1,154 @@
+//! The comparator-schedule abstraction.
+//!
+//! A renaming network never needs the full list of comparators: a process at
+//! wire `w` only ever asks "which comparator, if any, touches my wire in the
+//! next stage?". [`ComparatorSchedule`] captures exactly that query, which
+//! allows very wide networks (the §6.1 adaptive construction truncated at
+//! tens of thousands of ports) to be used without materializing millions of
+//! comparators: analytic schedules compute the answer arithmetically.
+
+use crate::network::{Comparator, ComparatorNetwork};
+
+/// A stage-by-stage description of a comparator network.
+///
+/// Implementors must guarantee the usual comparator-network well-formedness:
+/// within one stage, each wire is touched by at most one comparator, and
+/// `comparator_at(s, w)` agrees for both wires of the comparator it reports.
+pub trait ComparatorSchedule: Send + Sync {
+    /// Number of wires.
+    fn width(&self) -> usize;
+
+    /// Number of stages.
+    fn depth(&self) -> usize;
+
+    /// The comparator touching `wire` in `stage`, if any.
+    ///
+    /// Returns `None` when the wire is idle in that stage, when the stage is
+    /// out of range, or when the wire is out of range.
+    fn comparator_at(&self, stage: usize, wire: usize) -> Option<Comparator>;
+
+    /// All comparators of one stage, derived by scanning the wires.
+    fn stage_comparators(&self, stage: usize) -> Vec<Comparator> {
+        let mut comparators = Vec::new();
+        for wire in 0..self.width() {
+            if let Some(c) = self.comparator_at(stage, wire) {
+                if c.top == wire {
+                    comparators.push(c);
+                }
+            }
+        }
+        comparators
+    }
+
+    /// Applies the schedule to an input sequence (smaller values move to
+    /// lower-indexed wires).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.width()`.
+    fn apply_schedule<T: Ord + Clone>(&self, input: &[T]) -> Vec<T>
+    where
+        Self: Sized,
+    {
+        assert_eq!(
+            input.len(),
+            self.width(),
+            "input length must equal the schedule width"
+        );
+        let mut values: Vec<T> = input.to_vec();
+        for stage in 0..self.depth() {
+            for comparator in self.stage_comparators(stage) {
+                if values[comparator.top] > values[comparator.bottom] {
+                    values.swap(comparator.top, comparator.bottom);
+                }
+            }
+        }
+        values
+    }
+
+    /// Materializes the schedule into a [`ComparatorNetwork`].
+    fn materialize(&self) -> ComparatorNetwork
+    where
+        Self: Sized,
+    {
+        let mut network = ComparatorNetwork::new(self.width());
+        for stage in 0..self.depth() {
+            let comparators = self.stage_comparators(stage);
+            if !comparators.is_empty() {
+                network.push_stage(comparators);
+            }
+        }
+        network
+    }
+}
+
+impl ComparatorSchedule for ComparatorNetwork {
+    fn width(&self) -> usize {
+        ComparatorNetwork::width(self)
+    }
+
+    fn depth(&self) -> usize {
+        ComparatorNetwork::depth(self)
+    }
+
+    fn comparator_at(&self, stage: usize, wire: usize) -> Option<Comparator> {
+        self.stages()
+            .get(stage)?
+            .iter()
+            .copied()
+            .find(|c| c.touches(wire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorter3() -> ComparatorNetwork {
+        let mut network = ComparatorNetwork::new(3);
+        network.push_stage(vec![Comparator::new(0, 1)]);
+        network.push_stage(vec![Comparator::new(1, 2)]);
+        network.push_stage(vec![Comparator::new(0, 1)]);
+        network
+    }
+
+    #[test]
+    fn materialized_network_answers_comparator_queries() {
+        let network = sorter3();
+        assert_eq!(
+            network.comparator_at(0, 0),
+            Some(Comparator::new(0, 1))
+        );
+        assert_eq!(
+            network.comparator_at(0, 1),
+            Some(Comparator::new(0, 1))
+        );
+        assert_eq!(network.comparator_at(0, 2), None);
+        assert_eq!(network.comparator_at(1, 0), None);
+        assert_eq!(network.comparator_at(7, 0), None, "stage out of range");
+    }
+
+    #[test]
+    fn stage_comparators_lists_each_comparator_once() {
+        let network = sorter3();
+        assert_eq!(network.stage_comparators(0), vec![Comparator::new(0, 1)]);
+        assert_eq!(network.stage_comparators(1), vec![Comparator::new(1, 2)]);
+        assert!(network.stage_comparators(9).is_empty());
+    }
+
+    #[test]
+    fn apply_schedule_matches_direct_application() {
+        let network = sorter3();
+        let input = [9, 1, 5];
+        assert_eq!(network.apply_schedule(&input), network.apply(&input));
+    }
+
+    #[test]
+    fn materialize_round_trips_a_network() {
+        let network = sorter3();
+        let rebuilt = network.materialize();
+        assert_eq!(rebuilt.width(), 3);
+        assert_eq!(rebuilt.size(), 3);
+        assert_eq!(rebuilt.apply(&[2, 3, 1]), vec![1, 2, 3]);
+    }
+}

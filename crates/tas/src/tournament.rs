@@ -1,0 +1,200 @@
+//! A balanced-tournament `n`-process test-and-set.
+//!
+//! [`TournamentTas`] arranges two-process test-and-set objects in a balanced
+//! binary tree with one leaf per potential participant. A process starts at
+//! its own leaf and climbs towards the root, playing the two-process object at
+//! each internal node against the winner coming up from the sibling subtree;
+//! the process that wins at the root wins the object. The step complexity is
+//! `Θ(log n)` regardless of contention, which makes this the natural
+//! *non-adaptive* baseline against which the adaptive
+//! [`RatRaceTas`](crate::ratrace::RatRaceTas) is compared.
+
+use crate::two_process::TwoProcessTas;
+use crate::{Side, TestAndSet, TwoPartyTas};
+use shmem::process::ProcessCtx;
+use shmem::steps::StepKind;
+
+/// A non-adaptive `n`-process test-and-set built as a balanced tournament of
+/// [`TwoProcessTas`] objects.
+///
+/// # Panics
+///
+/// [`TournamentTas::test_and_set`] panics if the calling process's identifier
+/// is not smaller than the capacity the object was created with: the
+/// tournament assigns one leaf per identifier, so identifiers must lie in
+/// `0..capacity` and be distinct across participants.
+///
+/// # Example
+///
+/// ```
+/// use shmem::process::{ProcessCtx, ProcessId};
+/// use tas::tournament::TournamentTas;
+/// use tas::TestAndSet;
+///
+/// let tas = TournamentTas::new(4);
+/// let mut p2 = ProcessCtx::new(ProcessId::new(2), 0);
+/// assert!(tas.test_and_set(&mut p2));
+/// let mut p0 = ProcessCtx::new(ProcessId::new(0), 0);
+/// assert!(!tas.test_and_set(&mut p0));
+/// ```
+#[derive(Debug)]
+pub struct TournamentTas {
+    capacity: usize,
+    /// Number of leaves (capacity rounded up to a power of two).
+    leaves: usize,
+    /// Heap-indexed internal nodes: `games[1]` is the root, children of `i`
+    /// are `2i` and `2i + 1`. Index 0 is unused.
+    games: Vec<TwoProcessTas>,
+}
+
+impl TournamentTas {
+    /// Creates a tournament test-and-set for identifiers `0..capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TournamentTas capacity must be positive");
+        let leaves = capacity.next_power_of_two().max(2);
+        let games = (0..leaves).map(|_| TwoProcessTas::new()).collect();
+        TournamentTas {
+            capacity,
+            leaves,
+            games,
+        }
+    }
+
+    /// The number of identifiers this object supports.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The depth of the tournament tree (number of games on a root path).
+    pub fn depth(&self) -> usize {
+        self.leaves.trailing_zeros() as usize
+    }
+}
+
+impl TestAndSet for TournamentTas {
+    fn test_and_set(&self, ctx: &mut ProcessCtx) -> bool {
+        let id = ctx.id().as_usize();
+        assert!(
+            id < self.capacity,
+            "process id {id} exceeds TournamentTas capacity {}",
+            self.capacity
+        );
+        ctx.record(StepKind::TasInvocation);
+
+        // Climb from the leaf's position in the implicit heap towards the
+        // root, playing the sibling-subtree winner at every internal node.
+        let mut position = self.leaves + id;
+        while position > 1 {
+            let parent = position / 2;
+            let side = if position % 2 == 0 {
+                Side::Top
+            } else {
+                Side::Bottom
+            };
+            if !self.games[parent].play(ctx, side) {
+                return false;
+            }
+            position = parent;
+        }
+        true
+    }
+
+    fn has_winner(&self) -> bool {
+        TwoPartyTas::has_winner(&self.games[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem::adversary::{ExecConfig, YieldPolicy};
+    use shmem::executor::Executor;
+    use shmem::process::ProcessId;
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_process_wins_for_any_leaf() {
+        for id in 0..5 {
+            let tas = TournamentTas::new(5);
+            let mut ctx = ProcessCtx::new(ProcessId::new(id), 1);
+            assert!(tas.test_and_set(&mut ctx), "leaf {id}");
+            assert!(TestAndSet::has_winner(&tas));
+        }
+    }
+
+    #[test]
+    fn capacity_and_depth_round_up_to_powers_of_two() {
+        let tas = TournamentTas::new(5);
+        assert_eq!(tas.capacity(), 5);
+        assert_eq!(tas.depth(), 3);
+        let tiny = TournamentTas::new(1);
+        assert_eq!(tiny.depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = TournamentTas::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds TournamentTas capacity")]
+    fn out_of_range_ids_are_rejected() {
+        let tas = TournamentTas::new(2);
+        let mut ctx = ProcessCtx::new(ProcessId::new(2), 0);
+        let _ = tas.test_and_set(&mut ctx);
+    }
+
+    #[test]
+    fn sequential_processes_produce_exactly_one_winner() {
+        let tas = TournamentTas::new(8);
+        let mut winners = 0;
+        for id in 0..8 {
+            let mut ctx = ProcessCtx::new(ProcessId::new(id), 3);
+            if tas.test_and_set(&mut ctx) {
+                winners += 1;
+            }
+        }
+        assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn concurrent_processes_produce_exactly_one_winner() {
+        for seed in 0..20 {
+            let tas = Arc::new(TournamentTas::new(16));
+            let config =
+                ExecConfig::new(seed).with_yield_policy(YieldPolicy::Probabilistic(0.2));
+            let outcome = Executor::new(config).run(16, {
+                let tas = Arc::clone(&tas);
+                move |ctx| tas.test_and_set(ctx)
+            });
+            let winners = outcome.results().into_iter().filter(|w| *w).count();
+            assert_eq!(winners, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn step_complexity_grows_logarithmically_with_capacity() {
+        // A solo winner's climb plays exactly depth() games, so its register
+        // steps grow like log(capacity), not like capacity.
+        let mut previous = 0;
+        for exponent in [2u32, 4, 6, 8] {
+            let capacity = 1usize << exponent;
+            let tas = TournamentTas::new(capacity);
+            let mut ctx = ProcessCtx::new(ProcessId::new(0), 0);
+            assert!(tas.test_and_set(&mut ctx));
+            let steps = ctx.stats().total();
+            assert!(steps >= previous);
+            // Roughly proportional to depth: allow a generous constant.
+            assert!(
+                steps <= 12 * exponent as u64 + 12,
+                "capacity {capacity}: {steps} steps"
+            );
+            previous = steps;
+        }
+    }
+}

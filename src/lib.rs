@@ -1,0 +1,52 @@
+//! Umbrella crate for the *Optimal-Time Adaptive Strong Renaming* workspace.
+//!
+//! This crate re-exports the workspace's public crates under one roof so the
+//! runnable examples and the cross-crate integration tests have a single
+//! dependency. Library users should depend on the individual crates directly:
+//!
+//! * [`adaptive_renaming`] — the paper's algorithms (renaming, counters,
+//!   fetch-and-increment).
+//! * [`shmem`] — the shared-memory substrate and execution harness.
+//! * [`tas`] — test-and-set objects.
+//! * [`sortnet`] — sorting networks, including the §6.1 adaptive construction.
+//! * [`maxreg`] — max registers.
+//!
+//! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
+//! reproduction of the paper's quantitative claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use adaptive_renaming;
+pub use maxreg;
+pub use shmem;
+pub use sortnet;
+pub use tas;
+
+/// A convenience prelude for examples and tests: the items needed to run the
+/// paper's objects under the adversarial executor.
+pub mod prelude {
+    pub use adaptive_renaming::adaptive::AdaptiveRenaming;
+    pub use adaptive_renaming::bit_batching::BitBatchingRenaming;
+    pub use adaptive_renaming::counter::{CasCounter, Counter, MonotoneCounter};
+    pub use adaptive_renaming::fetch_increment::BoundedFetchIncrement;
+    pub use adaptive_renaming::linear_probe::LinearProbeRenaming;
+    pub use adaptive_renaming::loose::LooseRenaming;
+    pub use adaptive_renaming::ltas::BoundedTas;
+    pub use adaptive_renaming::renaming_network::RenamingNetwork;
+    pub use adaptive_renaming::traits::{assert_tight_namespace, assert_unique_names, Renaming};
+    pub use shmem::adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
+    pub use shmem::executor::Executor;
+    pub use shmem::process::{ProcessCtx, ProcessId};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        use crate::prelude::*;
+        let _ = ExecConfig::new(0);
+        let _ = AdaptiveRenaming::new();
+        assert!(assert_tight_namespace(&[1, 2]).is_ok());
+    }
+}
