@@ -1,7 +1,15 @@
 //! Criterion bench for Experiment E3: renaming networks over fixed sorting
-//! networks, for both comparator implementations.
+//! networks, for both comparator implementations — plus the engine shootout:
+//! the compiled wire-map + comparator-slab engine ([`RenamingNetwork`])
+//! against the legacy `RwLock<HashMap>` engine ([`LockedRenamingNetwork`])
+//! on the same `odd_even_network(64)` workload with 16 concurrent processes.
+//!
+//! The engine benches pre-build a batch of fresh one-shot networks and time
+//! only the concurrent traversals, so the numbers isolate the per-comparator
+//! lookup cost the compiled engine removes. `exp_renaming_network` records
+//! the same comparison into `BENCH_renaming_network.json`.
 
-use adaptive_renaming::renaming_network::RenamingNetwork;
+use adaptive_renaming::renaming_network::{LockedRenamingNetwork, RenamingNetwork};
 use adaptive_renaming::traits::Renaming;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use shmem::adversary::ExecConfig;
@@ -19,6 +27,23 @@ fn ids(count: usize, namespace: usize) -> Vec<ProcessId> {
         .collect()
 }
 
+/// Runs `k` concurrent processes through the batch of fresh networks,
+/// returning the number of completions (sanity-checked by the caller). The
+/// batch amortizes the executor's thread spawn/join — identical for both
+/// engines — over many traversals.
+fn run_batch<N: Renaming + Send + Sync>(networks: &Arc<Vec<N>>, k: usize, m: usize) -> usize {
+    let outcome = Executor::new(ExecConfig::new(3)).run_with_ids(&ids(k, m), {
+        let networks = Arc::clone(networks);
+        move |ctx| {
+            networks
+                .iter()
+                .map(|network| network.acquire(ctx).expect("ids fit"))
+                .sum::<usize>()
+        }
+    });
+    outcome.completed().count()
+}
+
 fn bench_renaming_network(c: &mut Criterion) {
     let mut group = c.benchmark_group("renaming_network");
     group.sample_size(10);
@@ -26,21 +51,17 @@ fn bench_renaming_network(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
     for m in [64usize, 256] {
         let k = m / 4;
-        group.bench_with_input(
-            BenchmarkId::new("two_process_tas", m),
-            &m,
-            |b, &m| {
-                b.iter(|| {
-                    let network: Arc<RenamingNetwork<_, TwoProcessTas>> =
-                        Arc::new(RenamingNetwork::new(odd_even_network(m)));
-                    let outcome = Executor::new(ExecConfig::new(3)).run_with_ids(&ids(k, m), {
-                        let network = Arc::clone(&network);
-                        move |ctx| network.acquire(ctx).expect("ids fit")
-                    });
-                    assert_eq!(outcome.completed().count(), k);
+        group.bench_with_input(BenchmarkId::new("two_process_tas", m), &m, |b, &m| {
+            b.iter(|| {
+                let network: Arc<RenamingNetwork<_, TwoProcessTas>> =
+                    Arc::new(RenamingNetwork::new(odd_even_network(m)));
+                let outcome = Executor::new(ExecConfig::new(3)).run_with_ids(&ids(k, m), {
+                    let network = Arc::clone(&network);
+                    move |ctx| network.acquire(ctx).expect("ids fit")
                 });
-            },
-        );
+                assert_eq!(outcome.completed().count(), k);
+            });
+        });
         group.bench_with_input(BenchmarkId::new("hardware_tas", m), &m, |b, &m| {
             b.iter(|| {
                 let network: Arc<RenamingNetwork<_, HardwareTas>> =
@@ -56,5 +77,76 @@ fn bench_renaming_network(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_renaming_network);
+/// Compiled slab engine vs legacy RwLock+HashMap engine: `odd_even_network(64)`,
+/// 16 concurrent processes, a batch of fresh one-shot networks per iteration.
+fn bench_engine_comparison(c: &mut Criterion) {
+    const M: usize = 64;
+    const K: usize = 16;
+    const ROUNDS: usize = 16;
+
+    let mut group = c.benchmark_group("renaming_engine");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_with_input(
+        BenchmarkId::new("compiled_slab/hardware_tas", M),
+        &M,
+        |b, &m| {
+            b.iter(|| {
+                let networks: Arc<Vec<RenamingNetwork<_, HardwareTas>>> = Arc::new(
+                    (0..ROUNDS)
+                        .map(|_| RenamingNetwork::new(odd_even_network(m)))
+                        .collect(),
+                );
+                assert_eq!(run_batch(&networks, K, m), K);
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("locked_hashmap/hardware_tas", M),
+        &M,
+        |b, &m| {
+            b.iter(|| {
+                let networks: Arc<Vec<LockedRenamingNetwork<_, HardwareTas>>> = Arc::new(
+                    (0..ROUNDS)
+                        .map(|_| LockedRenamingNetwork::new(odd_even_network(m)))
+                        .collect(),
+                );
+                assert_eq!(run_batch(&networks, K, m), K);
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("compiled_slab/two_process_tas", M),
+        &M,
+        |b, &m| {
+            b.iter(|| {
+                let networks: Arc<Vec<RenamingNetwork<_, TwoProcessTas>>> = Arc::new(
+                    (0..ROUNDS)
+                        .map(|_| RenamingNetwork::new(odd_even_network(m)))
+                        .collect(),
+                );
+                assert_eq!(run_batch(&networks, K, m), K);
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("locked_hashmap/two_process_tas", M),
+        &M,
+        |b, &m| {
+            b.iter(|| {
+                let networks: Arc<Vec<LockedRenamingNetwork<_, TwoProcessTas>>> = Arc::new(
+                    (0..ROUNDS)
+                        .map(|_| LockedRenamingNetwork::new(odd_even_network(m)))
+                        .collect(),
+                );
+                assert_eq!(run_batch(&networks, K, m), K);
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_renaming_network, bench_engine_comparison);
 criterion_main!(benches);

@@ -24,16 +24,12 @@ fn bench_families(c: &mut Criterion) {
             ("bitonic", bitonic_network(width)),
         ];
         for (name, network) in families {
-            group.bench_with_input(
-                BenchmarkId::new(name, width),
-                &input,
-                |b, input| {
-                    b.iter(|| {
-                        let output = network.apply(input);
-                        assert_eq!(output.len(), input.len());
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, width), &input, |b, input| {
+                b.iter(|| {
+                    let output = network.apply(input);
+                    assert_eq!(output.len(), input.len());
+                });
+            });
         }
     }
     group.finish();

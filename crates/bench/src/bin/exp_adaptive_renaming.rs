@@ -61,10 +61,8 @@ fn main() {
                 move |ctx| renaming.acquire_with_report(ctx).expect("never fails")
             });
             let reports = outcome.results();
-            tight &= assert_tight_namespace(
-                &reports.iter().map(|r| r.name).collect::<Vec<_>>(),
-            )
-            .is_ok();
+            tight &=
+                assert_tight_namespace(&reports.iter().map(|r| r.name).collect::<Vec<_>>()).is_ok();
             let steps = Aggregate::of_register_steps(&outcome.per_process_steps());
             let comps = Aggregate::of(reports.iter().map(|r| r.comparators_played as u64));
             steps_mean += steps.mean;
@@ -77,7 +75,11 @@ fn main() {
             let linear = Arc::new(LinearProbeRenaming::new(k));
             let linear_outcome = Executor::new(ExecConfig::new(seed)).run(k, {
                 let linear = Arc::clone(&linear);
-                move |ctx| linear.acquire_with_probes(ctx).expect("k slots for k processes")
+                move |ctx| {
+                    linear
+                        .acquire_with_probes(ctx)
+                        .expect("k slots for k processes")
+                }
             });
             linear_max = linear_max.max(
                 linear_outcome
@@ -96,7 +98,11 @@ fn main() {
             steps_max.to_string(),
             fmt1(comp_mean / runs),
             fmt1(log2(k) * log2(k)),
-            if tight { "yes".into() } else { "VIOLATED".into() },
+            if tight {
+                "yes".into()
+            } else {
+                "VIOLATED".into()
+            },
             linear_max.to_string(),
         ]);
         temp_table.row(vec![

@@ -58,10 +58,8 @@ fn main() {
                 move |ctx| renaming.acquire_with_report(ctx).expect("full load fits")
             });
             let reports = outcome.results();
-            always_tight &= assert_tight_namespace(
-                &reports.iter().map(|r| r.name).collect::<Vec<_>>(),
-            )
-            .is_ok();
+            always_tight &=
+                assert_tight_namespace(&reports.iter().map(|r| r.name).collect::<Vec<_>>()).is_ok();
 
             let probe_agg = Aggregate::of(reports.iter().map(|r| r.probes as u64));
             let step_agg = Aggregate::of_register_steps(&outcome.per_process_steps());
@@ -90,7 +88,11 @@ fn main() {
             fmt1(total_tas / runs),
             fmt1(n as f64 * log2(n)),
             fmt1(total_steps / runs),
-            if always_tight { "yes".into() } else { "VIOLATED".into() },
+            if always_tight {
+                "yes".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
     }
 

@@ -12,9 +12,7 @@
 use adaptive_renaming::counter::{CasCounter, Counter, MonotoneCounter};
 use renaming_bench::{fmt1, log2, Table};
 use shmem::adversary::{ExecConfig, YieldPolicy};
-use shmem::consistency::{
-    check_linearizable, check_monotone_consistent, CounterOp, CounterSpec,
-};
+use shmem::consistency::{check_linearizable, check_monotone_consistent, CounterOp, CounterSpec};
 use shmem::executor::Executor;
 use shmem::history::{History, OpRecord, Recorder};
 use shmem::process::{ProcessCtx, ProcessId};
@@ -74,26 +72,24 @@ fn e8_cost_table() {
 fn e8_consistency_check() {
     let counter = Arc::new(MonotoneCounter::new());
     let recorder: Arc<Recorder<CounterOp, u64>> = Arc::new(Recorder::new());
-    let _ = Executor::new(
-        ExecConfig::new(3).with_yield_policy(YieldPolicy::Probabilistic(0.2)),
-    )
-    .run(12, {
-        let counter = Arc::clone(&counter);
-        let recorder = Arc::clone(&recorder);
-        move |ctx| {
-            for round in 0..4 {
-                if (ctx.id().as_usize() + round) % 2 == 0 {
-                    let invoke = recorder.invoke();
-                    counter.increment(ctx);
-                    recorder.record(ctx.id(), CounterOp::Increment, 0, invoke);
-                } else {
-                    let invoke = recorder.invoke();
-                    let value = counter.read(ctx);
-                    recorder.record(ctx.id(), CounterOp::Read, value, invoke);
+    let _ = Executor::new(ExecConfig::new(3).with_yield_policy(YieldPolicy::Probabilistic(0.2)))
+        .run(12, {
+            let counter = Arc::clone(&counter);
+            let recorder = Arc::clone(&recorder);
+            move |ctx| {
+                for round in 0..4 {
+                    if (ctx.id().as_usize() + round) % 2 == 0 {
+                        let invoke = recorder.invoke();
+                        counter.increment(ctx);
+                        recorder.record(ctx.id(), CounterOp::Increment, 0, invoke);
+                    } else {
+                        let invoke = recorder.invoke();
+                        let value = counter.read(ctx);
+                        recorder.record(ctx.id(), CounterOp::Read, value, invoke);
+                    }
                 }
             }
-        }
-    });
+        });
     let history = recorder.take_history();
     match check_monotone_consistent(&history, &[]) {
         Ok(()) => println!(
@@ -133,7 +129,10 @@ fn e9_counterexample() {
     let monotone = check_monotone_consistent(&history, &pending);
     let linearizable = check_linearizable(&CounterSpec, &history);
     println!("E9 — the §8.1 counterexample execution:");
-    println!("  monotone-consistency check: {:?}", monotone.map(|_| "accepted"));
+    println!(
+        "  monotone-consistency check: {:?}",
+        monotone.map(|_| "accepted")
+    );
     println!(
         "  linearizability check:      {:?}",
         linearizable.map(|_| "accepted")

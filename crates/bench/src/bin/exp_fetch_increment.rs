@@ -62,7 +62,11 @@ fn main() {
             } else {
                 format!("{values:?}")
             },
-            if linearizable { "yes".into() } else { "VIOLATED".into() },
+            if linearizable {
+                "yes".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
     }
     fai.print();

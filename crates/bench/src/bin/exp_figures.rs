@@ -24,7 +24,12 @@ fn figure_1() {
         let batches = BitBatchingRenaming::<RatRaceTas>::batch_layout(n);
         let mut table = Table::new(
             &format!("batches for n = {n}"),
-            &["batch", "positions (1-based)", "size", "size as fraction of n"],
+            &[
+                "batch",
+                "positions (1-based)",
+                "size",
+                "size as fraction of n",
+            ],
         );
         for (index, batch) in batches.iter().enumerate() {
             table.row(vec![

@@ -24,7 +24,12 @@ fn main() {
 fn two_process_table() {
     let mut table = Table::new(
         "E12a — two-process test-and-set (expected O(1) steps)",
-        &["seeds", "steps/play (mean)", "steps/play (max)", "winners per object"],
+        &[
+            "seeds",
+            "steps/play (mean)",
+            "steps/play (max)",
+            "winners per object",
+        ],
     );
     let trials = 50u64;
     let mut stats = Vec::new();
@@ -50,7 +55,11 @@ fn two_process_table() {
         trials.to_string(),
         fmt1(agg.mean),
         agg.max.to_string(),
-        if winners_ok { "always exactly 1".into() } else { "VIOLATED".into() },
+        if winners_ok {
+            "always exactly 1".into()
+        } else {
+            "VIOLATED".into()
+        },
     ]);
     table.print();
 }
@@ -89,7 +98,11 @@ fn n_process_table() {
             ratrace_agg.max.to_string(),
             fmt1(log2(k) * log2(k)),
             fmt1(tournament_agg.mean),
-            if winners == 1 { "1 winner".into() } else { "VIOLATED".into() },
+            if winners == 1 {
+                "1 winner".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
     }
     table.print();

@@ -34,7 +34,11 @@ impl Aggregate {
         }
         Aggregate {
             samples: count,
-            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
             max,
         }
     }

@@ -18,19 +18,99 @@
 //! family — `O(log² k)` for the constructible Batcher family used here
 //! (Theorem 3, adjusted for the constructible-network substitution recorded
 //! in `DESIGN.md`).
+//!
+//! Comparator storage is hybrid, chosen per section of the sandwich: the
+//! small inner sections (where virtually every traversal happens, because
+//! temporary names are polynomial in the contention) are compiled into flat
+//! wire maps with lock-free [`ComparatorSlab`] storage, while the huge outer
+//! sections — reachable only through astronomically unlikely temporary names
+//! — keep sharded sparse lazy storage.
 
+use crate::comparator_slab::ComparatorSlab;
 use crate::error::RenamingError;
+use crate::renaming_network::traverse_compiled;
 use crate::temp_name::{TempName, TempNameReport};
 use crate::traits::Renaming;
 use parking_lot::RwLock;
 use shmem::process::ProcessCtx;
-use sortnet::adaptive::AdaptiveNetwork;
+use sortnet::adaptive::{AdaptiveNetwork, Section};
+use sortnet::compiled::CompiledSchedule;
 use sortnet::family::{NetworkFamily, SortingFamily};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use tas::two_process::TwoProcessTas;
 use tas::{Side, TwoPartyTas};
+
+/// Upper bound on `width × depth` for a section to be compiled into a flat
+/// wire map + comparator slab. Sections above the bound (the outer levels of
+/// the §6.1 construction, with tens of thousands to billions of channels)
+/// keep sparse lazy storage — processes reach them only through
+/// astronomically unlikely temporary names, so pre-sizing would waste memory
+/// for cells that are never touched.
+const COMPILED_CELL_LIMIT: usize = 1 << 20;
+
+/// Shard count of the sparse fallback store (power of two). Sharding keeps
+/// the rare outer-section plays from serializing behind a single lock.
+const SPARSE_SHARDS: usize = 16;
+
+/// One shard of the sparse fallback store: lazily allocated comparator
+/// objects keyed by `(stage, global top channel)`.
+type SparseShard<T> = RwLock<HashMap<(usize, usize), Arc<T>>>;
+
+/// Comparator storage of one section of the adaptive network.
+enum SectionStore<T> {
+    /// Small section: schedule lowered to flat arrays, test-and-sets in a
+    /// lock-free slab indexed by the dense comparator slot.
+    Compiled {
+        /// The section's schedule in compiled (local-wire) form.
+        schedule: CompiledSchedule,
+        /// One lazily created test-and-set per comparator.
+        slab: ComparatorSlab<T>,
+    },
+    /// Huge analytic section: lazily allocated comparator objects keyed by
+    /// `(stage, global top channel)`, sharded to spread lock contention.
+    Sparse { shards: Box<[SparseShard<T>]> },
+}
+
+impl<T: TwoPartyTas + Default> SectionStore<T> {
+    fn for_section(section: &Section) -> Self {
+        let cells = section.width().checked_mul(section.schedule.depth());
+        match cells {
+            Some(cells) if cells <= COMPILED_CELL_LIMIT => {
+                let schedule = CompiledSchedule::compile(section.schedule.as_ref());
+                let slab = ComparatorSlab::new(schedule.size());
+                SectionStore::Compiled { schedule, slab }
+            }
+            _ => SectionStore::Sparse {
+                shards: (0..SPARSE_SHARDS)
+                    .map(|_| RwLock::new(HashMap::new()))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            },
+        }
+    }
+
+    fn sparse_game(shards: &[SparseShard<T>], stage: usize, top: usize) -> Arc<T> {
+        let shard = &shards[(stage.wrapping_mul(31).wrapping_add(top)) & (SPARSE_SHARDS - 1)];
+        if let Some(game) = shard.read().get(&(stage, top)) {
+            return Arc::clone(game);
+        }
+        let mut games = shard.write();
+        Arc::clone(
+            games
+                .entry((stage, top))
+                .or_insert_with(|| Arc::new(T::default())),
+        )
+    }
+
+    fn allocated(&self) -> usize {
+        match self {
+            SectionStore::Compiled { slab, .. } => slab.allocated(),
+            SectionStore::Sparse { shards } => shards.iter().map(|s| s.read().len()).sum(),
+        }
+    }
+}
 
 /// Diagnostics of one adaptive-renaming acquisition.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -75,9 +155,10 @@ pub struct AdaptiveReport {
 pub struct AdaptiveRenaming<T: TwoPartyTas + Default = TwoProcessTas> {
     temp: TempName,
     network: AdaptiveNetwork,
-    /// Lazily allocated comparator objects, keyed by
-    /// `(section index, stage, top channel)`.
-    games: RwLock<HashMap<(usize, usize, usize), Arc<T>>>,
+    /// Per-section comparator storage, parallel to `network.sections()`:
+    /// compiled slab for the small inner sections, sharded sparse maps for
+    /// the huge outer ones.
+    stores: Vec<SectionStore<T>>,
 }
 
 impl AdaptiveRenaming<TwoProcessTas> {
@@ -103,10 +184,15 @@ impl<T: TwoPartyTas + Default> AdaptiveRenaming<T> {
     /// Creates the object over an explicit adaptive network (choice of base
     /// family and truncation level).
     pub fn with_network(network: AdaptiveNetwork) -> Self {
+        let stores = network
+            .sections()
+            .iter()
+            .map(SectionStore::for_section)
+            .collect();
         AdaptiveRenaming {
             temp: TempName::new(),
             network,
-            games: RwLock::new(HashMap::new()),
+            stores,
         }
     }
 
@@ -130,21 +216,25 @@ impl<T: TwoPartyTas + Default> AdaptiveRenaming<T> {
 
     /// Number of comparator objects allocated so far (harness inspection).
     pub fn allocated_comparators(&self) -> usize {
-        self.games.read().len()
+        self.stores.iter().map(SectionStore::allocated).sum()
     }
 
-    fn game(&self, section: usize, stage: usize, top: usize) -> Arc<T> {
-        let key = (section, stage, top);
-        if let Some(game) = self.games.read().get(&key) {
-            return Arc::clone(game);
-        }
-        let mut games = self.games.write();
-        Arc::clone(games.entry(key).or_insert_with(|| Arc::new(T::default())))
+    /// Number of sections running on the compiled slab engine (the rest use
+    /// the sparse fallback store). Harness inspection.
+    pub fn compiled_sections(&self) -> usize {
+        self.stores
+            .iter()
+            .filter(|store| matches!(store, SectionStore::Compiled { .. }))
+            .count()
     }
 
     /// Runs the second stage from an explicit input port (0-based channel),
     /// returning the output channel and traversal counts.
-    fn traverse(&self, ctx: &mut ProcessCtx, port: usize) -> Result<(usize, usize, usize), RenamingError> {
+    fn traverse(
+        &self,
+        ctx: &mut ProcessCtx,
+        port: usize,
+    ) -> Result<(usize, usize, usize), RenamingError> {
         if port >= self.network.width() {
             return Err(RenamingError::IdentifierOutOfRange {
                 identifier: port,
@@ -154,24 +244,37 @@ impl<T: TwoPartyTas + Default> AdaptiveRenaming<T> {
         let mut channel = port;
         let mut comparators_played = 0;
         let mut wins = 0;
-        for section in self.network.sections() {
+        for (section, store) in self.network.sections().iter().zip(&self.stores) {
             if !section.covers(channel) {
                 continue;
             }
-            for stage in 0..section.schedule.depth() {
-                if let Some(comparator) = section.comparator_at(stage, channel) {
-                    let game = self.game(section.index, stage, comparator.top);
-                    let side = if channel == comparator.top {
-                        Side::Top
-                    } else {
-                        Side::Bottom
-                    };
-                    comparators_played += 1;
-                    if game.play(ctx, side) {
-                        wins += 1;
-                        channel = comparator.top;
-                    } else {
-                        channel = comparator.bottom;
+            match store {
+                SectionStore::Compiled { schedule, slab } => {
+                    // Hot path: O(1) wire-map lookups over local wires, plays
+                    // against the lock-free slab.
+                    let (local, played, won) =
+                        traverse_compiled(schedule, slab, ctx, channel - section.offset);
+                    channel = section.offset + local;
+                    comparators_played += played;
+                    wins += won;
+                }
+                SectionStore::Sparse { shards } => {
+                    for stage in 0..section.schedule.depth() {
+                        if let Some(comparator) = section.comparator_at(stage, channel) {
+                            let game = SectionStore::sparse_game(shards, stage, comparator.top);
+                            let side = if channel == comparator.top {
+                                Side::Top
+                            } else {
+                                Side::Bottom
+                            };
+                            comparators_played += 1;
+                            if game.play(ctx, side) {
+                                wins += 1;
+                                channel = comparator.top;
+                            } else {
+                                channel = comparator.bottom;
+                            }
+                        }
                     }
                 }
             }
@@ -372,6 +475,20 @@ mod tests {
             move |ctx| renaming.acquire(ctx).unwrap()
         });
         assert_tight_namespace(&outcome.results()).unwrap();
+    }
+
+    #[test]
+    fn inner_sections_compile_and_outer_sections_stay_sparse() {
+        // Default instance: level 5, sections A5..A1, S0, C1..C5. Levels 1-3
+        // fit the compiled-cell budget; levels 4 and 5 are analytic giants
+        // that must stay sparse.
+        let renaming = AdaptiveRenaming::new();
+        assert_eq!(renaming.network().sections().len(), 11);
+        assert_eq!(renaming.compiled_sections(), 7);
+
+        // A small truncation compiles everything.
+        let small: AdaptiveRenaming = AdaptiveRenaming::with_family(NetworkFamily::OddEven, 3);
+        assert_eq!(small.compiled_sections(), small.network().sections().len());
     }
 
     #[test]

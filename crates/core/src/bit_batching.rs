@@ -11,6 +11,7 @@
 //! the whole vector — exists only to guarantee termination in the
 //! vanishing-probability case where the first stage fails.
 
+use crate::comparator_slab::ComparatorSlab;
 use crate::error::RenamingError;
 use crate::traits::Renaming;
 use shmem::process::ProcessCtx;
@@ -41,6 +42,14 @@ pub struct BitBatchingReport {
 /// other [`TestAndSet`] (for instance the hardware test-and-set for the
 /// unit-cost measure).
 ///
+/// The name vector is a lazily initialized [`ComparatorSlab`]: constructing
+/// the object over `n` names allocates `n` empty cells, and a test-and-set
+/// object materializes only when some process first probes its slot
+/// (observable through [`BitBatchingRenaming::allocated_slots`]). With
+/// `k ≪ n` participants probing `O(log² n)` slots each, most of the vector
+/// is never built — the same lazy-slab principle the renaming-network engine
+/// uses for its comparators.
+///
 /// # Example
 ///
 /// ```
@@ -58,26 +67,57 @@ pub struct BitBatchingReport {
 /// assert!(assert_tight_namespace(&outcome.results()).is_ok());
 /// ```
 pub struct BitBatchingRenaming<T: TestAndSet = RatRaceTas> {
-    slots: Vec<T>,
+    /// One lazily initialized cell per name.
+    slots: ComparatorSlab<T>,
+    /// Builds a slot's test-and-set on first probe. `None` only when the
+    /// object was constructed from pre-built slots, in which case every cell
+    /// is already initialized.
+    factory: Option<Box<dyn Fn() -> T + Send + Sync>>,
     batches: Vec<Range<usize>>,
     trials_per_batch: usize,
 }
 
 impl BitBatchingRenaming<RatRaceTas> {
     /// Creates the object over `n` names backed by adaptive RatRace
-    /// test-and-set objects.
+    /// test-and-set objects, created lazily on first probe.
     ///
     /// # Panics
     ///
     /// Panics if `n < 2`.
     pub fn new(n: usize) -> Self {
-        Self::with_slots((0..n).map(|_| RatRaceTas::new()).collect())
+        Self::with_factory(n, RatRaceTas::new)
     }
 }
 
 impl<T: TestAndSet> BitBatchingRenaming<T> {
-    /// Creates the object over the given vector of test-and-set objects (one
-    /// per name).
+    /// Creates the object over `n` lazily initialized names; `factory` builds
+    /// a slot's test-and-set when some process first probes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn with_factory<F>(n: usize, factory: F) -> Self
+    where
+        F: Fn() -> T + Send + Sync + 'static,
+    {
+        Self::with_factory_and_multiplier(n, factory, 3)
+    }
+
+    /// Like [`BitBatchingRenaming::with_factory`], but overriding the
+    /// paper's `3 log n` probes-per-batch constant with `multiplier · log n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `multiplier` is zero.
+    pub fn with_factory_and_multiplier<F>(n: usize, factory: F, multiplier: usize) -> Self
+    where
+        F: Fn() -> T + Send + Sync + 'static,
+    {
+        Self::from_parts(ComparatorSlab::new(n), Some(Box::new(factory)), multiplier)
+    }
+
+    /// Creates the object over the given vector of pre-built test-and-set
+    /// objects (one per name).
     ///
     /// # Panics
     ///
@@ -94,15 +134,41 @@ impl<T: TestAndSet> BitBatchingRenaming<T> {
     ///
     /// Panics if fewer than 2 slots are supplied or `multiplier` is zero.
     pub fn with_slots_and_multiplier(slots: Vec<T>, multiplier: usize) -> Self {
+        Self::from_parts(ComparatorSlab::from_values(slots), None, multiplier)
+    }
+
+    fn from_parts(
+        slots: ComparatorSlab<T>,
+        factory: Option<Box<dyn Fn() -> T + Send + Sync>>,
+        multiplier: usize,
+    ) -> Self {
         let n = slots.len();
         assert!(n >= 2, "BitBatching needs at least two names");
         assert!(multiplier >= 1, "the probe multiplier must be positive");
         let log_n = (n as f64).log2().ceil().max(1.0) as usize;
         BitBatchingRenaming {
             slots,
+            factory,
             batches: Self::batch_layout(n),
             trials_per_batch: multiplier * log_n,
         }
+    }
+
+    /// The test-and-set of one slot, created on first probe.
+    fn slot(&self, index: usize) -> &T {
+        self.slots.get_with(index, || {
+            let factory = self
+                .factory
+                .as_ref()
+                .expect("pre-built slots are fully initialized at construction");
+            factory()
+        })
+    }
+
+    /// Number of slot objects actually materialized so far (harness
+    /// inspection; O(n)).
+    pub fn allocated_slots(&self) -> usize {
+        self.slots.allocated()
     }
 
     /// The batch layout for a vector of `n` objects: the first half, the next
@@ -163,7 +229,7 @@ impl<T: TestAndSet> BitBatchingRenaming<T> {
                 for _ in 0..self.trials_per_batch {
                     let slot = batch.start + ctx.random_index(batch.len());
                     probes += 1;
-                    if self.slots[slot].test_and_set(ctx) {
+                    if self.slot(slot).test_and_set(ctx) {
                         return Ok(BitBatchingReport {
                             name: slot + 1,
                             probes,
@@ -175,7 +241,7 @@ impl<T: TestAndSet> BitBatchingRenaming<T> {
             } else {
                 for slot in batch.clone() {
                     probes += 1;
-                    if self.slots[slot].test_and_set(ctx) {
+                    if self.slot(slot).test_and_set(ctx) {
                         return Ok(BitBatchingReport {
                             name: slot + 1,
                             probes,
@@ -190,7 +256,7 @@ impl<T: TestAndSet> BitBatchingRenaming<T> {
         // Stage two: sequential sweep (reached with vanishing probability).
         for slot in 0..self.slots.len() {
             probes += 1;
-            if self.slots[slot].test_and_set(ctx) {
+            if self.slot(slot).test_and_set(ctx) {
                 return Ok(BitBatchingReport {
                     name: slot + 1,
                     probes,
@@ -209,6 +275,7 @@ impl<T: TestAndSet> fmt::Debug for BitBatchingRenaming<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BitBatchingRenaming")
             .field("names", &self.slots.len())
+            .field("allocated_slots", &self.allocated_slots())
             .field("batches", &self.batches.len())
             .field("trials_per_batch", &self.trials_per_batch)
             .finish()
@@ -272,7 +339,11 @@ mod tests {
         let renaming = BitBatchingRenaming::new(64);
         let mut ctx = ProcessCtx::new(ProcessId::new(0), 5);
         let report = renaming.acquire_with_report(&mut ctx).unwrap();
-        assert!(report.name >= 1 && report.name <= 32, "name {}", report.name);
+        assert!(
+            report.name >= 1 && report.name <= 32,
+            "name {}",
+            report.name
+        );
         assert_eq!(report.winning_batch, Some(0));
         assert_eq!(report.probes, 1);
         assert!(!report.entered_second_stage);
@@ -302,7 +373,8 @@ mod tests {
                 let renaming = Arc::clone(&renaming);
                 move |ctx| renaming.acquire(ctx).unwrap()
             });
-            assert_tight_namespace(&outcome.results()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_tight_namespace(&outcome.results())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
@@ -331,9 +403,8 @@ mod tests {
 
     #[test]
     fn capacity_exceeded_is_reported_not_hung() {
-        let renaming = BitBatchingRenaming::with_slots(
-            (0..4).map(|_| HardwareTas::new()).collect::<Vec<_>>(),
-        );
+        let renaming =
+            BitBatchingRenaming::with_slots((0..4).map(|_| HardwareTas::new()).collect::<Vec<_>>());
         let mut names = Vec::new();
         for id in 0..4 {
             let mut ctx = ProcessCtx::new(ProcessId::new(id), 0);
@@ -379,6 +450,25 @@ mod tests {
                 report.probes
             );
         }
+    }
+
+    #[test]
+    fn slots_materialize_lazily() {
+        let renaming = BitBatchingRenaming::new(1024);
+        assert_eq!(renaming.allocated_slots(), 0, "construction builds nothing");
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 5);
+        let report = renaming.acquire_with_report(&mut ctx).unwrap();
+        assert!(report.name >= 1);
+        let allocated = renaming.allocated_slots();
+        assert!(
+            (1..1024).contains(&allocated),
+            "a solo process touches a few slots, not the whole vector ({allocated})"
+        );
+
+        // Pre-built slots arrive fully materialized.
+        let eager =
+            BitBatchingRenaming::with_slots((0..8).map(|_| HardwareTas::new()).collect::<Vec<_>>());
+        assert_eq!(eager.allocated_slots(), 8);
     }
 
     #[test]

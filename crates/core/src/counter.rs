@@ -180,7 +180,10 @@ mod tests {
             });
             let reads = outcome.results();
             // Every read is at least 1 (its own increment) and at most k.
-            assert!(reads.iter().all(|&v| v >= 1 && v <= k as u64), "seed {seed}");
+            assert!(
+                reads.iter().all(|&v| v >= 1 && v <= k as u64),
+                "seed {seed}"
+            );
             // A final quiescent read sees exactly k.
             let mut ctx = ProcessCtx::new(ProcessId::new(10_000), seed);
             assert_eq!(counter.read(&mut ctx), k as u64, "seed {seed}");

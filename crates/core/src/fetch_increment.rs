@@ -261,7 +261,11 @@ mod tests {
             object.fetch_and_increment(&mut ctx);
             costs.push(ctx.stats().total());
         }
-        assert!(costs[2] < 1 << 12, "cost {} is not polylogarithmic", costs[2]);
+        assert!(
+            costs[2] < 1 << 12,
+            "cost {} is not polylogarithmic",
+            costs[2]
+        );
         // Tripling log m should not blow the cost up by more than ~6x.
         assert!(
             costs[2] <= costs[0] * 6 + 64,

@@ -12,7 +12,14 @@
 //!   high probability.
 //! * [`RenamingNetwork`](renaming_network::RenamingNetwork) — the §5
 //!   construction: any sorting network becomes a strong adaptive renaming
-//!   object by replacing comparators with two-process test-and-sets.
+//!   object by replacing comparators with two-process test-and-sets. Runs on
+//!   the compiled engine: the schedule is lowered to flat wire-map arrays and
+//!   the test-and-sets live in a lock-free
+//!   [`ComparatorSlab`](comparator_slab::ComparatorSlab), so a comparator
+//!   play costs one array load on top of the test-and-set itself. The
+//!   pre-compilation engine is kept as
+//!   [`LockedRenamingNetwork`](renaming_network::LockedRenamingNetwork) for
+//!   benchmark comparison.
 //! * [`TempName`](temp_name::TempName) — the §6.2 first stage: a randomized
 //!   splitter tree assigning temporary names polynomial in the contention `k`.
 //! * [`AdaptiveRenaming`](adaptive::AdaptiveRenaming) — the paper's headline
@@ -54,6 +61,7 @@
 
 pub mod adaptive;
 pub mod bit_batching;
+pub mod comparator_slab;
 pub mod counter;
 pub mod error;
 pub mod fetch_increment;
@@ -66,12 +74,13 @@ pub mod traits;
 
 pub use adaptive::AdaptiveRenaming;
 pub use bit_batching::BitBatchingRenaming;
+pub use comparator_slab::ComparatorSlab;
 pub use counter::{CasCounter, Counter, MonotoneCounter};
 pub use error::RenamingError;
 pub use fetch_increment::BoundedFetchIncrement;
 pub use linear_probe::LinearProbeRenaming;
 pub use loose::LooseRenaming;
 pub use ltas::BoundedTas;
-pub use renaming_network::RenamingNetwork;
+pub use renaming_network::{LockedRenamingNetwork, RenamingNetwork};
 pub use temp_name::TempName;
 pub use traits::Renaming;

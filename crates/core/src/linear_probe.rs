@@ -138,8 +138,7 @@ mod tests {
     fn concurrent_processes_get_a_tight_namespace() {
         for seed in 0..5 {
             let renaming = Arc::new(LinearProbeRenaming::new(32));
-            let config =
-                ExecConfig::new(seed).with_yield_policy(YieldPolicy::Probabilistic(0.2));
+            let config = ExecConfig::new(seed).with_yield_policy(YieldPolicy::Probabilistic(0.2));
             let outcome = Executor::new(config).run(12, {
                 let renaming = Arc::clone(&renaming);
                 move |ctx| renaming.acquire(ctx).unwrap()

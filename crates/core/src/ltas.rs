@@ -220,8 +220,13 @@ mod tests {
             });
             assert_eq!(outcome.crashed_count(), 0);
             let history = recorder.take_history();
-            check_linearizable(&BoundedTasSpec { limit: limit as u64 }, &history)
-                .unwrap_or_else(|violation| panic!("seed {seed}: {violation}"));
+            check_linearizable(
+                &BoundedTasSpec {
+                    limit: limit as u64,
+                },
+                &history,
+            )
+            .unwrap_or_else(|violation| panic!("seed {seed}: {violation}"));
         }
     }
 

@@ -9,17 +9,72 @@
 //! `k` participating processes obtain exactly the names `1..=k`, in every
 //! execution — and the per-process cost is the network's depth in
 //! test-and-set operations.
+//!
+//! # The compiled engine
+//!
+//! The paper's cost bounds count test-and-set operations, so the substrate
+//! must not hide extra synchronization behind each one. [`RenamingNetwork`]
+//! therefore lowers its schedule into a
+//! [`CompiledSchedule`](sortnet::compiled::CompiledSchedule) at construction
+//! — a flat wire map answering "which comparator touches my wire in the next
+//! stage?" with one array load — and stores the comparator test-and-sets in a
+//! [`ComparatorSlab`](crate::comparator_slab::ComparatorSlab) indexed by the
+//! compiled dense slot. The traversal hot path performs no hashing, no
+//! reference-count traffic and no locking beyond each cell's one-time
+//! initialization: per stage, one wire-map load plus the test-and-set
+//! itself. Comparator objects are still created lazily on first touch
+//! ([`RenamingNetwork::allocated_comparators`] observes this).
+//!
+//! The previous engine — a global `RwLock<HashMap<(stage, wire), Arc<T>>>`
+//! interposed on every comparator play — is retained as
+//! [`LockedRenamingNetwork`] so the benches can measure exactly what the
+//! compilation buys (see `benches/renaming_network.rs` and
+//! `BENCH_renaming_network.json`).
 
+use crate::comparator_slab::ComparatorSlab;
 use crate::error::RenamingError;
 use crate::traits::Renaming;
 use parking_lot::RwLock;
 use shmem::process::ProcessCtx;
+use sortnet::compiled::CompiledSchedule;
 use sortnet::schedule::ComparatorSchedule;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use tas::two_process::TwoProcessTas;
 use tas::{Side, TwoPartyTas};
+
+/// Plays one process through a compiled schedule against its comparator
+/// slab, entering at `wire`. Returns the exit wire together with the number
+/// of comparators played and won. Shared by [`RenamingNetwork`] and the
+/// compiled sections of [`AdaptiveRenaming`](crate::adaptive::AdaptiveRenaming),
+/// so the traversal protocol cannot silently diverge between the two.
+pub(crate) fn traverse_compiled<T: TwoPartyTas + Default>(
+    schedule: &CompiledSchedule,
+    slab: &ComparatorSlab<T>,
+    ctx: &mut ProcessCtx,
+    mut wire: usize,
+) -> (usize, usize, usize) {
+    let mut comparators_played = 0;
+    let mut wins = 0;
+    for stage in 0..ComparatorSchedule::depth(schedule) {
+        if let Some((comparator, slot)) = schedule.pair_at(stage, wire) {
+            let side = if wire == comparator.top {
+                Side::Top
+            } else {
+                Side::Bottom
+            };
+            comparators_played += 1;
+            if slab.get(slot).play(ctx, side) {
+                wins += 1;
+                wire = comparator.top;
+            } else {
+                wire = comparator.bottom;
+            }
+        }
+    }
+    (wire, comparators_played, wins)
+}
 
 /// Diagnostics of one traversal of a renaming network.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,13 +87,20 @@ pub struct TraversalReport {
     pub wins: usize,
 }
 
-/// A renaming network over an arbitrary comparator schedule.
+/// A renaming network over an arbitrary comparator schedule, running on the
+/// compiled lock-free engine.
 ///
 /// The type is generic in the two-process test-and-set used at the
 /// comparators; the default is the randomized register-based
 /// [`TwoProcessTas`], and [`tas::hardware::HardwareTas`] gives the
 /// deterministic hardware-assisted variant the paper mentions in its
 /// discussion section.
+///
+/// Construction compiles the schedule, which costs `O(width × depth)` time
+/// and memory. Every materializable network qualifies; for the
+/// astronomically wide analytic schedules of §6.1 use
+/// [`AdaptiveRenaming`](crate::adaptive::AdaptiveRenaming), which compiles
+/// only the sections processes actually reach.
 ///
 /// # Example
 ///
@@ -61,42 +123,54 @@ pub struct TraversalReport {
 /// assert!(assert_tight_namespace(&outcome.results()).is_ok());
 /// ```
 pub struct RenamingNetwork<S: ComparatorSchedule, T: TwoPartyTas + Default = TwoProcessTas> {
-    schedule: S,
-    /// Lazily allocated comparator objects, keyed by `(stage, top wire)`.
-    comparators: RwLock<HashMap<(usize, usize), Arc<T>>>,
+    /// The schedule lowered into flat arrays: O(1) wire-map queries and the
+    /// dense comparator index space addressing the slab. The source schedule
+    /// is not retained — every query goes through the compiled form.
+    compiled: CompiledSchedule,
+    /// One lazily created test-and-set per comparator, indexed by the
+    /// compiled dense slot.
+    slab: ComparatorSlab<T>,
+    _schedule: std::marker::PhantomData<S>,
 }
 
 impl<S: ComparatorSchedule, T: TwoPartyTas + Default> RenamingNetwork<S, T> {
-    /// Creates a renaming network over the given sorting network.
+    /// Creates a renaming network over the given sorting network, compiling
+    /// its schedule and pre-sizing the comparator slab (one empty cell per
+    /// comparator; the objects themselves stay lazy).
     pub fn new(schedule: S) -> Self {
+        let compiled = CompiledSchedule::compile(&schedule);
+        let slab = ComparatorSlab::new(compiled.size());
         RenamingNetwork {
-            schedule,
-            comparators: RwLock::new(HashMap::new()),
+            compiled,
+            slab,
+            _schedule: std::marker::PhantomData,
         }
     }
 
     /// The size of the initial namespace (number of input ports).
     pub fn namespace(&self) -> usize {
-        self.schedule.width()
+        self.compiled.width()
     }
 
     /// The depth of the underlying sorting network — an upper bound on the
     /// number of test-and-set objects any process plays.
     pub fn depth(&self) -> usize {
-        self.schedule.depth()
+        ComparatorSchedule::depth(&self.compiled)
+    }
+
+    /// The compiled form of the schedule (harness inspection).
+    pub fn compiled(&self) -> &CompiledSchedule {
+        &self.compiled
+    }
+
+    /// Total number of comparators — the slab's capacity.
+    pub fn comparator_count(&self) -> usize {
+        self.slab.len()
     }
 
     /// Number of comparator objects allocated so far (harness inspection).
     pub fn allocated_comparators(&self) -> usize {
-        self.comparators.read().len()
-    }
-
-    fn comparator(&self, stage: usize, top: usize) -> Arc<T> {
-        if let Some(game) = self.comparators.read().get(&(stage, top)) {
-            return Arc::clone(game);
-        }
-        let mut games = self.comparators.write();
-        Arc::clone(games.entry((stage, top)).or_insert_with(|| Arc::new(T::default())))
+        self.slab.allocated()
     }
 
     /// Runs the calling process through the network from the input port given
@@ -117,6 +191,123 @@ impl<S: ComparatorSchedule, T: TwoPartyTas + Default> RenamingNetwork<S, T> {
     /// Runs the calling process through the network from an explicit input
     /// port (0-based). Used by the adaptive algorithm, which enters on the
     /// port given by its temporary name rather than by its identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::IdentifierOutOfRange`] if `port` is not a
+    /// valid input port.
+    pub fn traverse_from(
+        &self,
+        ctx: &mut ProcessCtx,
+        port: usize,
+    ) -> Result<TraversalReport, RenamingError> {
+        if port >= self.compiled.width() {
+            return Err(RenamingError::IdentifierOutOfRange {
+                identifier: port,
+                namespace: self.compiled.width(),
+            });
+        }
+        let (wire, comparators_played, wins) =
+            traverse_compiled(&self.compiled, &self.slab, ctx, port);
+        Ok(TraversalReport {
+            name: wire + 1,
+            comparators_played,
+            wins,
+        })
+    }
+}
+
+impl<S: ComparatorSchedule, T: TwoPartyTas + Default> fmt::Debug for RenamingNetwork<S, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RenamingNetwork")
+            .field("namespace", &self.namespace())
+            .field("depth", &self.depth())
+            .field("comparators", &self.comparator_count())
+            .field("allocated_comparators", &self.allocated_comparators())
+            .finish()
+    }
+}
+
+impl<S: ComparatorSchedule, T: TwoPartyTas + Default> Renaming for RenamingNetwork<S, T> {
+    fn acquire(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+        self.acquire_with_report(ctx).map(|report| report.name)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        Some(self.compiled.width())
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+}
+
+/// The pre-compilation renaming engine: comparator objects live in a global
+/// `RwLock<HashMap<(stage, top wire), Arc<T>>>` that every comparator play
+/// locks, hashes and clones out of.
+///
+/// Functionally equivalent to [`RenamingNetwork`]; kept so the benches and
+/// experiments can quantify what the compiled engine saves. New code should
+/// use [`RenamingNetwork`].
+pub struct LockedRenamingNetwork<S: ComparatorSchedule, T: TwoPartyTas + Default = TwoProcessTas> {
+    schedule: S,
+    /// Lazily allocated comparator objects, keyed by `(stage, top wire)`.
+    comparators: RwLock<HashMap<(usize, usize), Arc<T>>>,
+}
+
+impl<S: ComparatorSchedule, T: TwoPartyTas + Default> LockedRenamingNetwork<S, T> {
+    /// Creates a renaming network over the given sorting network.
+    pub fn new(schedule: S) -> Self {
+        LockedRenamingNetwork {
+            schedule,
+            comparators: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The size of the initial namespace (number of input ports).
+    pub fn namespace(&self) -> usize {
+        self.schedule.width()
+    }
+
+    /// The depth of the underlying sorting network.
+    pub fn depth(&self) -> usize {
+        self.schedule.depth()
+    }
+
+    /// Number of comparator objects allocated so far (harness inspection).
+    pub fn allocated_comparators(&self) -> usize {
+        self.comparators.read().len()
+    }
+
+    fn comparator(&self, stage: usize, top: usize) -> Arc<T> {
+        if let Some(game) = self.comparators.read().get(&(stage, top)) {
+            return Arc::clone(game);
+        }
+        let mut games = self.comparators.write();
+        Arc::clone(
+            games
+                .entry((stage, top))
+                .or_insert_with(|| Arc::new(T::default())),
+        )
+    }
+
+    /// Runs the calling process through the network from the input port given
+    /// by its initial name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::IdentifierOutOfRange`] if the process's
+    /// identifier is not a valid input port.
+    pub fn acquire_with_report(
+        &self,
+        ctx: &mut ProcessCtx,
+    ) -> Result<TraversalReport, RenamingError> {
+        let port = ctx.id().as_usize();
+        self.traverse_from(ctx, port)
+    }
+
+    /// Runs the calling process through the network from an explicit input
+    /// port (0-based).
     ///
     /// # Errors
     ///
@@ -161,9 +352,9 @@ impl<S: ComparatorSchedule, T: TwoPartyTas + Default> RenamingNetwork<S, T> {
     }
 }
 
-impl<S: ComparatorSchedule, T: TwoPartyTas + Default> fmt::Debug for RenamingNetwork<S, T> {
+impl<S: ComparatorSchedule, T: TwoPartyTas + Default> fmt::Debug for LockedRenamingNetwork<S, T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("RenamingNetwork")
+        f.debug_struct("LockedRenamingNetwork")
             .field("namespace", &self.namespace())
             .field("depth", &self.depth())
             .field("allocated_comparators", &self.allocated_comparators())
@@ -171,7 +362,7 @@ impl<S: ComparatorSchedule, T: TwoPartyTas + Default> fmt::Debug for RenamingNet
     }
 }
 
-impl<S: ComparatorSchedule, T: TwoPartyTas + Default> Renaming for RenamingNetwork<S, T> {
+impl<S: ComparatorSchedule, T: TwoPartyTas + Default> Renaming for LockedRenamingNetwork<S, T> {
     fn acquire(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
         self.acquire_with_report(ctx).map(|report| report.name)
     }
@@ -244,7 +435,9 @@ mod tests {
     #[test]
     fn concurrent_arrivals_get_a_tight_namespace() {
         for seed in 0..8 {
-            let network = Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(32)));
+            let network = Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(
+                32,
+            )));
             let ids = scattered_ids(10, 32, seed);
             let config = ExecConfig::new(seed)
                 .with_yield_policy(YieldPolicy::Probabilistic(0.2))
@@ -287,7 +480,9 @@ mod tests {
     #[test]
     fn crashed_processes_never_break_uniqueness() {
         for seed in 0..5 {
-            let network = Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(32)));
+            let network = Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(
+                32,
+            )));
             let ids = scattered_ids(16, 32, seed + 100);
             let config = ExecConfig::new(seed).with_crash_plan(CrashPlan::Random {
                 prob: 0.3,
@@ -336,5 +531,65 @@ mod tests {
             move |ctx| network.acquire(ctx).unwrap()
         });
         assert_tight_namespace(&outcome.results()).unwrap();
+    }
+
+    #[test]
+    fn comparator_allocation_stays_lazy_and_bounded() {
+        let network = Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(
+            64,
+        )));
+        assert_eq!(
+            network.allocated_comparators(),
+            0,
+            "nothing allocated up front"
+        );
+        let total = network.comparator_count();
+        assert_eq!(total, network.compiled().size());
+        let ids = scattered_ids(8, 64, 11);
+        let outcome = Executor::new(ExecConfig::new(11)).run_with_ids(&ids, {
+            let network = Arc::clone(&network);
+            move |ctx| network.acquire(ctx).unwrap()
+        });
+        assert_tight_namespace(&outcome.results()).unwrap();
+        let allocated = network.allocated_comparators();
+        assert!(
+            allocated > 0,
+            "traversals allocate the comparators they touch"
+        );
+        assert!(
+            allocated < total,
+            "8 of 64 ports must not touch the whole network ({allocated} of {total})"
+        );
+    }
+
+    #[test]
+    fn locked_engine_agrees_with_the_compiled_engine() {
+        // The legacy engine must remain a correct renaming object (it is the
+        // bench baseline), and both engines must see the same schedule.
+        let compiled = RenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(32));
+        let locked = LockedRenamingNetwork::<_, TwoProcessTas>::new(odd_even_network(32));
+        assert_eq!(compiled.namespace(), locked.namespace());
+        assert_eq!(compiled.depth(), locked.depth());
+        assert_eq!(Renaming::capacity(&compiled), Renaming::capacity(&locked));
+        assert!(Renaming::is_adaptive(&locked));
+
+        let locked = Arc::new(locked);
+        let ids = scattered_ids(10, 32, 5);
+        let outcome = Executor::new(ExecConfig::new(5)).run_with_ids(&ids, {
+            let locked = Arc::clone(&locked);
+            move |ctx| locked.acquire(ctx).unwrap()
+        });
+        assert_tight_namespace(&outcome.results()).unwrap();
+        assert!(locked.allocated_comparators() > 0);
+        assert!(format!("{locked:?}").contains("LockedRenamingNetwork"));
+
+        let mut ctx = ProcessCtx::new(ProcessId::new(32), 0);
+        assert_eq!(
+            locked.acquire(&mut ctx),
+            Err(RenamingError::IdentifierOutOfRange {
+                identifier: 32,
+                namespace: 32
+            })
+        );
     }
 }

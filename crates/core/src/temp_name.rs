@@ -200,12 +200,7 @@ mod tests {
             let temp = Arc::clone(&temp);
             move |ctx| temp.acquire_with_report(ctx)
         });
-        let max_depth = outcome
-            .results()
-            .iter()
-            .map(|r| r.depth)
-            .max()
-            .unwrap_or(0);
+        let max_depth = outcome.results().iter().map(|r| r.depth).max().unwrap_or(0);
         // With 32 processes the deepest acquisition should be well below
         // 6 * log2(32) = 30 levels.
         assert!(max_depth <= 30, "max splitter depth {max_depth}");

@@ -83,7 +83,10 @@ mod tests {
             assert_eq!(reads.len(), writers as usize);
             for (process, read) in outcome.completed() {
                 let own = (process.as_u64() + 1) * 10;
-                assert!(*read >= own, "seed {seed}: read {read} below own write {own}");
+                assert!(
+                    *read >= own,
+                    "seed {seed}: read {read} below own write {own}"
+                );
                 assert!(*read <= writers * 10, "seed {seed}: read {read} too large");
             }
         }

@@ -35,7 +35,8 @@ impl Bucket {
     }
 
     fn values(&self, capacity: u64) -> &BoundedMaxRegister {
-        self.values.get_or_init(|| BoundedMaxRegister::new(capacity))
+        self.values
+            .get_or_init(|| BoundedMaxRegister::new(capacity))
     }
 }
 

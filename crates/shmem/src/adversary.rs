@@ -22,9 +22,10 @@ use std::time::Duration;
 
 /// Policy describing when the harness forces a process to yield the CPU
 /// between shared-memory steps.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum YieldPolicy {
     /// Never inject yields; only the OS scheduler interleaves processes.
+    #[default]
     None,
     /// Yield after every shared-memory step. Maximizes interleaving at the
     /// cost of slower executions.
@@ -43,21 +44,16 @@ impl YieldPolicy {
             YieldPolicy::None => false,
             YieldPolicy::EveryStep => true,
             YieldPolicy::Probabilistic(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
-            YieldPolicy::EveryNth(n) => n > 0 && steps_taken % n == 0,
+            YieldPolicy::EveryNth(n) => n > 0 && steps_taken.is_multiple_of(n),
         }
     }
 }
 
-impl Default for YieldPolicy {
-    fn default() -> Self {
-        YieldPolicy::None
-    }
-}
-
 /// When each of the `k` processes starts taking steps.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum ArrivalSchedule {
     /// All processes start together behind a barrier (maximum contention).
+    #[default]
     Simultaneous,
     /// Processes start as soon as their thread is spawned, with no barrier.
     Unsynchronized,
@@ -90,17 +86,12 @@ impl ArrivalSchedule {
                 if max_delay.is_zero() {
                     Duration::ZERO
                 } else {
-                    let nanos = rng.gen_range(0..=max_delay.as_nanos().min(u64::MAX as u128) as u64);
+                    let nanos =
+                        rng.gen_range(0..=max_delay.as_nanos().min(u64::MAX as u128) as u64);
                     Duration::from_nanos(nanos)
                 }
             }
         }
-    }
-}
-
-impl Default for ArrivalSchedule {
-    fn default() -> Self {
-        ArrivalSchedule::Simultaneous
     }
 }
 
@@ -110,9 +101,10 @@ impl Default for ArrivalSchedule {
 /// returns from its operation. The renaming algorithms must remain safe (names
 /// stay unique, the namespace stays tight with respect to *participating*
 /// processes) in the presence of such crashes.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub enum CrashPlan {
     /// No process crashes.
+    #[default]
     None,
     /// Process `i` crashes after `steps[i]` shared-memory steps (if `Some`).
     /// Processes beyond the vector's length do not crash.
@@ -160,12 +152,6 @@ impl CrashPlan {
                 }
             }
         }
-    }
-}
-
-impl Default for CrashPlan {
-    fn default() -> Self {
-        CrashPlan::None
     }
 }
 

@@ -248,10 +248,8 @@ pub fn check_monotone_consistent(
     history: &History<CounterOp, u64>,
     pending_increment_invokes: &[u64],
 ) -> Result<(), Violation> {
-    let reads: Vec<&OpRecord<CounterOp, u64>> = history
-        .iter()
-        .filter(|r| r.op == CounterOp::Read)
-        .collect();
+    let reads: Vec<&OpRecord<CounterOp, u64>> =
+        history.iter().filter(|r| r.op == CounterOp::Read).collect();
     let increments: Vec<&OpRecord<CounterOp, u64>> = history
         .iter()
         .filter(|r| r.op == CounterOp::Increment)
@@ -351,12 +349,7 @@ mod tests {
         }
     }
 
-    fn reg(
-        op_: RegOp,
-        result: u64,
-        invoke: u64,
-        response: u64,
-    ) -> OpRecord<RegOp, u64> {
+    fn reg(op_: RegOp, result: u64, invoke: u64, response: u64) -> OpRecord<RegOp, u64> {
         OpRecord {
             process: ProcessId::new(0),
             op: op_,
@@ -454,7 +447,10 @@ mod tests {
         ]);
         assert!(matches!(
             check_monotone_consistent(&history, &[]),
-            Err(Violation::NonMonotoneReads { earlier: 2, later: 1 })
+            Err(Violation::NonMonotoneReads {
+                earlier: 2,
+                later: 1
+            })
         ));
     }
 
@@ -554,7 +550,10 @@ mod tests {
     fn violation_display_is_informative() {
         let violations = vec![
             Violation::NotLinearizable,
-            Violation::NonMonotoneReads { earlier: 2, later: 1 },
+            Violation::NonMonotoneReads {
+                earlier: 2,
+                later: 1,
+            },
             Violation::ReadBelowCompletedIncrements {
                 returned: 0,
                 completed: 3,
@@ -573,7 +572,15 @@ mod tests {
     #[should_panic(expected = "at most 64 operations")]
     fn linearizability_checker_rejects_oversized_histories() {
         let records: Vec<OpRecord<CounterOp, u64>> = (0..65)
-            .map(|i| op(i, CounterOp::Increment, i as u64 + 1, 2 * i as u64 + 1, 2 * i as u64 + 2))
+            .map(|i| {
+                op(
+                    i,
+                    CounterOp::Increment,
+                    i as u64 + 1,
+                    2 * i as u64 + 1,
+                    2 * i as u64 + 2,
+                )
+            })
             .collect();
         let _ = check_linearizable(&CounterSpec, &History::new(records));
     }

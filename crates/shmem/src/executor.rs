@@ -78,10 +78,12 @@ impl<R> ExecutionOutcome<R> {
 
     /// Iterates over the processes that completed, with their results.
     pub fn completed(&self) -> impl Iterator<Item = (ProcessId, &R)> {
-        self.outcomes.iter().filter_map(|(id, outcome)| match outcome {
-            ProcessOutcome::Completed { result, .. } => Some((*id, result)),
-            ProcessOutcome::Crashed { .. } => None,
-        })
+        self.outcomes
+            .iter()
+            .filter_map(|(id, outcome)| match outcome {
+                ProcessOutcome::Completed { result, .. } => Some((*id, result)),
+                ProcessOutcome::Crashed { .. } => None,
+            })
     }
 
     /// The results of all completed processes, in process-index order.
@@ -94,10 +96,7 @@ impl<R> ExecutionOutcome<R> {
 
     /// Number of processes that crashed.
     pub fn crashed_count(&self) -> usize {
-        self.outcomes
-            .iter()
-            .filter(|(_, o)| o.is_crashed())
-            .count()
+        self.outcomes.iter().filter(|(_, o)| o.is_crashed()).count()
     }
 
     /// Per-process step statistics (completed and crashed alike), in
@@ -117,7 +116,7 @@ impl<R> ExecutionOutcome<R> {
 
     /// Total steps across all processes.
     pub fn total_steps(&self) -> StepStats {
-        self.per_process_steps().into_iter().sum()
+        self.outcomes.iter().map(|(_, o)| o.steps()).sum()
     }
 
     /// Summary statistics (max / mean / total) over per-process step counts.
@@ -241,8 +240,7 @@ impl Executor {
                         if !delay.is_zero() {
                             std::thread::sleep(delay);
                         }
-                        let mut ctx =
-                            ProcessCtx::with_adversary(id, seed, yield_policy, crash_at);
+                        let mut ctx = ProcessCtx::with_adversary(id, seed, yield_policy, crash_at);
                         let run = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                         match run {
                             Ok(result) => (
@@ -317,13 +315,12 @@ mod tests {
     #[test]
     fn fetch_add_hands_out_distinct_values_under_contention() {
         let reg = Arc::new(AtomicUsizeRegister::new(0));
-        let outcome = Executor::new(
-            ExecConfig::new(3).with_yield_policy(YieldPolicy::Probabilistic(0.3)),
-        )
-        .run(16, {
-            let reg = Arc::clone(&reg);
-            move |ctx| reg.fetch_add(ctx, 1)
-        });
+        let outcome =
+            Executor::new(ExecConfig::new(3).with_yield_policy(YieldPolicy::Probabilistic(0.3)))
+                .run(16, {
+                    let reg = Arc::clone(&reg);
+                    move |ctx| reg.fetch_add(ctx, 1)
+                });
         let mut values = outcome.results();
         values.sort_unstable();
         assert_eq!(values, (0..16).collect::<Vec<_>>());
@@ -331,7 +328,11 @@ mod tests {
 
     #[test]
     fn run_with_ids_passes_sparse_initial_names() {
-        let ids = vec![ProcessId::new(10), ProcessId::new(999), ProcessId::new(5000)];
+        let ids = vec![
+            ProcessId::new(10),
+            ProcessId::new(999),
+            ProcessId::new(5000),
+        ];
         let outcome = Executor::with_seed(1).run_with_ids(&ids, |ctx| ctx.id().as_usize());
         let mut names = outcome.results();
         names.sort_unstable();

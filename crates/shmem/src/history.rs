@@ -258,8 +258,9 @@ mod tests {
 
     #[test]
     fn history_collects_from_iterator() {
-        let history: History<&str, u64> =
-            vec![record(9, 10, 1), record(1, 2, 2)].into_iter().collect();
+        let history: History<&str, u64> = vec![record(9, 10, 1), record(1, 2, 2)]
+            .into_iter()
+            .collect();
         assert_eq!(history.records()[0].invoke, 1);
         let back: Vec<_> = (&history).into_iter().collect();
         assert_eq!(back.len(), 2);

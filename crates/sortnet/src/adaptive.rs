@@ -166,7 +166,10 @@ impl AdaptiveNetwork {
 
     /// Like [`AdaptiveNetwork::new`], but taking an already-shared family.
     pub fn with_family(family: Arc<dyn SortingFamily>, max_level: usize) -> Self {
-        assert!(max_level >= 1, "the adaptive network needs at least level 1");
+        assert!(
+            max_level >= 1,
+            "the adaptive network needs at least level 1"
+        );
         assert!(
             max_level <= MAX_LEVEL,
             "level {max_level} exceeds MAX_LEVEL ({MAX_LEVEL})"
@@ -426,7 +429,10 @@ mod tests {
         assert!(low <= adaptive.traversal_depth_bound(1), "low {low}");
         assert!(mid <= adaptive.traversal_depth_bound(6), "mid {mid}");
         assert!(high <= adaptive.traversal_depth_bound(200), "high {high}");
-        assert!(low < high, "low-wire values must traverse fewer comparators");
+        assert!(
+            low < high,
+            "low-wire values must traverse fewer comparators"
+        );
         // The whole-network depth is much larger than the low-wire bound.
         assert!(adaptive.traversal_depth_bound(1) < adaptive.total_depth());
     }

@@ -1,0 +1,405 @@
+//! Compiled comparator schedules: flat, cache-friendly, O(1) queries.
+//!
+//! A [`ComparatorSchedule`](crate::schedule::ComparatorSchedule) answers
+//! "which comparator touches wire `w` in stage `s`?" — but the generic
+//! implementations answer it slowly: a materialized
+//! [`ComparatorNetwork`](crate::network::ComparatorNetwork) historically
+//! scanned the stage's comparator list per query, and the default
+//! `stage_comparators`/`apply_schedule` methods allocate a fresh `Vec` per
+//! stage. On the renaming hot path that query runs once per process per
+//! stage, so [`CompiledSchedule`] lowers any schedule into three flat arrays:
+//!
+//! * `slots` — a `depth × width` wire map: for every `(stage, wire)` cell,
+//!   the *dense comparator index* of the comparator touching that wire, or a
+//!   sentinel for idle wires. One array load answers the traversal query.
+//! * `comparators` — every comparator exactly once, in stage-major order
+//!   (the dense index space). Doubles as the per-stage comparator list.
+//! * `stage_offsets` — CSR-style offsets into `comparators`, one per stage,
+//!   so a stage's comparators are a contiguous slice (no allocation).
+//!
+//! The dense index is what makes the lock-free comparator slab in the
+//! renaming engine possible: a network with `size()` comparators stores its
+//! test-and-set objects in a plain array indexed by the compiled slot, with
+//! no hashing and no locks on the traversal path.
+//!
+//! Compilation costs `O(width × depth)` time and memory, so it is meant for
+//! the bounded networks processes actually traverse (every materializable
+//! network qualifies). The analytic schedules of the §6.1 adaptive
+//! construction with astronomical widths stay uncompiled; the adaptive
+//! renaming object compiles its small inner sections and falls back to
+//! sparse storage for the outer ones.
+
+use crate::network::{Comparator, ComparatorNetwork};
+use crate::schedule::ComparatorSchedule;
+use std::fmt;
+
+/// Sentinel marking an idle `(stage, wire)` cell in the wire map.
+const IDLE: u32 = u32::MAX;
+
+/// A [`ComparatorSchedule`] lowered into flat arrays with O(1) queries and a
+/// dense comparator index space.
+///
+/// # Example
+///
+/// ```
+/// use sortnet::batcher::odd_even_network;
+/// use sortnet::compiled::CompiledSchedule;
+/// use sortnet::schedule::ComparatorSchedule;
+///
+/// let network = odd_even_network(8);
+/// let compiled = CompiledSchedule::compile(&network);
+/// assert_eq!(compiled.width(), 8);
+/// assert_eq!(compiled.size(), network.size());
+/// // Compiled queries agree with the source schedule everywhere.
+/// for stage in 0..compiled.depth() {
+///     for wire in 0..compiled.width() {
+///         assert_eq!(compiled.comparator_at(stage, wire), network.comparator_at(stage, wire));
+///     }
+/// }
+/// assert_eq!(compiled.apply(&[5, 1, 4, 2, 8, 6, 3, 7]), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct CompiledSchedule {
+    width: usize,
+    /// Wire map: `slots[stage * width + wire]` is the dense comparator index
+    /// touching the wire in the stage, or [`IDLE`].
+    slots: Vec<u32>,
+    /// Every comparator once, in stage-major order (the dense index space).
+    comparators: Vec<Comparator>,
+    /// CSR offsets: stage `s` owns `comparators[stage_offsets[s]..stage_offsets[s + 1]]`.
+    stage_offsets: Vec<u32>,
+}
+
+impl CompiledSchedule {
+    /// Lowers a schedule into flat arrays.
+    ///
+    /// Runs in `O(width × depth)` time and memory — one wire-map cell per
+    /// `(stage, wire)` pair. Stages are preserved verbatim, including empty
+    /// ones, so stage indices agree with the source schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is wider or deeper than `u32` dense indexing
+    /// supports (`width × depth` must fit in memory anyway), or if the
+    /// schedule is inconsistent (the two wires of a reported comparator
+    /// disagree about it — a violation of the
+    /// [`ComparatorSchedule`] contract).
+    pub fn compile<S: ComparatorSchedule + ?Sized>(schedule: &S) -> Self {
+        let width = schedule.width();
+        let depth = schedule.depth();
+        let cells = width
+            .checked_mul(depth)
+            .expect("schedule wire map exceeds the address space");
+        let mut slots = vec![IDLE; cells];
+        let mut comparators = Vec::new();
+        let mut stage_offsets = Vec::with_capacity(depth + 1);
+        stage_offsets.push(0u32);
+        for stage in 0..depth {
+            let row = stage * width;
+            for wire in 0..width {
+                // The top wire of a comparator is visited first and fills in
+                // both cells, so a filled cell needs no second query.
+                if slots[row + wire] != IDLE {
+                    continue;
+                }
+                if let Some(comparator) = schedule.comparator_at(stage, wire) {
+                    assert_eq!(
+                        comparator.top, wire,
+                        "schedule reported comparator {comparator} for wire {wire} in stage \
+                         {stage} before its top wire — inconsistent comparator_at"
+                    );
+                    let index = u32::try_from(comparators.len())
+                        .expect("more than u32::MAX comparators cannot be compiled");
+                    assert!(
+                        index != IDLE,
+                        "comparator count collides with the idle sentinel"
+                    );
+                    slots[row + comparator.top] = index;
+                    slots[row + comparator.bottom] = index;
+                    comparators.push(comparator);
+                }
+            }
+            let end = u32::try_from(comparators.len())
+                .expect("more than u32::MAX comparators cannot be compiled");
+            stage_offsets.push(end);
+        }
+        CompiledSchedule {
+            width,
+            slots,
+            comparators,
+            stage_offsets,
+        }
+    }
+
+    /// The total number of comparators — the size of the dense index space
+    /// (and of any slab allocated against it).
+    pub fn size(&self) -> usize {
+        self.comparators.len()
+    }
+
+    /// The dense index of the comparator touching `wire` in `stage`, if any.
+    ///
+    /// This is the O(1) wire-map lookup the renaming traversal runs per
+    /// stage; the returned index addresses both [`CompiledSchedule::dense`]
+    /// and the comparator slab of a renaming network built over this
+    /// schedule.
+    #[inline]
+    pub fn slot_at(&self, stage: usize, wire: usize) -> Option<usize> {
+        if wire >= self.width || stage >= self.depth() {
+            return None;
+        }
+        match self.slots[stage * self.width + wire] {
+            IDLE => None,
+            slot => Some(slot as usize),
+        }
+    }
+
+    /// The comparator touching `wire` in `stage` together with its dense
+    /// index — the single lookup the traversal loop needs.
+    #[inline]
+    pub fn pair_at(&self, stage: usize, wire: usize) -> Option<(Comparator, usize)> {
+        self.slot_at(stage, wire)
+            .map(|slot| (self.comparators[slot], slot))
+    }
+
+    /// The comparator with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.size()`.
+    #[inline]
+    pub fn dense(&self, slot: usize) -> Comparator {
+        self.comparators[slot]
+    }
+
+    /// All comparators in dense order (stage-major).
+    pub fn dense_comparators(&self) -> &[Comparator] {
+        &self.comparators
+    }
+
+    /// The comparators of one stage as a contiguous slice — no allocation,
+    /// unlike the trait's `stage_comparators`. Out-of-range stages yield an
+    /// empty slice.
+    pub fn stage(&self, stage: usize) -> &[Comparator] {
+        if stage >= self.depth() {
+            return &[];
+        }
+        let start = self.stage_offsets[stage] as usize;
+        let end = self.stage_offsets[stage + 1] as usize;
+        &self.comparators[start..end]
+    }
+
+    /// Applies the compiled network to an input sequence without any
+    /// per-stage allocation (a single output buffer is cloned from the
+    /// input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.width()`.
+    pub fn apply<T: Ord + Clone>(&self, input: &[T]) -> Vec<T> {
+        assert_eq!(
+            input.len(),
+            self.width,
+            "input length must equal the schedule width"
+        );
+        let mut values: Vec<T> = input.to_vec();
+        // Stages only matter for parallel hardware; sequentially, the dense
+        // stage-major order applies them with one flat pass.
+        for comparator in &self.comparators {
+            if values[comparator.top] > values[comparator.bottom] {
+                values.swap(comparator.top, comparator.bottom);
+            }
+        }
+        values
+    }
+
+    /// Rebuilds a materialized [`ComparatorNetwork`] from the dense arrays
+    /// (empty stages are dropped, matching
+    /// [`ComparatorSchedule::materialize`]).
+    pub fn to_network(&self) -> ComparatorNetwork {
+        let mut network = ComparatorNetwork::new(self.width);
+        for stage in 0..self.depth() {
+            let comparators = self.stage(stage);
+            if !comparators.is_empty() {
+                network.push_stage(comparators.to_vec());
+            }
+        }
+        network
+    }
+
+    /// Approximate heap footprint of the flat arrays, in bytes (harness
+    /// inspection; useful when deciding whether a schedule is worth
+    /// compiling).
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<u32>()
+            + self.comparators.len() * std::mem::size_of::<Comparator>()
+            + self.stage_offsets.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl ComparatorSchedule for CompiledSchedule {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn depth(&self) -> usize {
+        self.stage_offsets.len() - 1
+    }
+
+    fn comparator_at(&self, stage: usize, wire: usize) -> Option<Comparator> {
+        self.slot_at(stage, wire).map(|slot| self.comparators[slot])
+    }
+
+    fn stage_comparators(&self, stage: usize) -> Vec<Comparator> {
+        self.stage(stage).to_vec()
+    }
+}
+
+impl fmt::Debug for CompiledSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledSchedule")
+            .field("width", &self.width)
+            .field("depth", &self.depth())
+            .field("size", &self.size())
+            .field("memory_bytes", &self.memory_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::{odd_even_network, OddEvenSchedule};
+    use crate::bitonic::bitonic_network;
+    use crate::transposition::transposition_network;
+    use crate::verify::is_sorting_network_exhaustive;
+
+    fn assert_agrees<S: ComparatorSchedule>(source: &S, label: &str) {
+        let compiled = CompiledSchedule::compile(source);
+        assert_eq!(compiled.width(), source.width(), "{label}: width");
+        assert_eq!(compiled.depth(), source.depth(), "{label}: depth");
+        for stage in 0..source.depth() {
+            assert_eq!(
+                compiled.stage(stage).to_vec(),
+                source.stage_comparators(stage),
+                "{label}: stage {stage} comparators"
+            );
+            for wire in 0..source.width() {
+                assert_eq!(
+                    compiled.comparator_at(stage, wire),
+                    source.comparator_at(stage, wire),
+                    "{label}: ({stage}, {wire})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_odd_even_networks_agree_with_their_source() {
+        for width in [2usize, 3, 7, 8, 16, 33, 64] {
+            assert_agrees(&odd_even_network(width), &format!("odd-even {width}"));
+        }
+    }
+
+    #[test]
+    fn compiled_analytic_schedules_agree_with_their_source() {
+        for width in [2usize, 5, 8, 24, 32] {
+            assert_agrees(&OddEvenSchedule::new(width), &format!("analytic {width}"));
+        }
+    }
+
+    #[test]
+    fn compiled_bitonic_and_transposition_networks_agree() {
+        for width in [2usize, 6, 8, 16, 19] {
+            assert_agrees(&bitonic_network(width), &format!("bitonic {width}"));
+            assert_agrees(
+                &transposition_network(width),
+                &format!("transposition {width}"),
+            );
+        }
+    }
+
+    #[test]
+    fn dense_indices_are_stage_major_and_complete() {
+        let network = odd_even_network(16);
+        let compiled = CompiledSchedule::compile(&network);
+        assert_eq!(compiled.size(), network.size());
+        assert_eq!(compiled.dense_comparators().len(), compiled.size());
+        // Every (stage, wire) the source reports busy has a slot; slots of
+        // one stage form a contiguous dense range.
+        let mut seen = vec![false; compiled.size()];
+        for stage in 0..compiled.depth() {
+            let start = compiled.stage_offsets[stage] as usize;
+            let end = compiled.stage_offsets[stage + 1] as usize;
+            for wire in 0..compiled.width() {
+                if let Some(slot) = compiled.slot_at(stage, wire) {
+                    assert!((start..end).contains(&slot), "stage {stage} wire {wire}");
+                    assert_eq!(
+                        compiled.dense(slot),
+                        network.comparator_at(stage, wire).unwrap()
+                    );
+                    seen[slot] = true;
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "every dense slot is reachable");
+    }
+
+    #[test]
+    fn pair_at_returns_comparator_and_slot_together() {
+        let compiled = CompiledSchedule::compile(&odd_even_network(8));
+        let (comparator, slot) = compiled.pair_at(0, 0).unwrap();
+        assert!(comparator.touches(0));
+        assert_eq!(compiled.dense(slot), comparator);
+        assert_eq!(
+            compiled.pair_at(0, 0),
+            compiled.pair_at(0, comparator.bottom)
+        );
+        assert_eq!(compiled.pair_at(99, 0), None, "stage out of range");
+        assert_eq!(compiled.pair_at(0, 99), None, "wire out of range");
+    }
+
+    #[test]
+    fn apply_matches_the_source_network() {
+        let network = odd_even_network(13);
+        let compiled = CompiledSchedule::compile(&network);
+        let input: Vec<i32> = vec![7, -2, 9, 4, 4, 0, 12, -8, 3, 5, 1, 6, 2];
+        assert_eq!(compiled.apply(&input), network.apply(&input));
+        let mut sorted = input.clone();
+        sorted.sort_unstable();
+        assert_eq!(compiled.apply(&input), sorted);
+    }
+
+    #[test]
+    fn compiled_schedule_is_itself_a_sorting_network() {
+        let compiled = CompiledSchedule::compile(&odd_even_network(8));
+        assert!(is_sorting_network_exhaustive(&compiled.to_network()));
+        // And the trait-level application works too.
+        assert_eq!(
+            compiled.apply_schedule(&[3, 1, 2, 8, 5, 4, 7, 6]),
+            vec![1, 2, 3, 4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn round_trip_preserves_the_network() {
+        let network = odd_even_network(12);
+        let compiled = CompiledSchedule::compile(&network);
+        assert_eq!(compiled.to_network(), network);
+    }
+
+    #[test]
+    fn debug_reports_dimensions() {
+        let compiled = CompiledSchedule::compile(&odd_even_network(8));
+        let rendered = format!("{compiled:?}");
+        assert!(rendered.contains("CompiledSchedule"));
+        assert!(rendered.contains("size"));
+        assert!(compiled.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length")]
+    fn apply_rejects_wrong_width() {
+        CompiledSchedule::compile(&odd_even_network(8)).apply(&[1, 2, 3]);
+    }
+}

@@ -8,9 +8,13 @@
 //!   comparators, application to inputs, depth/size metrics.
 //! * [`schedule`] — the [`ComparatorSchedule`](schedule::ComparatorSchedule)
 //!   abstraction: "which comparator (if any) touches wire `w` in stage `s`?".
-//!   Renaming networks traverse schedules rather than materialized networks,
-//!   so arbitrarily wide networks can be used without materializing millions
-//!   of comparators.
+//!   Analytic schedules answer it arithmetically, so arbitrarily wide
+//!   networks (the adaptive construction's outer levels) can be queried
+//!   without materializing millions of comparators.
+//! * [`compiled`] — [`CompiledSchedule`](compiled::CompiledSchedule): any
+//!   schedule lowered into flat wire-map + dense-comparator arrays with O(1)
+//!   queries and a dense index space, the substrate of the lock-free
+//!   comparator slab in the renaming engine.
 //! * [`batcher`] — Batcher's odd-even mergesort, both materialized and as an
 //!   analytic schedule; the constructible `O(log² n)`-depth family the paper
 //!   suggests in place of the impractical AKS network.
@@ -44,6 +48,7 @@
 pub mod adaptive;
 pub mod batcher;
 pub mod bitonic;
+pub mod compiled;
 pub mod family;
 pub mod network;
 pub mod schedule;
@@ -53,6 +58,7 @@ pub mod verify;
 pub use adaptive::AdaptiveNetwork;
 pub use batcher::{odd_even_network, OddEvenSchedule};
 pub use bitonic::bitonic_network;
+pub use compiled::CompiledSchedule;
 pub use family::{aks_depth_estimate, NetworkFamily, SortingFamily};
 pub use network::{Comparator, ComparatorNetwork};
 pub use schedule::ComparatorSchedule;

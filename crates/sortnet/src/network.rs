@@ -59,7 +59,16 @@ impl fmt::Display for Comparator {
     }
 }
 
+/// Sentinel marking a wire idle in a stage's lookup row.
+const NO_COMPARATOR: u32 = u32::MAX;
+
 /// A materialized comparator network: a fixed width and a sequence of stages.
+///
+/// Alongside the stage lists, the network maintains a per-stage *wire lookup
+/// row* mapping each wire to the comparator touching it, so
+/// [`ComparatorNetwork::comparator_touching`] (and therefore the
+/// [`ComparatorSchedule`](crate::schedule::ComparatorSchedule) query) is O(1)
+/// instead of a scan of the stage.
 ///
 /// # Example
 ///
@@ -74,11 +83,26 @@ impl fmt::Display for Comparator {
 /// assert_eq!(network.apply(&[3, 2, 1]), vec![1, 2, 3]);
 /// assert_eq!(network.depth(), 3);
 /// assert_eq!(network.size(), 3);
+/// assert_eq!(network.comparator_touching(1, 2), Some(Comparator::new(1, 2)));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct ComparatorNetwork {
     width: usize,
     stages: Vec<Vec<Comparator>>,
+    /// `stage_lookup[s][w]` = index within `stages[s]` of the comparator
+    /// touching wire `w`, or [`NO_COMPARATOR`]. Maintained by every mutator.
+    stage_lookup: Vec<Vec<u32>>,
+}
+
+/// Builds the lookup row of one stage.
+fn lookup_row(width: usize, comparators: &[Comparator]) -> Vec<u32> {
+    let mut row = vec![NO_COMPARATOR; width];
+    for (index, comparator) in comparators.iter().enumerate() {
+        let index = u32::try_from(index).expect("stage has more than u32::MAX comparators");
+        row[comparator.top] = index;
+        row[comparator.bottom] = index;
+    }
+    row
 }
 
 impl ComparatorNetwork {
@@ -87,7 +111,15 @@ impl ComparatorNetwork {
         ComparatorNetwork {
             width,
             stages: Vec::new(),
+            stage_lookup: Vec::new(),
         }
+    }
+
+    /// Appends a stage without validating it, keeping the lookup index in
+    /// sync. Callers must guarantee well-formedness.
+    fn push_stage_unchecked(&mut self, comparators: Vec<Comparator>) {
+        self.stage_lookup.push(lookup_row(self.width, &comparators));
+        self.stages.push(comparators);
     }
 
     /// The number of wires.
@@ -140,7 +172,18 @@ impl ComparatorNetwork {
                 seen[wire] = true;
             }
         }
-        self.stages.push(comparators);
+        self.push_stage_unchecked(comparators);
+    }
+
+    /// The comparator touching `wire` in `stage`, if any, in O(1) via the
+    /// per-wire lookup index. Out-of-range stages and wires yield `None`.
+    #[inline]
+    pub fn comparator_touching(&self, stage: usize, wire: usize) -> Option<Comparator> {
+        let row = self.stage_lookup.get(stage)?;
+        match *row.get(wire)? {
+            NO_COMPARATOR => None,
+            index => Some(self.stages[stage][index as usize]),
+        }
     }
 
     /// Appends every comparator of a sequence, greedily packing them into the
@@ -165,6 +208,11 @@ impl ComparatorNetwork {
             self.stages[stage].push(comparator);
             ready_stage[comparator.top] = stage + 1;
             ready_stage[comparator.bottom] = stage + 1;
+        }
+        // Rebuild the lookup rows of the stages this call touched.
+        self.stage_lookup.truncate(base);
+        for stage in &self.stages[base..] {
+            self.stage_lookup.push(lookup_row(self.width, stage));
         }
     }
 
@@ -235,13 +283,10 @@ impl ComparatorNetwork {
     pub fn truncate(&self, width: usize) -> ComparatorNetwork {
         let mut truncated = ComparatorNetwork::new(width);
         for stage in &self.stages {
-            let kept: Vec<Comparator> = stage
-                .iter()
-                .copied()
-                .filter(|c| c.bottom < width)
-                .collect();
+            let kept: Vec<Comparator> =
+                stage.iter().copied().filter(|c| c.bottom < width).collect();
             if !kept.is_empty() {
-                truncated.stages.push(kept);
+                truncated.push_stage_unchecked(kept);
             }
         }
         truncated
@@ -262,7 +307,7 @@ impl ComparatorNetwork {
         );
         let mut shifted = ComparatorNetwork::new(new_width);
         for stage in &self.stages {
-            shifted.stages.push(
+            shifted.push_stage_unchecked(
                 stage
                     .iter()
                     .map(|c| Comparator::new(c.top + offset, c.bottom + offset))
@@ -284,6 +329,16 @@ impl ComparatorNetwork {
             "concatenated networks must have equal widths"
         );
         self.stages.extend(other.stages.iter().cloned());
+        self.stage_lookup.extend(other.stage_lookup.iter().cloned());
+    }
+}
+
+impl fmt::Debug for ComparatorNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComparatorNetwork")
+            .field("width", &self.width)
+            .field("stages", &self.stages)
+            .finish()
     }
 }
 
@@ -340,7 +395,14 @@ mod tests {
         assert_eq!(network.width(), 3);
         assert_eq!(network.depth(), 3);
         assert_eq!(network.size(), 3);
-        for input in [[1, 2, 3], [3, 2, 1], [2, 3, 1], [2, 1, 3], [3, 1, 2], [1, 3, 2]] {
+        for input in [
+            [1, 2, 3],
+            [3, 2, 1],
+            [2, 3, 1],
+            [2, 1, 3],
+            [3, 1, 2],
+            [1, 3, 2],
+        ] {
             assert_eq!(network.apply(&input), vec![1, 2, 3], "input {input:?}");
         }
     }
@@ -432,6 +494,50 @@ mod tests {
         assert_eq!(a.depth(), 6);
         assert_eq!(a.size(), 6);
         assert_eq!(a.apply(&[3, 1, 2]), vec![1, 2, 3]);
+    }
+
+    /// The lookup index must agree with a scan of the stage lists after any
+    /// sequence of mutations.
+    fn assert_lookup_consistent(network: &ComparatorNetwork, label: &str) {
+        for (stage, comparators) in network.stages().iter().enumerate() {
+            for wire in 0..network.width() {
+                let scanned = comparators.iter().copied().find(|c| c.touches(wire));
+                assert_eq!(
+                    network.comparator_touching(stage, wire),
+                    scanned,
+                    "{label}: stage {stage}, wire {wire}"
+                );
+            }
+        }
+        assert_eq!(
+            network.comparator_touching(network.depth(), 0),
+            None,
+            "{label}"
+        );
+        assert_eq!(
+            network.comparator_touching(0, network.width()),
+            None,
+            "{label}"
+        );
+    }
+
+    #[test]
+    fn lookup_index_tracks_every_mutation_path() {
+        let mut network = three_wire_sorter();
+        assert_lookup_consistent(&network, "push_stage");
+
+        network.append_comparators(vec![Comparator::new(1, 2), Comparator::new(0, 1)]);
+        assert_lookup_consistent(&network, "append_comparators");
+
+        let truncated = network.truncate(2);
+        assert_lookup_consistent(&truncated, "truncate");
+
+        let shifted = network.shift(2, 6);
+        assert_lookup_consistent(&shifted, "shift");
+
+        let mut concatenated = three_wire_sorter();
+        concatenated.concat(&three_wire_sorter());
+        assert_lookup_consistent(&concatenated, "concat");
     }
 
     #[test]

@@ -92,11 +92,8 @@ impl ComparatorSchedule for ComparatorNetwork {
     }
 
     fn comparator_at(&self, stage: usize, wire: usize) -> Option<Comparator> {
-        self.stages()
-            .get(stage)?
-            .iter()
-            .copied()
-            .find(|c| c.touches(wire))
+        // O(1) through the network's per-wire lookup index.
+        self.comparator_touching(stage, wire)
     }
 }
 
@@ -115,14 +112,8 @@ mod tests {
     #[test]
     fn materialized_network_answers_comparator_queries() {
         let network = sorter3();
-        assert_eq!(
-            network.comparator_at(0, 0),
-            Some(Comparator::new(0, 1))
-        );
-        assert_eq!(
-            network.comparator_at(0, 1),
-            Some(Comparator::new(0, 1))
-        );
+        assert_eq!(network.comparator_at(0, 0), Some(Comparator::new(0, 1)));
+        assert_eq!(network.comparator_at(0, 1), Some(Comparator::new(0, 1)));
         assert_eq!(network.comparator_at(0, 2), None);
         assert_eq!(network.comparator_at(1, 0), None);
         assert_eq!(network.comparator_at(7, 0), None, "stage out of range");

@@ -149,7 +149,7 @@ impl RatRaceTas {
         while index > 1 {
             let parent_index = index / 2;
             let parent = self.node(parent_index);
-            let side = if index % 2 == 0 {
+            let side = if index.is_multiple_of(2) {
                 Side::Top
             } else {
                 Side::Bottom

@@ -165,8 +165,7 @@ mod tests {
     fn at_most_one_process_acquires_under_contention() {
         for seed in 0..30 {
             let splitter = Arc::new(RandomizedSplitter::new());
-            let config =
-                ExecConfig::new(seed).with_yield_policy(YieldPolicy::Probabilistic(0.4));
+            let config = ExecConfig::new(seed).with_yield_policy(YieldPolicy::Probabilistic(0.4));
             let outcome = Executor::new(config).run(8, {
                 let splitter = Arc::clone(&splitter);
                 move |ctx| splitter.enter(ctx)

@@ -90,7 +90,7 @@ impl TestAndSet for TournamentTas {
         let mut position = self.leaves + id;
         while position > 1 {
             let parent = position / 2;
-            let side = if position % 2 == 0 {
+            let side = if position.is_multiple_of(2) {
                 Side::Top
             } else {
                 Side::Bottom
@@ -166,8 +166,7 @@ mod tests {
     fn concurrent_processes_produce_exactly_one_winner() {
         for seed in 0..20 {
             let tas = Arc::new(TournamentTas::new(16));
-            let config =
-                ExecConfig::new(seed).with_yield_policy(YieldPolicy::Probabilistic(0.2));
+            let config = ExecConfig::new(seed).with_yield_policy(YieldPolicy::Probabilistic(0.2));
             let outcome = Executor::new(config).run(16, {
                 let tas = Arc::clone(&tas);
                 move |ctx| tas.test_and_set(ctx)

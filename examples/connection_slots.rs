@@ -13,8 +13,8 @@
 //! cargo run --example connection_slots
 //! ```
 
-use strong_renaming::prelude::*;
 use std::sync::Arc;
+use strong_renaming::prelude::*;
 
 fn main() {
     let slots = 64usize;

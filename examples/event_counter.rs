@@ -13,8 +13,8 @@
 
 use shmem::consistency::{check_monotone_consistent, CounterOp};
 use shmem::history::Recorder;
-use strong_renaming::prelude::*;
 use std::sync::Arc;
+use strong_renaming::prelude::*;
 
 fn main() {
     let producers = 8usize;
@@ -23,9 +23,8 @@ fn main() {
     let counter = Arc::new(MonotoneCounter::new());
     let recorder: Arc<Recorder<CounterOp, u64>> = Arc::new(Recorder::new());
 
-    let executor = Executor::new(
-        ExecConfig::new(7).with_yield_policy(YieldPolicy::Probabilistic(0.1)),
-    );
+    let executor =
+        Executor::new(ExecConfig::new(7).with_yield_policy(YieldPolicy::Probabilistic(0.1)));
     // Producers interleave increments with occasional reads; the last process
     // acts as a read-only monitor.
     let outcome = executor.run(producers + 1, {

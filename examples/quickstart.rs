@@ -7,8 +7,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use strong_renaming::prelude::*;
 use std::sync::Arc;
+use strong_renaming::prelude::*;
 
 fn main() {
     // The participants carry large, scattered initial identifiers — the
@@ -17,7 +17,9 @@ fn main() {
     let ids: Vec<ProcessId> = initial_ids.iter().copied().map(ProcessId::new).collect();
 
     let renaming = Arc::new(AdaptiveRenaming::new());
-    let executor = Executor::new(ExecConfig::new(0xC0FFEE).with_yield_policy(YieldPolicy::Probabilistic(0.05)));
+    let executor = Executor::new(
+        ExecConfig::new(0xC0FFEE).with_yield_policy(YieldPolicy::Probabilistic(0.05)),
+    );
 
     let outcome = executor.run_with_ids(&ids, {
         let renaming = Arc::clone(&renaming);
@@ -39,13 +41,20 @@ fn main() {
     for (_, (initial, report), steps) in &rows {
         println!(
             "{initial:>11} -> {:>8}   (temp {:>4}, {:>3} comparators, {:>4} steps)",
-            report.name, report.temp_name, report.comparators_played, steps.total()
+            report.name,
+            report.temp_name,
+            report.comparators_played,
+            steps.total()
         );
     }
 
     let names: Vec<usize> = rows.iter().map(|(_, (_, r), _)| r.name).collect();
     assert_tight_namespace(&names).expect("strong adaptive renaming: names are exactly 1..=k");
-    println!("\nAll {} names are unique and form exactly 1..={}.", names.len(), names.len());
+    println!(
+        "\nAll {} names are unique and form exactly 1..={}.",
+        names.len(),
+        names.len()
+    );
     println!(
         "Total register steps across all processes: {}",
         outcome.total_steps().total()

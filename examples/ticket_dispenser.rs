@@ -14,9 +14,9 @@
 use adaptive_renaming::fetch_increment::FetchIncrementSpec;
 use shmem::consistency::check_linearizable;
 use shmem::history::Recorder;
-use strong_renaming::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use strong_renaming::prelude::*;
 
 fn main() {
     let tickets = 12u64;
@@ -55,7 +55,11 @@ fn main() {
     // Tickets 0..m-2 are handed out exactly once; the rest of the clients all
     // see the saturation value m-1.
     for ticket in 0..tickets - 1 {
-        assert_eq!(counts.get(&ticket).copied().unwrap_or(0), 1, "ticket {ticket}");
+        assert_eq!(
+            counts.get(&ticket).copied().unwrap_or(0),
+            1,
+            "ticket {ticket}"
+        );
     }
     assert_eq!(
         counts.get(&(tickets - 1)).copied().unwrap_or(0),

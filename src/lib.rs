@@ -28,12 +28,13 @@ pub use tas;
 pub mod prelude {
     pub use adaptive_renaming::adaptive::AdaptiveRenaming;
     pub use adaptive_renaming::bit_batching::BitBatchingRenaming;
+    pub use adaptive_renaming::comparator_slab::ComparatorSlab;
     pub use adaptive_renaming::counter::{CasCounter, Counter, MonotoneCounter};
     pub use adaptive_renaming::fetch_increment::BoundedFetchIncrement;
     pub use adaptive_renaming::linear_probe::LinearProbeRenaming;
     pub use adaptive_renaming::loose::LooseRenaming;
     pub use adaptive_renaming::ltas::BoundedTas;
-    pub use adaptive_renaming::renaming_network::RenamingNetwork;
+    pub use adaptive_renaming::renaming_network::{LockedRenamingNetwork, RenamingNetwork};
     pub use adaptive_renaming::traits::{assert_tight_namespace, assert_unique_names, Renaming};
     pub use shmem::adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
     pub use shmem::executor::Executor;

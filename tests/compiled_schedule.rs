@@ -1,0 +1,95 @@
+//! Property tests of the compiled-schedule engine: lowering any schedule
+//! into flat arrays must change nothing observable. For odd-even, bitonic
+//! and transposition networks across randomized widths, the compiled form
+//! must agree with its source on every `(stage, wire)` query and on the
+//! output of `apply_schedule`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sortnet::batcher::{odd_even_network, OddEvenSchedule};
+use sortnet::bitonic::bitonic_network;
+use sortnet::compiled::CompiledSchedule;
+use sortnet::network::ComparatorNetwork;
+use sortnet::schedule::ComparatorSchedule;
+use sortnet::transposition::transposition_network;
+
+fn network_for(family: u8, width: usize) -> (ComparatorNetwork, &'static str) {
+    match family % 3 {
+        0 => (odd_even_network(width), "odd-even"),
+        1 => (bitonic_network(width), "bitonic"),
+        _ => (transposition_network(width), "transposition"),
+    }
+}
+
+/// Every `(stage, wire)` query of the compiled schedule must match the
+/// source, including out-of-range probes.
+fn queries_agree<S: ComparatorSchedule>(
+    compiled: &CompiledSchedule,
+    source: &S,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(compiled.width(), source.width());
+    prop_assert_eq!(compiled.depth(), source.depth());
+    for stage in 0..source.depth() {
+        prop_assert_eq!(
+            compiled.stage(stage).to_vec(),
+            source.stage_comparators(stage)
+        );
+        for wire in 0..source.width() {
+            prop_assert_eq!(
+                compiled.comparator_at(stage, wire),
+                source.comparator_at(stage, wire),
+                "stage {}, wire {}",
+                stage,
+                wire
+            );
+        }
+    }
+    prop_assert_eq!(compiled.comparator_at(source.depth(), 0), None);
+    prop_assert_eq!(compiled.comparator_at(0, source.width()), None);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    /// Compiling a materialized network — of any of the three families —
+    /// preserves every comparator query and every application output.
+    #[test]
+    fn compiled_network_agrees_with_its_source(
+        width in 2usize..40,
+        family in 0u8..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let (network, label) = network_for(family, width);
+        let compiled = CompiledSchedule::compile(&network);
+        prop_assert_eq!(compiled.size(), network.size(), "{}", label);
+        queries_agree(&compiled, &network)?;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input: Vec<u32> = (0..width).map(|_| rng.gen_range(0..1000)).collect();
+        let mut sorted = input.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(compiled.apply(&input), network.apply_schedule(&input), "{}", label);
+        prop_assert_eq!(compiled.apply(&input), sorted, "{}: must still sort", label);
+    }
+
+    /// The analytic odd-even schedule (no materialization involved) compiles
+    /// to the same answers as well.
+    #[test]
+    fn compiled_analytic_schedule_agrees_with_its_source(
+        width in 2usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let schedule = OddEvenSchedule::new(width);
+        let compiled = CompiledSchedule::compile(&schedule);
+        queries_agree(&compiled, &schedule)?;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input: Vec<u32> = (0..width).map(|_| rng.gen_range(0..1000)).collect();
+        prop_assert_eq!(compiled.apply(&input), schedule.apply_schedule(&input));
+    }
+}

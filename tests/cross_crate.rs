@@ -114,7 +114,13 @@ fn paper_counterexample_history_is_monotone_but_not_linearizable() {
     // Experiment E9: the §8.1 schedule — p3's increment is pending, p2
     // completes with name 2, p1 later completes with name 1, and two reads
     // straddling p1's increment both return 2.
-    fn op(process: usize, op: CounterOp, result: u64, invoke: u64, response: u64) -> OpRecord<CounterOp, u64> {
+    fn op(
+        process: usize,
+        op: CounterOp,
+        result: u64,
+        invoke: u64,
+        response: u64,
+    ) -> OpRecord<CounterOp, u64> {
         OpRecord {
             process: ProcessId::new(process),
             op,
@@ -159,8 +165,13 @@ fn bounded_tas_histories_remain_linearizable_under_crashes() {
         // Crashed invocations never complete, so they are simply absent from
         // the history; the completed operations must still linearize.
         let history = recorder.take_history();
-        check_linearizable(&BoundedTasSpec { limit: limit as u64 }, &history)
-            .unwrap_or_else(|violation| panic!("seed {seed}: {violation}"));
+        check_linearizable(
+            &BoundedTasSpec {
+                limit: limit as u64,
+            },
+            &history,
+        )
+        .unwrap_or_else(|violation| panic!("seed {seed}: {violation}"));
     }
 }
 
@@ -202,8 +213,9 @@ fn renaming_network_and_adaptive_renaming_agree_on_tightness_for_shared_ids() {
         .map(ProcessId::new)
         .collect();
 
-    let bounded: Arc<RenamingNetwork<_>> =
-        Arc::new(RenamingNetwork::new(sortnet::batcher::odd_even_network(256)));
+    let bounded: Arc<RenamingNetwork<_>> = Arc::new(RenamingNetwork::new(
+        sortnet::batcher::odd_even_network(256),
+    ));
     let outcome = Executor::new(ExecConfig::new(31)).run_with_ids(&ids, {
         let bounded = Arc::clone(&bounded);
         move |ctx| bounded.acquire(ctx).unwrap()

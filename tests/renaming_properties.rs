@@ -18,7 +18,9 @@ fn config(seed: u64, yield_percent: u8, arrival_choice: u8) -> ExecConfig {
         },
     };
     ExecConfig::new(seed)
-        .with_yield_policy(YieldPolicy::Probabilistic(f64::from(yield_percent % 40) / 100.0))
+        .with_yield_policy(YieldPolicy::Probabilistic(
+            f64::from(yield_percent % 40) / 100.0,
+        ))
         .with_arrival(arrival)
 }
 

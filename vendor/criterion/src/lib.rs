@@ -1,0 +1,260 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_with_input`, `bench_function`, `Bencher::iter`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros — as a
+//! straightforward wall-clock harness: each benchmark warms up for the
+//! configured duration, then runs timed batches until the measurement window
+//! elapses, and reports the mean, minimum and maximum time per iteration on
+//! standard output. No statistics beyond that, no plots, no baselines; the
+//! numbers are honest wall-clock means, which is what the repository's
+//! `BENCH_*.json` artifacts record.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a displayable parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Measurement summary of one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sample {
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed iteration.
+    pub min_ns: f64,
+    /// Slowest observed iteration.
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample: Sample,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: first for the warm-up window, then for the
+    /// measurement window, recording per-iteration wall-clock times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_up_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        while total < self.measurement {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            let ns = elapsed.as_nanos() as f64;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+            total += elapsed;
+            iterations += 1;
+        }
+        self.sample = Sample {
+            mean_ns: if iterations == 0 {
+                0.0
+            } else {
+                total.as_nanos() as f64 / iterations as f64
+            },
+            min_ns: if min_ns.is_finite() { min_ns } else { 0.0 },
+            max_ns,
+            iterations,
+        };
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion-compatibility knob; sampling here is time-driven, so the
+    /// requested sample count is accepted and ignored.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Runs one benchmark over an input value.
+    pub fn bench_with_input<P, F>(&mut self, id: BenchmarkId, input: &P, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample: Sample::default(),
+        };
+        f(&mut bencher, input);
+        let s = bencher.sample;
+        println!(
+            "bench {}/{id}: {}/iter (min {}, max {}, {} iters)",
+            self.name,
+            format_ns(s.mean_ns),
+            format_ns(s.min_ns),
+            format_ns(s.max_ns),
+            s.iterations
+        );
+        self
+    }
+
+    /// Runs one benchmark without a parameter.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample: Sample::default(),
+        };
+        f(&mut bencher);
+        let s = bencher.sample;
+        println!(
+            "bench {}/{name}: {}/iter (min {}, max {}, {} iters)",
+            self.name,
+            format_ns(s.mean_ns),
+            format_ns(s.min_ns),
+            format_ns(s.max_ns),
+            s.iterations
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group with default windows (1 s warm-up, 3 s
+    /// measurement, typically overridden by the benches).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            warm_up: Duration::from_secs(1),
+            measurement: Duration::from_secs(3),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a set of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $function(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iterations() {
+        let mut bencher = Bencher {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            sample: Sample::default(),
+        };
+        let mut counter = 0u64;
+        bencher.iter(|| {
+            counter += 1;
+            counter
+        });
+        assert!(bencher.sample.iterations > 0);
+        assert!(bencher.sample.mean_ns > 0.0);
+        assert!(bencher.sample.min_ns <= bencher.sample.max_ns);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        let id = BenchmarkId::new("engine", 64);
+        assert_eq!(id.to_string(), "engine/64");
+    }
+}

@@ -1,0 +1,333 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset the workspace's property tests use: the
+//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! `prop_assert!` / `prop_assert_eq!`, integer-range strategies, and
+//! `collection::btree_set`. Cases are generated from a deterministic
+//! per-case seed (override with the `PROPTEST_SEED` environment variable),
+//! so failures are reproducible. No shrinking is performed: the failing
+//! case's arguments are printed instead.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Execution of generated test cases.
+
+    /// A failed property within a test case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail<M: Into<String>>(message: M) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// A deterministic random source for one test case (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Returns the next random word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Returns a value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "bound must be positive");
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    /// Drives the configured number of cases for one property.
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        cases: u32,
+        base_seed: u64,
+    }
+
+    impl TestRunner {
+        /// Creates a runner from a configuration.
+        pub fn new(config: crate::ProptestConfig) -> Self {
+            let base_seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5EED_CAFE_F00D_D00Du64);
+            TestRunner {
+                cases: config.cases,
+                base_seed,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The random source for one case index.
+        pub fn rng_for(&self, case: u32) -> TestRng {
+            TestRng::new(self.base_seed ^ (u64::from(case).wrapping_mul(0xA24B_AED4_963E_E407)))
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample from an empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy producing `BTreeSet`s of elements drawn from `element`, with
+    /// sizes drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `BTreeSet`s with sizes in `size` and elements from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.clone().sample(rng);
+            let mut set = BTreeSet::new();
+            // The element domain may be smaller than the target size; cap the
+            // number of attempts so sampling always terminates.
+            for _ in 0..target.saturating_mul(16).max(16) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.sample(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this stand-in never shrinks, so the
+    /// value is unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 32,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable API surface.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` property, failing the case (with
+/// the arguments printed) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {left:?} != {right:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}: {left:?} != {right:?}", format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body across generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($config:expr; ) => {};
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::new($config);
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for(case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(error) = outcome {
+                    panic!(
+                        "property {} failed at case {case}: {error}\narguments: {:?}",
+                        stringify!($name),
+                        ($(&$arg,)*)
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Generated integers respect their ranges.
+        #[test]
+        fn ranges_are_respected(
+            small in 1usize..10,
+            wide in 0u64..1_000_000,
+            byte in 0u8..40,
+        ) {
+            prop_assert!((1..10).contains(&small));
+            prop_assert!(wide < 1_000_000);
+            prop_assert!(byte < 40, "byte {byte} out of range");
+        }
+
+        /// btree_set sizes land within the requested range when the domain
+        /// is large enough.
+        #[test]
+        fn btree_sets_have_bounded_sizes(
+            set in crate::collection::btree_set(0usize..1000, 1..10),
+        ) {
+            prop_assert!(!set.is_empty() && set.len() < 10);
+            prop_assert_eq!(set.iter().copied().max().map(|m| m < 1000), Some(true));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failed_properties_panic_with_arguments() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 1, ..ProptestConfig::default() })]
+
+            fn always_fails(x in 0u8..2) {
+                prop_assert!(x > 200);
+            }
+        }
+        always_fails();
+    }
+}
