@@ -9,6 +9,7 @@ use shmem::adversary::ExecConfig;
 use shmem::executor::Executor;
 use std::sync::Arc;
 use std::time::Duration;
+use tas::ratrace::RatRaceTas;
 
 fn bench_adaptive_renaming(c: &mut Criterion) {
     let mut group = c.benchmark_group("adaptive_renaming_contention");
@@ -18,7 +19,7 @@ fn bench_adaptive_renaming(c: &mut Criterion) {
     for k in [4usize, 16, 48] {
         group.bench_with_input(BenchmarkId::new("adaptive", k), &k, |b, &k| {
             b.iter(|| {
-                let renaming = Arc::new(AdaptiveRenaming::new());
+                let renaming = Arc::new(AdaptiveRenaming::default());
                 let outcome = Executor::new(ExecConfig::new(5)).run(k, {
                     let renaming = Arc::clone(&renaming);
                     move |ctx| renaming.acquire(ctx).expect("never fails")
@@ -28,7 +29,9 @@ fn bench_adaptive_renaming(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("linear_probe", k), &k, |b, &k| {
             b.iter(|| {
-                let renaming = Arc::new(LinearProbeRenaming::new(k));
+                let renaming = Arc::new(LinearProbeRenaming::with_slots(
+                    (0..k).map(|_| RatRaceTas::new()).collect::<Vec<_>>(),
+                ));
                 let outcome = Executor::new(ExecConfig::new(5)).run(k, {
                     let renaming = Arc::clone(&renaming);
                     move |ctx| renaming.acquire(ctx).expect("k slots for k processes")

@@ -7,6 +7,7 @@ use shmem::adversary::ExecConfig;
 use shmem::executor::Executor;
 use std::sync::Arc;
 use std::time::Duration;
+use tas::ratrace::RatRaceTas;
 
 fn bench_bit_batching(c: &mut Criterion) {
     let mut group = c.benchmark_group("bit_batching_full_load");
@@ -16,7 +17,7 @@ fn bench_bit_batching(c: &mut Criterion) {
     for n in [32usize, 64, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let renaming = Arc::new(BitBatchingRenaming::new(n));
+                let renaming = Arc::new(BitBatchingRenaming::with_factory(n, RatRaceTas::new));
                 let outcome = Executor::new(ExecConfig::new(7)).run(n, {
                     let renaming = Arc::clone(&renaming);
                     move |ctx| renaming.acquire(ctx).expect("full load fits")

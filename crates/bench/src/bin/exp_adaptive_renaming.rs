@@ -18,6 +18,7 @@ use shmem::adversary::ExecConfig;
 use shmem::executor::Executor;
 use shmem::process::ProcessId;
 use std::sync::Arc;
+use tas::ratrace::RatRaceTas;
 
 fn main() {
     let seeds: Vec<u64> = (0..3).collect();
@@ -54,7 +55,7 @@ fn main() {
         let mut linear_max = 0usize;
 
         for &seed in &seeds {
-            let renaming = Arc::new(AdaptiveRenaming::new());
+            let renaming = Arc::new(AdaptiveRenaming::default());
             let ids: Vec<ProcessId> = (0..k).map(|i| ProcessId::new(i * 1000 + 17)).collect();
             let outcome = Executor::new(ExecConfig::new(seed)).run_with_ids(&ids, {
                 let renaming = Arc::clone(&renaming);
@@ -72,7 +73,9 @@ fn main() {
             max_depth = max_depth.max(reports.iter().map(|r| r.splitter_depth).max().unwrap_or(0));
 
             // Baseline: linear probing over exactly k slots.
-            let linear = Arc::new(LinearProbeRenaming::new(k));
+            let linear = Arc::new(LinearProbeRenaming::with_slots(
+                (0..k).map(|_| RatRaceTas::new()).collect::<Vec<_>>(),
+            ));
             let linear_outcome = Executor::new(ExecConfig::new(seed)).run(k, {
                 let linear = Arc::clone(&linear);
                 move |ctx| {

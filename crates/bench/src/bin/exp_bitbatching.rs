@@ -14,6 +14,7 @@ use renaming_bench::{fmt1, log2, Aggregate, Table};
 use shmem::adversary::ExecConfig;
 use shmem::executor::Executor;
 use std::sync::Arc;
+use tas::ratrace::RatRaceTas;
 
 fn main() {
     let seeds: Vec<u64> = (0..3).collect();
@@ -52,7 +53,7 @@ fn main() {
         let mut always_tight = true;
 
         for &seed in &seeds {
-            let renaming = Arc::new(BitBatchingRenaming::new(n));
+            let renaming = Arc::new(BitBatchingRenaming::with_factory(n, RatRaceTas::new));
             let outcome = Executor::new(ExecConfig::new(seed)).run(n, {
                 let renaming = Arc::clone(&renaming);
                 move |ctx| renaming.acquire_with_report(ctx).expect("full load fits")

@@ -1,0 +1,223 @@
+//! Lease-churn throughput: long-lived renaming vs the ticket baseline.
+//!
+//! Worker threads repeatedly lease and release a name. The contenders:
+//!
+//! * **`Recycler<RenamingNetwork>`** — the compiled §5 renaming network
+//!   behind the lock-free recycling free list. Names stay inside
+//!   `1..=threads` forever (the long-lived strong renaming guarantee).
+//! * **`CasCounter`-style ticket dispenser** — one `fetch_add` per acquire,
+//!   one per release. As fast as the hardware allows, but the namespace
+//!   grows without bound: after `10^9` operations names are 10 decimal
+//!   digits wide, which is exactly what renaming exists to prevent.
+//!
+//! Reported: acquire/release cycles per second at 2/4/8/16 threads, plus
+//! the recycler's fresh/recycled split. The numbers are written to
+//! `BENCH_lease_churn.json` so the trajectory of the long-lived hot path is
+//! tracked across revisions.
+//!
+//! Run with `cargo run --release -p renaming-bench --bin exp_lease_churn`.
+
+use adaptive_renaming::builder::RenamingBuilder;
+use adaptive_renaming::lease::LongLivedRenaming;
+use adaptive_renaming::recycler::Recycler;
+use renaming_bench::{fmt1, Table};
+use shmem::adversary::ExecConfig;
+use shmem::executor::Executor;
+use shmem::register::AtomicU64Register;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Input wires of the one-shot network under the recycler.
+const WIDTH: usize = 64;
+/// Lease/release cycles per worker per timed execution.
+const OPS_PER_WORKER: usize = 2_000;
+/// Timed executions per configuration (the mean is reported).
+const EXECUTIONS: usize = 5;
+/// Thread counts of the sweep.
+const THREADS: [usize; 4] = [2, 4, 8, 16];
+
+/// One measured configuration.
+struct Sample {
+    variant: &'static str,
+    threads: usize,
+    mean_ns_per_op: f64,
+    min_ns_per_op: f64,
+    max_ns_per_op: f64,
+    max_name: usize,
+    fresh_names: usize,
+    recycled_names: usize,
+}
+
+/// Times `EXECUTIONS` runs of `threads` workers × `OPS_PER_WORKER` cycles of
+/// `cycle`, which returns the largest name it observed.
+fn measure<F>(
+    variant: &'static str,
+    threads: usize,
+    mut stats_after: impl FnMut() -> (usize, usize),
+    cycle: F,
+) -> Sample
+where
+    F: Fn(&mut shmem::process::ProcessCtx, usize) -> usize + Send + Sync,
+{
+    let total_ops = (threads * OPS_PER_WORKER) as f64;
+    let mut total_ns = 0.0;
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns: f64 = 0.0;
+    let mut max_name = 0usize;
+    let cycle = &cycle;
+    for execution in 0..EXECUTIONS {
+        let start = Instant::now();
+        let outcome = Executor::new(ExecConfig::new(execution as u64)).run(threads, move |ctx| {
+            let mut worst = 0usize;
+            for _ in 0..OPS_PER_WORKER {
+                worst = worst.max(cycle(ctx, threads));
+            }
+            worst
+        });
+        let elapsed = start.elapsed().as_nanos() as f64 / total_ops;
+        total_ns += elapsed;
+        min_ns = min_ns.min(elapsed);
+        max_ns = max_ns.max(elapsed);
+        max_name = max_name.max(outcome.results().into_iter().max().unwrap_or(0));
+    }
+    let (fresh_names, recycled_names) = stats_after();
+    Sample {
+        variant,
+        threads,
+        mean_ns_per_op: total_ns / EXECUTIONS as f64,
+        min_ns_per_op: min_ns,
+        max_ns_per_op: max_ns,
+        max_name,
+        fresh_names,
+        recycled_names,
+    }
+}
+
+fn run_sweep() -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for &threads in &THREADS {
+        // --- Recycler over the compiled renaming network ------------------
+        let inner = RenamingBuilder::new()
+            .network()
+            .capacity(WIDTH)
+            .hardware_comparators()
+            .build()
+            .expect("valid configuration");
+        let recycler = Arc::new(Recycler::new(inner, threads));
+        samples.push(measure(
+            "recycler_renaming_network",
+            threads,
+            {
+                let recycler = Arc::clone(&recycler);
+                move || (recycler.fresh_names(), recycler.recycled_names())
+            },
+            {
+                let recycler = Arc::clone(&recycler);
+                move |ctx, _| {
+                    let lease = Arc::clone(&recycler)
+                        .lease(ctx)
+                        .expect("admission bound equals the worker count");
+                    let name = lease.name();
+                    lease.release(ctx);
+                    name
+                }
+            },
+        ));
+
+        // --- Ticket baseline: fetch-and-add acquire + release -------------
+        let tickets = Arc::new(AtomicU64Register::new(0));
+        let stubs = Arc::new(AtomicU64Register::new(0));
+        samples.push(measure("cas_ticket_baseline", threads, || (0, 0), {
+            let tickets = Arc::clone(&tickets);
+            let stubs = Arc::clone(&stubs);
+            move |ctx, _| {
+                let name = tickets.fetch_add(ctx, 1) as usize + 1;
+                stubs.fetch_add(ctx, 1); // "return the ticket stub"
+                name
+            }
+        }));
+    }
+    samples
+}
+
+fn print_table(samples: &[Sample]) {
+    let mut table = Table::new(
+        "Lease churn — acquire/release cycles, recycler vs ticket dispenser",
+        &[
+            "variant",
+            "threads",
+            "ns/op (mean)",
+            "ns/op (min)",
+            "ns/op (max)",
+            "max name seen",
+            "fresh",
+            "recycled",
+        ],
+    );
+    for s in samples {
+        table.row(vec![
+            s.variant.to_string(),
+            s.threads.to_string(),
+            fmt1(s.mean_ns_per_op),
+            fmt1(s.min_ns_per_op),
+            fmt1(s.max_ns_per_op),
+            s.max_name.to_string(),
+            s.fresh_names.to_string(),
+            s.recycled_names.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+fn write_json(samples: &[Sample]) -> std::io::Result<()> {
+    let mut variants = String::new();
+    for (index, s) in samples.iter().enumerate() {
+        if index > 0 {
+            variants.push_str(",\n");
+        }
+        variants.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"threads\": {}, \"mean_ns_per_op\": {:.1}, \
+             \"min_ns_per_op\": {:.1}, \"max_ns_per_op\": {:.1}, \"max_name\": {}, \
+             \"fresh_names\": {}, \"recycled_names\": {}}}",
+            s.variant,
+            s.threads,
+            s.mean_ns_per_op,
+            s.min_ns_per_op,
+            s.max_ns_per_op,
+            s.max_name,
+            s.fresh_names,
+            s.recycled_names
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"lease_churn\",\n  \"network_width\": {WIDTH},\n  \
+         \"ops_per_worker\": {OPS_PER_WORKER},\n  \"executions\": {EXECUTIONS},\n  \
+         \"variants\": [\n{variants}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_lease_churn.json", json)
+}
+
+fn main() {
+    let samples = run_sweep();
+    print_table(&samples);
+    for &threads in &THREADS {
+        let ns = |variant: &str| {
+            samples
+                .iter()
+                .find(|s| s.variant == variant && s.threads == threads)
+                .map(|s| s.mean_ns_per_op)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{threads:>2} threads: recycler {:.0} ns/op vs ticket {:.0} ns/op \
+             ({:.1}x); recycler namespace stays 1..={threads}",
+            ns("recycler_renaming_network"),
+            ns("cas_ticket_baseline"),
+            ns("recycler_renaming_network") / ns("cas_ticket_baseline"),
+        );
+    }
+    match write_json(&samples) {
+        Ok(()) => println!("wrote BENCH_lease_churn.json"),
+        Err(error) => eprintln!("failed to write BENCH_lease_churn.json: {error}"),
+    }
+}

@@ -17,6 +17,7 @@ use renaming_bench::{fmt1, log2, Aggregate, Table};
 use shmem::adversary::ExecConfig;
 use shmem::executor::Executor;
 use std::sync::Arc;
+use tas::ratrace::RatRaceTas;
 
 fn measure<R, F>(make: F, k: usize, seeds: &[u64]) -> (f64, f64)
 where
@@ -53,9 +54,21 @@ fn main() {
     );
 
     for k in [2usize, 4, 8, 16, 32, 64] {
-        let (adaptive_steps, adaptive_tas) = measure(AdaptiveRenaming::new, k, &seeds);
-        let (bitbatching_steps, _) = measure(|| BitBatchingRenaming::new(k.max(2)), k, &seeds);
-        let (linear_steps, _) = measure(|| LinearProbeRenaming::new(k), k, &seeds);
+        let (adaptive_steps, adaptive_tas) = measure(AdaptiveRenaming::default, k, &seeds);
+        let (bitbatching_steps, _) = measure(
+            || BitBatchingRenaming::with_factory(k.max(2), RatRaceTas::new),
+            k,
+            &seeds,
+        );
+        let (linear_steps, _) = measure(
+            || {
+                LinearProbeRenaming::with_slots(
+                    (0..k).map(|_| RatRaceTas::new()).collect::<Vec<_>>(),
+                )
+            },
+            k,
+            &seeds,
+        );
         let reference = log2(k).max(1.0);
         table.row(vec![
             k.to_string(),

@@ -2,7 +2,7 @@
 //!
 //! The algorithm has two stages:
 //!
-//! 1. [`TempName`](crate::temp_name::TempName): a randomized splitter tree
+//! 1. [`TempName`]: a randomized splitter tree
 //!    assigns each participant a unique temporary name that is polynomial in
 //!    the contention `k` with high probability, in `O(log k)` steps.
 //! 2. A renaming network built over the §6.1 *adaptive sorting network*
@@ -143,7 +143,7 @@ pub struct AdaptiveReport {
 /// use std::sync::Arc;
 ///
 /// // Identifiers are irrelevant: huge, scattered initial names still map to 1..=4.
-/// let renaming = Arc::new(AdaptiveRenaming::new());
+/// let renaming = Arc::new(AdaptiveRenaming::default());
 /// let ids: Vec<ProcessId> = [7usize, 123_456, 42, 999_999_999]
 ///     .iter().copied().map(ProcessId::new).collect();
 /// let outcome = Executor::new(ExecConfig::new(11)).run_with_ids(&ids, {
@@ -162,21 +162,27 @@ pub struct AdaptiveRenaming<T: TwoPartyTas + Default = TwoProcessTas> {
 }
 
 impl AdaptiveRenaming<TwoProcessTas> {
-    /// Creates the adaptive renaming object with the default configuration:
-    /// randomized two-process test-and-set comparators over the adaptive
-    /// network based on Batcher's odd-even mergesort, truncated at the
-    /// maximum supported level (2³² input ports).
+    /// Creates the adaptive renaming object with the default configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through the facade: `<dyn Renaming>::builder().build()`; \
+                use `AdaptiveRenaming::default()` where the concrete type is needed"
+    )]
     pub fn new() -> Self {
-        Self::with_network(AdaptiveNetwork::new(
-            NetworkFamily::OddEven,
-            sortnet::adaptive::MAX_LEVEL,
-        ))
+        Self::default()
     }
 }
 
 impl Default for AdaptiveRenaming<TwoProcessTas> {
+    /// The default configuration: randomized two-process test-and-set
+    /// comparators over the adaptive network based on Batcher's odd-even
+    /// mergesort, truncated at the maximum supported level (2³² input
+    /// ports). This is what `<dyn Renaming>::builder().build()` constructs.
     fn default() -> Self {
-        Self::new()
+        Self::with_network(AdaptiveNetwork::new(
+            NetworkFamily::OddEven,
+            sortnet::adaptive::MAX_LEVEL,
+        ))
     }
 }
 
@@ -344,7 +350,7 @@ mod tests {
 
     #[test]
     fn solo_process_gets_name_one() {
-        let renaming = AdaptiveRenaming::new();
+        let renaming = AdaptiveRenaming::default();
         let mut ctx = ProcessCtx::new(ProcessId::new(123_456_789), 3);
         let report = renaming.acquire_with_report(&mut ctx).unwrap();
         assert_eq!(report.name, 1);
@@ -354,7 +360,7 @@ mod tests {
 
     #[test]
     fn sequential_processes_get_a_tight_namespace() {
-        let renaming = AdaptiveRenaming::new();
+        let renaming = AdaptiveRenaming::default();
         let mut names = Vec::new();
         for id in 0..12usize {
             let mut ctx = ProcessCtx::new(ProcessId::new(id * 1000 + 7), 5);
@@ -366,7 +372,7 @@ mod tests {
     #[test]
     fn concurrent_processes_get_a_tight_namespace() {
         for seed in 0..6 {
-            let renaming = Arc::new(AdaptiveRenaming::new());
+            let renaming = Arc::new(AdaptiveRenaming::default());
             let k = 12usize;
             let config = ExecConfig::new(seed)
                 .with_yield_policy(YieldPolicy::Probabilistic(0.15))
@@ -382,7 +388,7 @@ mod tests {
 
     #[test]
     fn namespace_is_independent_of_initial_identifiers() {
-        let renaming = Arc::new(AdaptiveRenaming::new());
+        let renaming = Arc::new(AdaptiveRenaming::default());
         let ids: Vec<ProcessId> = [5usize, 1_000_000, 77, 123_456_789, 31_337, 2]
             .iter()
             .copied()
@@ -397,7 +403,7 @@ mod tests {
 
     #[test]
     fn staggered_arrivals_still_get_a_tight_namespace() {
-        let renaming = Arc::new(AdaptiveRenaming::new());
+        let renaming = Arc::new(AdaptiveRenaming::default());
         let config = ExecConfig::new(8).with_arrival(ArrivalSchedule::Staggered {
             gap: Duration::from_micros(300),
         });
@@ -411,7 +417,7 @@ mod tests {
     #[test]
     fn crashed_processes_never_break_safety() {
         for seed in 0..5 {
-            let renaming = Arc::new(AdaptiveRenaming::new());
+            let renaming = Arc::new(AdaptiveRenaming::default());
             let k = 16usize;
             let config = ExecConfig::new(seed).with_crash_plan(CrashPlan::Random {
                 prob: 0.3,
@@ -444,7 +450,7 @@ mod tests {
         // Theorem 3's cost profile: the number of two-process test-and-sets a
         // process plays is bounded by the traversal-depth bound for its
         // temporary name, which is polylogarithmic in k.
-        let renaming = Arc::new(AdaptiveRenaming::new());
+        let renaming = Arc::new(AdaptiveRenaming::default());
         let k = 16usize;
         let outcome = Executor::new(ExecConfig::new(33)).run(k, {
             let renaming = Arc::clone(&renaming);
@@ -482,7 +488,7 @@ mod tests {
         // Default instance: level 5, sections A5..A1, S0, C1..C5. Levels 1-3
         // fit the compiled-cell budget; levels 4 and 5 are analytic giants
         // that must stay sparse.
-        let renaming = AdaptiveRenaming::new();
+        let renaming = AdaptiveRenaming::default();
         assert_eq!(renaming.network().sections().len(), 11);
         assert_eq!(renaming.compiled_sections(), 7);
 
@@ -493,7 +499,7 @@ mod tests {
 
     #[test]
     fn metadata_is_reported() {
-        let renaming = AdaptiveRenaming::new();
+        let renaming = AdaptiveRenaming::default();
         assert_eq!(renaming.capacity(), None);
         assert!(renaming.is_adaptive());
         assert_eq!(renaming.temp_name_stage().allocated_splitters(), 0);
@@ -504,7 +510,7 @@ mod tests {
     fn repeated_acquisitions_by_one_process_stay_unique() {
         // The counter increments by re-acquiring from the same object; each
         // acquisition acts as a fresh virtual participant.
-        let renaming = AdaptiveRenaming::new();
+        let renaming = AdaptiveRenaming::default();
         let mut ctx = ProcessCtx::new(ProcessId::new(4), 6);
         let mut names = Vec::new();
         for _ in 0..10 {

@@ -53,15 +53,17 @@ pub struct BitBatchingReport {
 /// # Example
 ///
 /// ```
-/// use adaptive_renaming::bit_batching::BitBatchingRenaming;
 /// use adaptive_renaming::traits::{assert_tight_namespace, Renaming};
 /// use shmem::adversary::ExecConfig;
 /// use shmem::executor::Executor;
-/// use std::sync::Arc;
 ///
-/// let renaming = Arc::new(BitBatchingRenaming::new(8));
+/// let renaming = <dyn Renaming>::builder()
+///     .bit_batching()
+///     .capacity(8)
+///     .build()
+///     .unwrap();
 /// let outcome = Executor::new(ExecConfig::new(3)).run(8, {
-///     let renaming = Arc::clone(&renaming);
+///     let renaming = renaming.clone();
 ///     move |ctx| renaming.acquire(ctx).expect("8 slots for 8 processes")
 /// });
 /// assert!(assert_tight_namespace(&outcome.results()).is_ok());
@@ -84,6 +86,12 @@ impl BitBatchingRenaming<RatRaceTas> {
     /// # Panics
     ///
     /// Panics if `n < 2`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through the facade: \
+                `<dyn Renaming>::builder().bit_batching().capacity(n).build()`; \
+                use `with_factory(n, RatRaceTas::new)` where the concrete type is needed"
+    )]
     pub fn new(n: usize) -> Self {
         Self::with_factory(n, RatRaceTas::new)
     }
@@ -336,7 +344,7 @@ mod tests {
 
     #[test]
     fn solo_process_wins_in_the_first_batch_with_few_probes() {
-        let renaming = BitBatchingRenaming::new(64);
+        let renaming = BitBatchingRenaming::with_factory(64, RatRaceTas::new);
         let mut ctx = ProcessCtx::new(ProcessId::new(0), 5);
         let report = renaming.acquire_with_report(&mut ctx).unwrap();
         assert!(
@@ -352,7 +360,7 @@ mod tests {
     #[test]
     fn sequential_full_load_yields_a_tight_namespace() {
         let n = 32;
-        let renaming = BitBatchingRenaming::new(n);
+        let renaming = BitBatchingRenaming::with_factory(n, RatRaceTas::new);
         let mut names = Vec::new();
         for id in 0..n {
             let mut ctx = ProcessCtx::new(ProcessId::new(id), 7);
@@ -365,7 +373,7 @@ mod tests {
     fn concurrent_full_load_yields_a_tight_namespace() {
         for seed in 0..5 {
             let n = 16;
-            let renaming = Arc::new(BitBatchingRenaming::new(n));
+            let renaming = Arc::new(BitBatchingRenaming::with_factory(n, RatRaceTas::new));
             let config = ExecConfig::new(seed)
                 .with_yield_policy(YieldPolicy::Probabilistic(0.1))
                 .with_arrival(ArrivalSchedule::Simultaneous);
@@ -380,7 +388,7 @@ mod tests {
 
     #[test]
     fn partial_load_yields_unique_names_within_n() {
-        let renaming = Arc::new(BitBatchingRenaming::new(64));
+        let renaming = Arc::new(BitBatchingRenaming::with_factory(64, RatRaceTas::new));
         let outcome = Executor::new(ExecConfig::new(11)).run(20, {
             let renaming = Arc::clone(&renaming);
             move |ctx| renaming.acquire(ctx).unwrap()
@@ -420,7 +428,7 @@ mod tests {
     #[test]
     fn crashed_processes_do_not_break_uniqueness() {
         for seed in 0..5 {
-            let renaming = Arc::new(BitBatchingRenaming::new(24));
+            let renaming = Arc::new(BitBatchingRenaming::with_factory(24, RatRaceTas::new));
             let config = ExecConfig::new(seed).with_crash_plan(CrashPlan::Random {
                 prob: 0.3,
                 max_steps: 40,
@@ -436,7 +444,7 @@ mod tests {
     #[test]
     fn probe_counts_stay_polylogarithmic_under_full_load() {
         let n = 64;
-        let renaming = Arc::new(BitBatchingRenaming::new(n));
+        let renaming = Arc::new(BitBatchingRenaming::with_factory(n, RatRaceTas::new));
         let outcome = Executor::new(ExecConfig::new(9)).run(n, {
             let renaming = Arc::clone(&renaming);
             move |ctx| renaming.acquire_with_report(ctx).unwrap()
@@ -454,7 +462,7 @@ mod tests {
 
     #[test]
     fn slots_materialize_lazily() {
-        let renaming = BitBatchingRenaming::new(1024);
+        let renaming = BitBatchingRenaming::with_factory(1024, RatRaceTas::new);
         assert_eq!(renaming.allocated_slots(), 0, "construction builds nothing");
         let mut ctx = ProcessCtx::new(ProcessId::new(0), 5);
         let report = renaming.acquire_with_report(&mut ctx).unwrap();
@@ -473,7 +481,7 @@ mod tests {
 
     #[test]
     fn trait_metadata_is_reported() {
-        let renaming = BitBatchingRenaming::new(8);
+        let renaming = BitBatchingRenaming::with_factory(8, RatRaceTas::new);
         assert_eq!(renaming.capacity(), Some(8));
         assert!(!renaming.is_adaptive());
         assert_eq!(renaming.len(), 8);
@@ -485,6 +493,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two names")]
     fn tiny_vectors_are_rejected() {
-        let _ = BitBatchingRenaming::new(1);
+        let _ = BitBatchingRenaming::with_factory(1, RatRaceTas::new);
     }
 }

@@ -1,0 +1,513 @@
+//! The unified construction facade for renaming objects.
+//!
+//! Every algorithm of the workspace used to be built through its own ad-hoc
+//! constructor (`AdaptiveRenaming::new()`, `BitBatchingRenaming::new(n)`,
+//! `RenamingNetwork::new(odd_even_network(n))`, …). The
+//! [`RenamingBuilder`] replaces those entry points with one fluent surface
+//! that selects the algorithm, the capacity, the sorting-network family and
+//! the comparator engine, and returns the object behind `Arc<dyn Renaming>`
+//! — or, via [`RenamingBuilder::build_long_lived`], behind
+//! `Arc<dyn LongLivedRenaming>` with a [`Recycler`] layered on top.
+//!
+//! Obtain a builder with `<dyn Renaming>::builder()` (or
+//! [`RenamingBuilder::new`]):
+//!
+//! ```
+//! use adaptive_renaming::traits::{assert_tight_namespace, Renaming};
+//! use shmem::executor::Executor;
+//!
+//! let builder = <dyn Renaming>::builder().seed(42);
+//! let renaming = builder.build().unwrap(); // adaptive strong renaming
+//! let outcome = Executor::new(builder.exec_config()).run(6, {
+//!     let renaming = renaming.clone();
+//!     move |ctx| renaming.acquire(ctx).unwrap()
+//! });
+//! assert!(assert_tight_namespace(&outcome.results()).is_ok());
+//! ```
+
+use crate::adaptive::AdaptiveRenaming;
+use crate::bit_batching::BitBatchingRenaming;
+use crate::error::RenamingError;
+use crate::lease::LongLivedRenaming;
+use crate::linear_probe::LinearProbeRenaming;
+use crate::recycler::Recycler;
+use crate::renaming_network::{LockedRenamingNetwork, RenamingNetwork};
+use crate::traits::Renaming;
+use shmem::adversary::ExecConfig;
+use sortnet::family::{NetworkFamily, SortingFamily};
+use std::sync::Arc;
+use tas::hardware::HardwareTas;
+use tas::ratrace::RatRaceTas;
+use tas::two_process::TwoProcessTas;
+
+/// The renaming algorithm a [`RenamingBuilder`] constructs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The §6 adaptive strong renaming object (unbounded, names `1..=k`).
+    #[default]
+    Adaptive,
+    /// The §5 renaming network over a fixed sorting network (requires a
+    /// capacity; strong adaptive within it).
+    Network,
+    /// The §4 BitBatching algorithm (requires a capacity; non-adaptive,
+    /// names `1..=n`).
+    BitBatching,
+    /// The folklore linear-probing baseline (requires a capacity; adaptive
+    /// but `Θ(k)` steps).
+    LinearProbe,
+}
+
+/// The comparator-storage engine for [`Algorithm::Network`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The compiled flat wire-map + lock-free comparator-slab engine.
+    #[default]
+    Compiled,
+    /// The legacy `RwLock<HashMap>` engine, kept for benchmark comparison.
+    Locked,
+}
+
+/// The test-and-set implementation placed at comparators and name slots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ComparatorKind {
+    /// Randomized register-based objects (two-process test-and-set at
+    /// network comparators, RatRace at BitBatching / linear-probe slots) —
+    /// the paper's model.
+    #[default]
+    Randomized,
+    /// Hardware (atomic swap) test-and-set — the deterministic unit-cost
+    /// variant of the paper's discussion section.
+    Hardware,
+}
+
+/// Fluent configuration for every renaming object of the workspace.
+///
+/// See the [module documentation](self) for an overview and
+/// `examples/name_server.rs` for the long-lived surface.
+#[derive(Clone, Debug)]
+pub struct RenamingBuilder {
+    algorithm: Algorithm,
+    capacity: Option<usize>,
+    max_concurrent: Option<usize>,
+    family: NetworkFamily,
+    engine: EngineKind,
+    comparators: ComparatorKind,
+    adaptive_level: Option<usize>,
+    probe_multiplier: usize,
+    seed: u64,
+}
+
+impl Default for RenamingBuilder {
+    fn default() -> Self {
+        RenamingBuilder {
+            algorithm: Algorithm::default(),
+            capacity: None,
+            max_concurrent: None,
+            family: NetworkFamily::default(),
+            engine: EngineKind::default(),
+            comparators: ComparatorKind::default(),
+            adaptive_level: None,
+            probe_multiplier: 3,
+            seed: 0,
+        }
+    }
+}
+
+impl dyn Renaming {
+    /// Starts building a renaming object; the canonical entry point of the
+    /// crate. Equivalent to [`RenamingBuilder::new`].
+    pub fn builder() -> RenamingBuilder {
+        RenamingBuilder::new()
+    }
+}
+
+impl RenamingBuilder {
+    /// Creates a builder with the default configuration: §6 adaptive strong
+    /// renaming on the compiled engine with randomized comparators.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Shorthand for [`Algorithm::Adaptive`].
+    pub fn adaptive(self) -> Self {
+        self.algorithm(Algorithm::Adaptive)
+    }
+
+    /// Shorthand for [`Algorithm::Network`].
+    pub fn network(self) -> Self {
+        self.algorithm(Algorithm::Network)
+    }
+
+    /// Shorthand for [`Algorithm::BitBatching`].
+    pub fn bit_batching(self) -> Self {
+        self.algorithm(Algorithm::BitBatching)
+    }
+
+    /// Shorthand for [`Algorithm::LinearProbe`].
+    pub fn linear_probe(self) -> Self {
+        self.algorithm(Algorithm::LinearProbe)
+    }
+
+    /// Sets the namespace size of the bounded algorithms: input wires of a
+    /// renaming network, name slots of BitBatching and linear probing.
+    /// Rejected (at build time) by [`Algorithm::Adaptive`], which is
+    /// unbounded by construction.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the concurrency bound of the long-lived object produced by
+    /// [`RenamingBuilder::build_long_lived`]; defaults to the capacity.
+    pub fn max_concurrent(mut self, max_concurrent: usize) -> Self {
+        self.max_concurrent = Some(max_concurrent);
+        self
+    }
+
+    /// Selects the sorting-network family used by [`Algorithm::Network`] and
+    /// [`Algorithm::Adaptive`].
+    pub fn family(mut self, family: NetworkFamily) -> Self {
+        self.family = family;
+        self
+    }
+
+    /// Selects the comparator-storage engine ([`Algorithm::Network`] only).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the test-and-set implementation.
+    pub fn comparators(mut self, comparators: ComparatorKind) -> Self {
+        self.comparators = comparators;
+        self
+    }
+
+    /// Shorthand for [`ComparatorKind::Hardware`].
+    pub fn hardware_comparators(self) -> Self {
+        self.comparators(ComparatorKind::Hardware)
+    }
+
+    /// Sets the truncation level of the §6.1 adaptive network (defaults to
+    /// the maximum supported level; smaller levels build faster and suffice
+    /// for small contention).
+    pub fn adaptive_level(mut self, level: usize) -> Self {
+        self.adaptive_level = Some(level);
+        self
+    }
+
+    /// Overrides BitBatching's `3 log n` probes-per-batch constant with
+    /// `multiplier · log n`.
+    pub fn probe_multiplier(mut self, multiplier: usize) -> Self {
+        self.probe_multiplier = multiplier;
+        self
+    }
+
+    /// Sets the seed recorded for adversarial executions driven against the
+    /// built object (see [`RenamingBuilder::exec_config`]). Construction
+    /// itself is deterministic: all randomness in the paper's algorithms is
+    /// drawn from the per-process context at runtime.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// An adversarial executor configuration seeded with this builder's
+    /// seed, so experiment code has a single source of reproducibility.
+    pub fn exec_config(&self) -> ExecConfig {
+        ExecConfig::new(self.seed)
+    }
+
+    /// The configured seed.
+    pub fn configured_seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn bounded_capacity(&self, minimum: usize) -> Result<usize, RenamingError> {
+        let capacity = self.capacity.ok_or(RenamingError::InvalidConfiguration {
+            reason: "this algorithm is bounded: set .capacity(n)",
+        })?;
+        if capacity < minimum {
+            return Err(RenamingError::InvalidConfiguration {
+                reason: "capacity is below the algorithm's minimum (2 for \
+                         networks and BitBatching, 1 for linear probing)",
+            });
+        }
+        Ok(capacity)
+    }
+
+    /// Builds the configured one-shot renaming object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::InvalidConfiguration`] when the settings do
+    /// not fit the selected algorithm (missing or too-small capacity, a
+    /// capacity on the unbounded adaptive algorithm, the locked engine on a
+    /// non-network algorithm).
+    pub fn build(&self) -> Result<Arc<dyn Renaming>, RenamingError> {
+        if self.engine == EngineKind::Locked && self.algorithm != Algorithm::Network {
+            return Err(RenamingError::InvalidConfiguration {
+                reason: "the locked engine only applies to fixed renaming networks",
+            });
+        }
+        match self.algorithm {
+            Algorithm::Adaptive => {
+                if self.capacity.is_some() {
+                    return Err(RenamingError::InvalidConfiguration {
+                        reason: "adaptive renaming is unbounded: drop .capacity(n) \
+                                 (use .max_concurrent(n) to bound the long-lived form)",
+                    });
+                }
+                let level = self.adaptive_level.unwrap_or(sortnet::adaptive::MAX_LEVEL);
+                Ok(match self.comparators {
+                    ComparatorKind::Randomized => Arc::new(
+                        AdaptiveRenaming::<TwoProcessTas>::with_family(self.family, level),
+                    ),
+                    ComparatorKind::Hardware => Arc::new(
+                        AdaptiveRenaming::<HardwareTas>::with_family(self.family, level),
+                    ),
+                })
+            }
+            Algorithm::Network => {
+                let width = self.bounded_capacity(2)?;
+                let schedule = self.family.schedule(width);
+                Ok(match (self.engine, self.comparators) {
+                    (EngineKind::Compiled, ComparatorKind::Randomized) => {
+                        Arc::new(RenamingNetwork::<_, TwoProcessTas>::new(schedule))
+                    }
+                    (EngineKind::Compiled, ComparatorKind::Hardware) => {
+                        Arc::new(RenamingNetwork::<_, HardwareTas>::new(schedule))
+                    }
+                    (EngineKind::Locked, ComparatorKind::Randomized) => {
+                        Arc::new(LockedRenamingNetwork::<_, TwoProcessTas>::new(schedule))
+                    }
+                    (EngineKind::Locked, ComparatorKind::Hardware) => {
+                        Arc::new(LockedRenamingNetwork::<_, HardwareTas>::new(schedule))
+                    }
+                })
+            }
+            Algorithm::BitBatching => {
+                let slots = self.bounded_capacity(2)?;
+                if self.probe_multiplier == 0 {
+                    return Err(RenamingError::InvalidConfiguration {
+                        reason: "the probe multiplier must be positive",
+                    });
+                }
+                Ok(match self.comparators {
+                    ComparatorKind::Randomized => {
+                        Arc::new(BitBatchingRenaming::with_factory_and_multiplier(
+                            slots,
+                            RatRaceTas::new,
+                            self.probe_multiplier,
+                        ))
+                    }
+                    ComparatorKind::Hardware => {
+                        Arc::new(BitBatchingRenaming::with_factory_and_multiplier(
+                            slots,
+                            HardwareTas::new,
+                            self.probe_multiplier,
+                        ))
+                    }
+                })
+            }
+            Algorithm::LinearProbe => {
+                let slots = self.bounded_capacity(1)?;
+                Ok(match self.comparators {
+                    ComparatorKind::Randomized => Arc::new(LinearProbeRenaming::with_slots(
+                        (0..slots).map(|_| RatRaceTas::new()).collect::<Vec<_>>(),
+                    )),
+                    ComparatorKind::Hardware => Arc::new(LinearProbeRenaming::with_slots(
+                        (0..slots).map(|_| HardwareTas::new()).collect::<Vec<_>>(),
+                    )),
+                })
+            }
+        }
+    }
+
+    /// Builds the configured object and wraps it in a [`Recycler`], yielding
+    /// a long-lived renaming object whose leases recycle released names.
+    ///
+    /// The concurrency bound is [`RenamingBuilder::max_concurrent`] if set,
+    /// otherwise the capacity.
+    ///
+    /// # Errors
+    ///
+    /// As [`RenamingBuilder::build`], plus
+    /// [`RenamingError::InvalidConfiguration`] when no concurrency bound can
+    /// be derived or it exceeds the capacity.
+    pub fn build_long_lived(&self) -> Result<Arc<dyn LongLivedRenaming>, RenamingError> {
+        let max_concurrent =
+            self.max_concurrent
+                .or(self.capacity)
+                .ok_or(RenamingError::InvalidConfiguration {
+                    reason: "the long-lived form needs .max_concurrent(n) (or a capacity)",
+                })?;
+        if max_concurrent == 0 {
+            return Err(RenamingError::InvalidConfiguration {
+                reason: "max_concurrent must be at least 1",
+            });
+        }
+        let inner = self.build()?;
+        if let Some(capacity) = inner.capacity() {
+            if max_concurrent > capacity {
+                return Err(RenamingError::InvalidConfiguration {
+                    reason: "max_concurrent exceeds the object's capacity",
+                });
+            }
+        }
+        Ok(Arc::new(Recycler::new(inner, max_concurrent)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::assert_tight_namespace;
+    use shmem::executor::Executor;
+    use shmem::process::{ProcessCtx, ProcessId};
+
+    fn run_tight(renaming: Arc<dyn Renaming>, k: usize, seed: u64) {
+        let outcome =
+            Executor::new(ExecConfig::new(seed)).run(k, move |ctx| renaming.acquire(ctx).unwrap());
+        assert_tight_namespace(&outcome.results()).unwrap();
+    }
+
+    #[test]
+    fn every_algorithm_builds_as_a_trait_object() {
+        let configs: Vec<(&str, RenamingBuilder)> = vec![
+            ("adaptive", RenamingBuilder::new().adaptive()),
+            ("network", RenamingBuilder::new().network().capacity(16)),
+            (
+                "network-locked",
+                RenamingBuilder::new()
+                    .network()
+                    .capacity(16)
+                    .engine(EngineKind::Locked),
+            ),
+            (
+                "network-hardware",
+                RenamingBuilder::new()
+                    .network()
+                    .capacity(16)
+                    .hardware_comparators(),
+            ),
+            (
+                "linear-probe",
+                RenamingBuilder::new().linear_probe().capacity(16),
+            ),
+        ];
+        for (label, builder) in configs {
+            let renaming = builder.build().unwrap_or_else(|e| panic!("{label}: {e}"));
+            run_tight(renaming, 6, 3);
+        }
+
+        // BitBatching is non-adaptive: the namespace is tight only under
+        // full load, so it gets its own run at k = n.
+        let bitbatching = RenamingBuilder::new()
+            .bit_batching()
+            .capacity(8)
+            .build()
+            .unwrap();
+        assert_eq!(bitbatching.capacity(), Some(8));
+        assert!(!bitbatching.is_adaptive());
+        run_tight(bitbatching, 8, 3);
+    }
+
+    #[test]
+    fn adaptive_is_the_default_and_is_unbounded() {
+        let renaming = <dyn Renaming>::builder().build().unwrap();
+        assert_eq!(renaming.capacity(), None);
+        assert!(renaming.is_adaptive());
+    }
+
+    #[test]
+    fn families_and_levels_are_selectable() {
+        let bitonic = <dyn Renaming>::builder()
+            .network()
+            .capacity(8)
+            .family(NetworkFamily::Bitonic)
+            .build()
+            .unwrap();
+        assert_eq!(bitonic.capacity(), Some(8));
+        run_tight(bitonic, 5, 9);
+
+        let small = <dyn Renaming>::builder().adaptive_level(3).build().unwrap();
+        run_tight(small, 6, 11);
+    }
+
+    #[test]
+    fn misconfigurations_are_reported() {
+        let missing = <dyn Renaming>::builder().network().build();
+        assert!(matches!(
+            missing,
+            Err(RenamingError::InvalidConfiguration { .. })
+        ));
+        let adaptive_capacity = <dyn Renaming>::builder().capacity(8).build();
+        assert!(adaptive_capacity.is_err());
+        let locked_adaptive = <dyn Renaming>::builder().engine(EngineKind::Locked).build();
+        assert!(locked_adaptive.is_err());
+        let tiny = <dyn Renaming>::builder().bit_batching().capacity(1).build();
+        assert!(tiny.is_err());
+        let zero_mult = <dyn Renaming>::builder()
+            .bit_batching()
+            .capacity(8)
+            .probe_multiplier(0)
+            .build();
+        assert!(zero_mult.is_err());
+        let no_bound = <dyn Renaming>::builder().build_long_lived();
+        assert!(no_bound.is_err());
+        let excess = <dyn Renaming>::builder()
+            .linear_probe()
+            .capacity(4)
+            .max_concurrent(9)
+            .build_long_lived();
+        assert!(excess.is_err());
+    }
+
+    #[test]
+    fn long_lived_builds_lease_and_recycle() {
+        let object = <dyn Renaming>::builder()
+            .network()
+            .capacity(32)
+            .max_concurrent(4)
+            .build_long_lived()
+            .unwrap();
+        assert_eq!(object.max_concurrent(), Some(4));
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 2);
+        for _ in 0..8 {
+            let lease = Arc::clone(&object).lease(&mut ctx).unwrap();
+            assert_eq!(lease.name(), 1);
+        }
+        assert_eq!(object.live_leases(), 0);
+    }
+
+    #[test]
+    fn long_lived_adaptive_derives_its_bound_from_max_concurrent() {
+        let object = <dyn Renaming>::builder()
+            .adaptive()
+            .adaptive_level(3)
+            .max_concurrent(3)
+            .build_long_lived()
+            .unwrap();
+        let mut ctx = ProcessCtx::new(ProcessId::new(5), 8);
+        let a = Arc::clone(&object).lease(&mut ctx).unwrap();
+        let b = Arc::clone(&object).lease(&mut ctx).unwrap();
+        assert!(a.name() <= 3 && b.name() <= 3);
+        a.release(&mut ctx);
+        b.release(&mut ctx);
+        assert_eq!(ctx.stats().releases, 2);
+    }
+
+    #[test]
+    fn the_seed_threads_into_exec_config() {
+        let builder = RenamingBuilder::new().seed(77);
+        assert_eq!(builder.configured_seed(), 77);
+        assert_eq!(builder.exec_config().seed, 77);
+    }
+}

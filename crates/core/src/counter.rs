@@ -10,12 +10,12 @@
 //! deliberately *not* linearizable (§8.1 exhibits a counterexample, reproduced
 //! in this crate's tests and in experiment E9).
 
-use crate::adaptive::AdaptiveRenaming;
 use crate::traits::Renaming;
 use maxreg::{MaxRegister, UnboundedMaxRegister};
 use shmem::process::ProcessCtx;
 use shmem::register::AtomicU64Register;
 use std::fmt;
+use std::sync::Arc;
 
 /// A shared counter supporting concurrent increments and reads.
 pub trait Counter: Send + Sync {
@@ -47,23 +47,27 @@ pub trait Counter: Send + Sync {
 /// // After all six increments the counter reads exactly six.
 /// assert!(outcome.results().into_iter().max().unwrap() == 6);
 /// ```
-pub struct MonotoneCounter<R: Renaming = AdaptiveRenaming, M: MaxRegister = UnboundedMaxRegister> {
+pub struct MonotoneCounter<R: Renaming = Arc<dyn Renaming>, M: MaxRegister = UnboundedMaxRegister> {
     renaming: R,
     max: M,
 }
 
-impl MonotoneCounter<AdaptiveRenaming, UnboundedMaxRegister> {
+impl MonotoneCounter<Arc<dyn Renaming>, UnboundedMaxRegister> {
     /// Creates the counter with the paper's default components: adaptive
-    /// strong renaming and an unbounded max register.
+    /// strong renaming (constructed through the
+    /// [builder](crate::builder::RenamingBuilder) facade) and an unbounded
+    /// max register.
     pub fn new() -> Self {
         MonotoneCounter {
-            renaming: AdaptiveRenaming::new(),
+            renaming: <dyn Renaming>::builder()
+                .build()
+                .expect("the default adaptive configuration is always valid"),
             max: UnboundedMaxRegister::new(),
         }
     }
 }
 
-impl Default for MonotoneCounter<AdaptiveRenaming, UnboundedMaxRegister> {
+impl Default for MonotoneCounter<Arc<dyn Renaming>, UnboundedMaxRegister> {
     fn default() -> Self {
         Self::new()
     }
@@ -225,7 +229,11 @@ mod tests {
     #[test]
     fn custom_parts_are_supported() {
         let counter = MonotoneCounter::with_parts(
-            crate::linear_probe::LinearProbeRenaming::new(32),
+            <dyn Renaming>::builder()
+                .linear_probe()
+                .capacity(32)
+                .build()
+                .unwrap(),
             BoundedMaxRegister::new(64),
         );
         let mut ctx = ProcessCtx::new(ProcessId::new(0), 2);
@@ -241,7 +249,11 @@ mod tests {
     #[should_panic(expected = "ran out of names")]
     fn exhausted_bounded_backends_panic_loudly() {
         let counter = MonotoneCounter::with_parts(
-            crate::linear_probe::LinearProbeRenaming::new(2),
+            <dyn Renaming>::builder()
+                .linear_probe()
+                .capacity(2)
+                .build()
+                .unwrap(),
             BoundedMaxRegister::new(8),
         );
         let mut ctx = ProcessCtx::new(ProcessId::new(0), 0);

@@ -24,6 +24,13 @@ pub enum RenamingError {
         /// The exclusive upper bound on accepted identifiers.
         namespace: usize,
     },
+    /// A [`RenamingBuilder`](crate::builder::RenamingBuilder) configuration
+    /// does not describe a constructible object (missing capacity, an engine
+    /// that does not apply to the selected algorithm, …).
+    InvalidConfiguration {
+        /// What is wrong with the configuration.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for RenamingError {
@@ -39,6 +46,9 @@ impl fmt::Display for RenamingError {
                 f,
                 "initial identifier {identifier} outside the supported namespace 0..{namespace}"
             ),
+            RenamingError::InvalidConfiguration { reason } => {
+                write!(f, "invalid renaming configuration: {reason}")
+            }
         }
     }
 }
@@ -59,6 +69,10 @@ mod tests {
         };
         assert!(range.to_string().contains("99"));
         assert!(range.to_string().contains("16"));
+        let config = RenamingError::InvalidConfiguration {
+            reason: "missing capacity",
+        };
+        assert!(config.to_string().contains("missing capacity"));
     }
 
     #[test]

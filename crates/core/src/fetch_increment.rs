@@ -9,20 +9,21 @@
 //! at 0-valued objects that always return 0. Theorem 6 shows the construction
 //! is linearizable with `O(log k · log m)` expected step complexity.
 
-use crate::adaptive::AdaptiveRenaming;
 use crate::ltas::BoundedTas;
+use crate::traits::Renaming;
 use shmem::consistency::SequentialSpec;
 use shmem::process::ProcessCtx;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// One node of the recursive construction, covering `span` values.
 struct FaiNode {
     /// Number of values this node can hand out (a power of two, or 1 for the
     /// leaves).
     span: u64,
-    /// The ℓ/2-test-and-set steering operations left (winners) or right.
-    gate: OnceLock<BoundedTas<AdaptiveRenaming>>,
+    /// The ℓ/2-test-and-set steering operations left (winners) or right;
+    /// its inner renaming object is constructed through the builder facade.
+    gate: OnceLock<BoundedTas<Arc<dyn Renaming>>>,
     left: OnceLock<Box<FaiNode>>,
     right: OnceLock<Box<FaiNode>>,
 }
@@ -37,7 +38,7 @@ impl FaiNode {
         }
     }
 
-    fn gate(&self) -> &BoundedTas<AdaptiveRenaming> {
+    fn gate(&self) -> &BoundedTas<Arc<dyn Renaming>> {
         self.gate
             .get_or_init(|| BoundedTas::new((self.span / 2) as usize))
     }

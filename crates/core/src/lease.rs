@@ -1,0 +1,386 @@
+//! Long-lived renaming: RAII name leases and the lease-history checker.
+//!
+//! The paper's objects are one-shot: each participant calls `acquire` once
+//! and the name is consumed forever. A production name server needs the
+//! *long-lived* variant of the problem — acquire **and** release, with
+//! released names recycled — which is the standard extension studied in the
+//! long-lived renaming literature. This module provides the public surface:
+//!
+//! * [`LongLivedRenaming`] — the trait of objects that hand out names for a
+//!   bounded duration. [`Recycler`](crate::recycler::Recycler) adapts any
+//!   one-shot [`Renaming`](crate::traits::Renaming) object into one.
+//! * [`NameLease`] — the RAII guard returned by
+//!   [`LongLivedRenaming::lease`]. Dropping the guard returns the name;
+//!   [`NameLease::release`] does the same with step accounting.
+//! * [`LeaseRecord`] / [`assert_tight_lease_namespace`] — the correctness
+//!   checker for lease-churn histories: at every instant live names must be
+//!   distinct, and every granted name must be bounded by the contention at
+//!   the moment of the grant (tightness against *concurrent holders*, not
+//!   against the total number of acquisitions ever made).
+
+use crate::error::RenamingError;
+use shmem::process::ProcessCtx;
+use shmem::steps::StepKind;
+use std::fmt;
+use std::sync::Arc;
+
+/// A renaming object whose names can be returned and recycled.
+///
+/// Unlike the one-shot [`Renaming`](crate::traits::Renaming) trait, names
+/// obtained through [`LongLivedRenaming::lease`] are held only for the
+/// lifetime of the returned [`NameLease`]; releasing a lease makes its name
+/// available to later leases. The guarantee under churn (for recyclers over
+/// strong adaptive one-shot objects): at every instant the live names are
+/// distinct, and every name is at most the number of leases concurrently in
+/// progress when it was granted.
+///
+/// The trait is dyn-compatible: the builder returns
+/// `Arc<dyn LongLivedRenaming>`, and [`LongLivedRenaming::lease`] takes the
+/// `Arc` by value so the guard can keep its issuer alive. Call it as
+/// `Arc::clone(&object).lease(ctx)`.
+pub trait LongLivedRenaming: Send + Sync {
+    /// Acquires a name wrapped in an RAII [`NameLease`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::CapacityExceeded`] when the configured
+    /// maximum number of concurrent leases is reached, or any error of the
+    /// underlying one-shot object's fresh-name path.
+    fn lease(self: Arc<Self>, ctx: &mut ProcessCtx) -> Result<NameLease, RenamingError>;
+
+    /// Returns a previously leased name to the object **without** step
+    /// accounting.
+    ///
+    /// Normally invoked by [`NameLease`]'s `Drop` implementation; call it
+    /// directly only with a name obtained from [`NameLease::forget`], and at
+    /// most once per lease — releasing a name twice corrupts the free list's
+    /// uniqueness guarantee (implementations reject obvious double releases,
+    /// but the contract is the caller's responsibility).
+    fn release_raw(&self, name: usize);
+
+    /// Returns a previously leased name, recording one
+    /// [`StepKind::Release`] step against `ctx`.
+    fn release_with(&self, ctx: &mut ProcessCtx, name: usize) {
+        self.release_raw(name);
+        ctx.record(StepKind::Release);
+    }
+
+    /// The maximum number of leases that may be live simultaneously, or
+    /// `None` if unbounded.
+    fn max_concurrent(&self) -> Option<usize>;
+
+    /// The number of leases currently live (including leases whose release
+    /// is still in flight).
+    fn live_leases(&self) -> usize;
+}
+
+/// An RAII guard over a leased name.
+///
+/// The guard holds its issuing [`LongLivedRenaming`] object alive and
+/// returns the name when dropped. For step-accounted release, use
+/// [`NameLease::release`]; to intentionally leak the name out of the
+/// recycling discipline, use [`NameLease::forget`].
+///
+/// # Example
+///
+/// ```
+/// use adaptive_renaming::lease::LongLivedRenaming;
+/// use adaptive_renaming::recycler::Recycler;
+/// use adaptive_renaming::traits::Renaming;
+/// use shmem::process::{ProcessCtx, ProcessId};
+/// use std::sync::Arc;
+///
+/// let object = <dyn Renaming>::builder()
+///     .linear_probe()
+///     .capacity(8)
+///     .max_concurrent(4)
+///     .build_long_lived()
+///     .unwrap();
+/// let mut ctx = ProcessCtx::new(ProcessId::new(0), 7);
+///
+/// let lease = Arc::clone(&object).lease(&mut ctx).unwrap();
+/// assert_eq!(lease.name(), 1);
+/// drop(lease); // the name goes back to the pool
+///
+/// let again = Arc::clone(&object).lease(&mut ctx).unwrap();
+/// assert_eq!(again.name(), 1, "released names are recycled");
+/// ```
+#[must_use = "dropping a NameLease immediately releases the name"]
+pub struct NameLease {
+    name: usize,
+    owner: Option<Arc<dyn LongLivedRenaming>>,
+}
+
+impl NameLease {
+    /// Wraps a freshly granted `name` so that dropping the guard returns it
+    /// to `owner`. Called by [`LongLivedRenaming`] implementations.
+    pub fn new(name: usize, owner: Arc<dyn LongLivedRenaming>) -> Self {
+        NameLease {
+            name,
+            owner: Some(owner),
+        }
+    }
+
+    /// The leased name (1-based).
+    pub fn name(&self) -> usize {
+        self.name
+    }
+
+    /// Releases the name, recording one [`StepKind::Release`] step against
+    /// `ctx`. Equivalent to dropping the guard, plus the step accounting.
+    pub fn release(mut self, ctx: &mut ProcessCtx) {
+        if let Some(owner) = self.owner.take() {
+            owner.release_with(ctx, self.name);
+        }
+    }
+
+    /// Detaches the name from the guard without releasing it: the name stays
+    /// permanently allocated (it still counts against the issuer's
+    /// concurrency limit) unless later handed to
+    /// [`LongLivedRenaming::release_raw`].
+    pub fn forget(mut self) -> usize {
+        self.owner = None;
+        self.name
+    }
+}
+
+impl Drop for NameLease {
+    fn drop(&mut self) {
+        if let Some(owner) = self.owner.take() {
+            owner.release_raw(self.name);
+        }
+    }
+}
+
+impl fmt::Debug for NameLease {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NameLease")
+            .field("name", &self.name)
+            .field("released", &self.owner.is_none())
+            .finish()
+    }
+}
+
+impl PartialEq<usize> for NameLease {
+    fn eq(&self, other: &usize) -> bool {
+        self.name == *other
+    }
+}
+
+/// One lease attempt in a recorded churn history, with logical timestamps
+/// drawn from a shared monotone counter (e.g. an `AtomicU64` bumped at every
+/// recorded event).
+///
+/// The four timestamps delimit two nested intervals:
+///
+/// * the **contention interval** `[requested_at, release_finished_at)` — the
+///   span during which this attempt counts toward the object's point
+///   contention (open-ended for crashed attempts, which may hold resources
+///   forever);
+/// * the **hold interval** `[granted_at, release_started_at)` — the span
+///   during which the caller observably owned the name (used for the
+///   uniqueness check; it is a subset of the true ownership span, so any
+///   recorded overlap is a genuine violation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LeaseRecord {
+    /// The granted name, or `None` if the attempt failed or crashed before
+    /// the grant.
+    pub name: Option<usize>,
+    /// Timestamp taken immediately before invoking `lease`.
+    pub requested_at: u64,
+    /// Timestamp taken immediately after `lease` returned a name.
+    pub granted_at: Option<u64>,
+    /// Timestamp taken immediately before initiating the release.
+    pub release_started_at: Option<u64>,
+    /// Timestamp taken immediately after the release returned.
+    pub release_finished_at: Option<u64>,
+}
+
+/// Checks a lease-churn history for the long-lived strong renaming
+/// guarantees:
+///
+/// 1. **Uniqueness at every instant** — no two hold intervals with the same
+///    name overlap.
+/// 2. **Tightness against concurrent holders** — every granted name is at
+///    most the peak number of attempts simultaneously inside their
+///    contention interval while the grant was in flight (between the
+///    attempt's request and its grant). Crashed attempts (no release
+///    timestamps) count as contenders forever, exactly as a crashed process
+///    may forever hold the object's internal resources.
+///
+/// This is the lease-history analogue of
+/// [`assert_tight_namespace`](crate::traits::assert_tight_namespace), which
+/// compares against the *total* number of one-shot acquirers and therefore
+/// rejects any history in which a name is ever reused.
+///
+/// Returns `Err` with a human-readable description of the first violation.
+pub fn assert_tight_lease_namespace(records: &[LeaseRecord]) -> Result<(), String> {
+    const INFINITY: u64 = u64::MAX;
+
+    // --- 1. uniqueness: per name, hold intervals must not overlap. --------
+    let mut holds: Vec<(usize, u64, u64)> = records
+        .iter()
+        .filter_map(|r| {
+            let name = r.name?;
+            let start = r.granted_at?;
+            Some((name, start, r.release_started_at.unwrap_or(INFINITY)))
+        })
+        .collect();
+    holds.sort_unstable();
+    for pair in holds.windows(2) {
+        let (name_a, _, end_a) = pair[0];
+        let (name_b, start_b, _) = pair[1];
+        if name_a == name_b && start_b < end_a {
+            return Err(format!(
+                "name {name_a} held by two leases simultaneously \
+                 (second grant at t={start_b}, first release at t={end_a})"
+            ));
+        }
+    }
+    if let Some(&(name, ..)) = holds.first() {
+        if name == 0 {
+            return Err("name 0 granted (names are 1-based)".to_string());
+        }
+    }
+
+    // --- 2. tightness: name ≤ peak contention during the grant window. ----
+    // Sweep the contention deltas in timestamp order, remembering the active
+    // count after every event so per-record windows can be answered offline.
+    let mut deltas: Vec<(u64, i64)> = Vec::with_capacity(records.len() * 2);
+    for r in records {
+        deltas.push((r.requested_at, 1));
+        if let Some(end) = r.release_finished_at {
+            deltas.push((end, -1));
+        }
+    }
+    deltas.sort_unstable();
+    let mut active = 0i64;
+    let timeline: Vec<(u64, i64)> = deltas
+        .iter()
+        .map(|&(t, d)| {
+            active += d;
+            (t, active)
+        })
+        .collect();
+
+    let peak_between = |from: u64, to: u64| -> i64 {
+        // Active count just before `from`, maxed with every level reached at
+        // event times within [from, to].
+        let start = timeline.partition_point(|&(t, _)| t < from);
+        let before = if start == 0 { 0 } else { timeline[start - 1].1 };
+        timeline[start..]
+            .iter()
+            .take_while(|&&(t, _)| t <= to)
+            .map(|&(_, level)| level)
+            .fold(before, i64::max)
+    };
+
+    for r in records {
+        let (Some(name), Some(granted)) = (r.name, r.granted_at) else {
+            continue;
+        };
+        let contention = peak_between(r.requested_at, granted);
+        if (name as i64) > contention {
+            return Err(format!(
+                "name {name} granted at t={granted} exceeds the point \
+                 contention {contention} of its grant window"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        name: usize,
+        requested: u64,
+        granted: u64,
+        rel_start: Option<u64>,
+        rel_end: Option<u64>,
+    ) -> LeaseRecord {
+        LeaseRecord {
+            name: Some(name),
+            requested_at: requested,
+            granted_at: Some(granted),
+            release_started_at: rel_start,
+            release_finished_at: rel_end,
+        }
+    }
+
+    #[test]
+    fn sequential_reuse_of_one_name_is_accepted() {
+        let records = [
+            record(1, 0, 1, Some(2), Some(3)),
+            record(1, 4, 5, Some(6), Some(7)),
+            record(1, 8, 9, None, None), // still held at the end
+        ];
+        assert!(assert_tight_lease_namespace(&records).is_ok());
+    }
+
+    #[test]
+    fn overlapping_holders_of_one_name_are_rejected() {
+        let records = [
+            record(1, 0, 1, Some(6), Some(7)),
+            record(1, 2, 3, Some(4), Some(5)),
+        ];
+        let err = assert_tight_lease_namespace(&records).unwrap_err();
+        assert!(err.contains("held by two leases"), "{err}");
+    }
+
+    #[test]
+    fn names_above_the_point_contention_are_rejected() {
+        // A single uncontended lease must get a name bounded by its own
+        // contention of 1.
+        let records = [record(2, 0, 1, Some(2), Some(3))];
+        let err = assert_tight_lease_namespace(&records).unwrap_err();
+        assert!(err.contains("exceeds the point contention"), "{err}");
+    }
+
+    #[test]
+    fn concurrent_leases_may_use_higher_names() {
+        // Two overlapping leases: names 1 and 2 are both legitimate.
+        let records = [
+            record(1, 0, 2, Some(8), Some(9)),
+            record(2, 1, 3, Some(6), Some(7)),
+        ];
+        assert!(assert_tight_lease_namespace(&records).is_ok());
+    }
+
+    #[test]
+    fn in_flight_releases_count_toward_contention() {
+        // Lease A releases over [3, 6]; lease B requests at 4 and is granted
+        // name 2 at 5 — legitimate, because A's release has not finished.
+        let records = [
+            record(1, 0, 1, Some(3), Some(6)),
+            record(2, 4, 5, Some(7), Some(8)),
+        ];
+        assert!(assert_tight_lease_namespace(&records).is_ok());
+    }
+
+    #[test]
+    fn crashed_attempts_hold_contention_forever() {
+        // A crashed attempt (no grant, no release) keeps contention at 2, so
+        // a later lease may be granted name 2.
+        let crashed = LeaseRecord {
+            name: None,
+            requested_at: 0,
+            ..Default::default()
+        };
+        let records = [crashed, record(2, 5, 6, Some(7), Some(8))];
+        assert!(assert_tight_lease_namespace(&records).is_ok());
+    }
+
+    #[test]
+    fn zero_names_are_rejected() {
+        let records = [record(0, 0, 1, None, None)];
+        assert!(assert_tight_lease_namespace(&records).is_err());
+    }
+
+    #[test]
+    fn empty_histories_are_trivially_tight() {
+        assert!(assert_tight_lease_namespace(&[]).is_ok());
+    }
+}

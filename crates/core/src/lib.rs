@@ -5,55 +5,63 @@
 //! *Optimal-Time Adaptive Strong Renaming, with Applications to Counting*
 //! (PODC 2011). It provides:
 //!
-//! * [`BitBatchingRenaming`](bit_batching::BitBatchingRenaming) — the §4
+//! * [`BitBatchingRenaming`] — the §4
 //!   non-adaptive strong renaming algorithm: `n` processes obtain names
 //!   `1..=n` by repeatedly sampling test-and-set objects over geometrically
 //!   shrinking batches, using `O(log² n)` test-and-set probes per process with
 //!   high probability.
-//! * [`RenamingNetwork`](renaming_network::RenamingNetwork) — the §5
+//! * [`RenamingNetwork`] — the §5
 //!   construction: any sorting network becomes a strong adaptive renaming
 //!   object by replacing comparators with two-process test-and-sets. Runs on
 //!   the compiled engine: the schedule is lowered to flat wire-map arrays and
 //!   the test-and-sets live in a lock-free
-//!   [`ComparatorSlab`](comparator_slab::ComparatorSlab), so a comparator
+//!   [`ComparatorSlab`], so a comparator
 //!   play costs one array load on top of the test-and-set itself. The
 //!   pre-compilation engine is kept as
-//!   [`LockedRenamingNetwork`](renaming_network::LockedRenamingNetwork) for
+//!   [`LockedRenamingNetwork`] for
 //!   benchmark comparison.
-//! * [`TempName`](temp_name::TempName) — the §6.2 first stage: a randomized
+//! * [`TempName`] — the §6.2 first stage: a randomized
 //!   splitter tree assigning temporary names polynomial in the contention `k`.
-//! * [`AdaptiveRenaming`](adaptive::AdaptiveRenaming) — the paper's headline
+//! * [`AdaptiveRenaming`] — the paper's headline
 //!   result (§6): strong adaptive renaming into exactly `1..=k` with `O(log k)`
 //!   expected step complexity, built from `TempName` plus a renaming network
 //!   over the §6.1 unbounded adaptive sorting network.
-//! * [`LinearProbeRenaming`](linear_probe::LinearProbeRenaming) — the folklore
+//! * [`LinearProbeRenaming`] — the folklore
 //!   `Θ(k)`-step baseline the paper's introduction compares against.
-//! * [`MonotoneCounter`](counter::MonotoneCounter) — the §8.1
+//! * [`MonotoneCounter`] — the §8.1
 //!   monotone-consistent counter (renaming + max register), plus a
 //!   compare-and-swap baseline counter.
-//! * [`BoundedTas`](ltas::BoundedTas) and
-//!   [`BoundedFetchIncrement`](fetch_increment::BoundedFetchIncrement) — the
+//! * [`BoundedTas`] and
+//!   [`BoundedFetchIncrement`] — the
 //!   §8.2 linearizable ℓ-test-and-set and m-valued fetch-and-increment.
+//!
+//! Beyond the paper, the crate extends the one-shot objects to *long-lived*
+//! renaming: [`Renaming::builder()`](traits::Renaming) (spelled
+//! `<dyn Renaming>::builder()`) is the unified construction facade for every
+//! algorithm, and [`Recycler`] turns any of them into a
+//! [`LongLivedRenaming`] object whose
+//! [`NameLease`] guards recycle released names through a
+//! lock-free free list.
 //!
 //! # Quick start
 //!
 //! ```
-//! use adaptive_renaming::adaptive::AdaptiveRenaming;
 //! use adaptive_renaming::traits::Renaming;
 //! use shmem::adversary::ExecConfig;
 //! use shmem::executor::Executor;
-//! use std::sync::Arc;
 //!
-//! // Eight threads with arbitrary identities acquire names 1..=8.
-//! let renaming = Arc::new(AdaptiveRenaming::new());
+//! // Eight threads with arbitrary identities acquire names 1..=8 from the
+//! // paper's adaptive strong renaming algorithm.
+//! let renaming = <dyn Renaming>::builder().build().unwrap();
 //! let outcome = Executor::new(ExecConfig::new(7)).run(8, {
-//!     let renaming = Arc::clone(&renaming);
+//!     let renaming = renaming.clone();
 //!     move |ctx| renaming.acquire(ctx).expect("adaptive renaming never fails")
 //! });
-//! let mut names = outcome.results();
-//! names.sort_unstable();
-//! assert_eq!(names, (1..=8).collect::<Vec<_>>());
+//! assert_eq!(outcome.results_sorted(), (1..=8).collect::<Vec<_>>());
 //! ```
+//!
+//! For the long-lived surface — leases, recycling, churn — see the
+//! [`lease`] and [`recycler`] module documentation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,26 +69,32 @@
 
 pub mod adaptive;
 pub mod bit_batching;
+pub mod builder;
 pub mod comparator_slab;
 pub mod counter;
 pub mod error;
 pub mod fetch_increment;
+pub mod lease;
 pub mod linear_probe;
 pub mod loose;
 pub mod ltas;
+pub mod recycler;
 pub mod renaming_network;
 pub mod temp_name;
 pub mod traits;
 
 pub use adaptive::AdaptiveRenaming;
 pub use bit_batching::BitBatchingRenaming;
+pub use builder::{Algorithm, ComparatorKind, EngineKind, RenamingBuilder};
 pub use comparator_slab::ComparatorSlab;
 pub use counter::{CasCounter, Counter, MonotoneCounter};
 pub use error::RenamingError;
 pub use fetch_increment::BoundedFetchIncrement;
+pub use lease::{assert_tight_lease_namespace, LeaseRecord, LongLivedRenaming, NameLease};
 pub use linear_probe::LinearProbeRenaming;
 pub use loose::LooseRenaming;
 pub use ltas::BoundedTas;
+pub use recycler::Recycler;
 pub use renaming_network::{LockedRenamingNetwork, RenamingNetwork};
 pub use temp_name::TempName;
 pub use traits::Renaming;

@@ -19,15 +19,17 @@ use tas::TestAndSet;
 /// # Example
 ///
 /// ```
-/// use adaptive_renaming::linear_probe::LinearProbeRenaming;
 /// use adaptive_renaming::traits::{assert_tight_namespace, Renaming};
 /// use shmem::adversary::ExecConfig;
 /// use shmem::executor::Executor;
-/// use std::sync::Arc;
 ///
-/// let renaming = Arc::new(LinearProbeRenaming::new(16));
+/// let renaming = <dyn Renaming>::builder()
+///     .linear_probe()
+///     .capacity(16)
+///     .build()
+///     .unwrap();
 /// let outcome = Executor::new(ExecConfig::new(1)).run(5, {
-///     let renaming = Arc::clone(&renaming);
+///     let renaming = renaming.clone();
 ///     move |ctx| renaming.acquire(ctx).expect("capacity not exceeded")
 /// });
 /// assert!(assert_tight_namespace(&outcome.results()).is_ok());
@@ -42,6 +44,12 @@ impl LinearProbeRenaming<RatRaceTas> {
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through the facade: \
+                `<dyn Renaming>::builder().linear_probe().capacity(n).build()`; \
+                use `with_slots(..)` where the concrete type is needed"
+    )]
     pub fn new(capacity: usize) -> Self {
         Self::with_slots((0..capacity).map(|_| RatRaceTas::new()).collect())
     }
@@ -122,7 +130,7 @@ mod tests {
 
     #[test]
     fn sequential_processes_get_consecutive_names() {
-        let renaming = LinearProbeRenaming::new(8);
+        let renaming = LinearProbeRenaming::with_slots((0..8).map(|_| RatRaceTas::new()).collect());
         for expected in 1..=8usize {
             let mut ctx = ProcessCtx::new(ProcessId::new(expected), 1);
             assert_eq!(renaming.acquire(&mut ctx).unwrap(), expected);
@@ -137,7 +145,9 @@ mod tests {
     #[test]
     fn concurrent_processes_get_a_tight_namespace() {
         for seed in 0..5 {
-            let renaming = Arc::new(LinearProbeRenaming::new(32));
+            let renaming = Arc::new(LinearProbeRenaming::with_slots(
+                (0..32).map(|_| RatRaceTas::new()).collect(),
+            ));
             let config = ExecConfig::new(seed).with_yield_policy(YieldPolicy::Probabilistic(0.2));
             let outcome = Executor::new(config).run(12, {
                 let renaming = Arc::clone(&renaming);
@@ -162,7 +172,7 @@ mod tests {
 
     #[test]
     fn metadata_is_reported() {
-        let renaming = LinearProbeRenaming::new(4);
+        let renaming = LinearProbeRenaming::with_slots((0..4).map(|_| RatRaceTas::new()).collect());
         assert_eq!(renaming.capacity(), Some(4));
         assert!(renaming.is_adaptive());
         assert_eq!(renaming.len(), 4);

@@ -1,6 +1,6 @@
 //! Adaptive *loose* renaming via the splitter tree alone.
 //!
-//! Taking the temporary names of the [`TempName`](crate::temp_name::TempName)
+//! Taking the temporary names of the [`TempName`]
 //! stage as final names already solves the *loose* adaptive renaming problem
 //! (namespace polynomial in `k`, here `O(k²)` with high probability) in
 //! `O(log k)` steps — this is essentially the adaptive loose algorithm of

@@ -8,12 +8,12 @@
 //! name is at most ℓ, closing the doorway otherwise. Lemma 5 shows this is
 //! linearizable with expected step complexity `O(log k)`.
 
-use crate::adaptive::AdaptiveRenaming;
 use crate::traits::Renaming;
 use shmem::consistency::SequentialSpec;
 use shmem::process::ProcessCtx;
 use shmem::register::AtomicBoolRegister;
 use std::fmt;
+use std::sync::Arc;
 
 /// The §8.2 ℓ-test-and-set: at most `limit` invocations win.
 ///
@@ -36,22 +36,28 @@ use std::fmt;
 /// let winners = outcome.results().into_iter().filter(|w| *w).count();
 /// assert_eq!(winners, 3);
 /// ```
-pub struct BoundedTas<R: Renaming = AdaptiveRenaming> {
+pub struct BoundedTas<R: Renaming = Arc<dyn Renaming>> {
     /// `false` = open, `true` = closed.
     doorway: AtomicBoolRegister,
     renaming: R,
     limit: usize,
 }
 
-impl BoundedTas<AdaptiveRenaming> {
+impl BoundedTas<Arc<dyn Renaming>> {
     /// Creates an ℓ-test-and-set with `limit` winners over the default
-    /// adaptive renaming backend.
+    /// adaptive renaming backend, constructed through the
+    /// [builder](crate::builder::RenamingBuilder) facade.
     ///
     /// # Panics
     ///
     /// Panics if `limit` is zero.
     pub fn new(limit: usize) -> Self {
-        Self::with_renaming(AdaptiveRenaming::new(), limit)
+        Self::with_renaming(
+            <dyn Renaming>::builder()
+                .build()
+                .expect("the default adaptive configuration is always valid"),
+            limit,
+        )
     }
 }
 

@@ -1,0 +1,550 @@
+//! Adapting one-shot renaming objects to long-lived renaming.
+//!
+//! A [`Recycler`] layers a lock-free free list of released names over any
+//! one-shot [`Renaming`] object. Leases are served from the free list when
+//! possible; only when the list is empty — i.e. every name handed out so far
+//! is still held — does the recycler fall back to a *fresh* acquisition from
+//! the inner object, registered under a new virtual participant
+//! ([`Renaming::acquire_as`]).
+//!
+//! # Tightness under churn
+//!
+//! Admission control bounds the number of simultaneously live leases by
+//! `max_concurrent`. Because a fresh acquisition happens only when the free
+//! list is empty, and every name absent from the list is attributable to a
+//! distinct live lease, the inner object never sees more than
+//! `max_concurrent` virtual participants. With a *strong adaptive* inner
+//! object (names exactly `1..=k` for `k` participants — the compiled
+//! [`RenamingNetwork`](crate::renaming_network::RenamingNetwork),
+//! [`AdaptiveRenaming`](crate::adaptive::AdaptiveRenaming),
+//! [`LinearProbeRenaming`](crate::linear_probe::LinearProbeRenaming)), every
+//! name ever granted therefore stays in `1..=max_concurrent`, and moreover
+//! within `1..=c` where `c` is the point contention at the grant — the
+//! long-lived strong renaming guarantee checked by
+//! [`assert_tight_lease_namespace`](crate::lease::assert_tight_lease_namespace).
+//! Non-adaptive inner objects
+//! ([`BitBatchingRenaming`](crate::bit_batching::BitBatchingRenaming)) keep
+//! their own `1..=n` bound instead.
+//!
+//! # The free list
+//!
+//! Released names live in an atomic bitmap: release sets the name's bit
+//! (one `fetch_or`), lease claims the **lowest** set bit (a scan of the
+//! word array plus one CAS). Claiming the minimum free name is what keeps
+//! recycling *adaptive*: for a lease to be granted name `m`, every name
+//! below `m` must be held or in transit at the moment of the scan, so the
+//! point contention is at least `m`. A plain LIFO stack would hand a name
+//! granted at peak contention straight back out at low contention and break
+//! that bound. Both operations are lock-free and allocation-free, and a
+//! double release is detected by the `fetch_or` (the duplicate is rejected
+//! and counted in [`Recycler::leaked_names`]).
+
+use crate::error::RenamingError;
+use crate::lease::{LongLivedRenaming, NameLease};
+use crate::traits::Renaming;
+use shmem::process::ProcessCtx;
+use shmem::steps::StepKind;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Headroom multiplier used to size the free list of a recycler over an
+/// unbounded (adaptive) inner object, where no hard namespace bound exists.
+/// Names above the sized bound are never produced in well-formed executions
+/// (they would exceed the admission limit); if one appears it is leaked, not
+/// lost.
+const UNBOUNDED_FREELIST_HEADROOM: usize = 4;
+
+/// A lock-free pop-minimum set of small integers (names), stored as an
+/// atomic bitmap. Bit `name` of word `name / 64` is set while the name is
+/// free.
+///
+/// The word-by-word scan of [`FreeList::pop`] is not by itself an atomic
+/// emptiness check: a name released into an already-scanned word would be
+/// missed, and a miss wrongly reported as "no free names" would let the
+/// recycler consume a fresh name it does not need — breaking the
+/// `1..=max_concurrent` bound. The `pushes` counter closes that hole
+/// seqlock-style: every successful push bumps it (after the bit lands, before
+/// the releaser stops counting as live), and [`FreeList::pop_coherent`]
+/// rescans whenever the counter moved during a missing scan. A coherent miss
+/// therefore proves that at its linearization point every name absent from
+/// the list was owned by a still-live lease operation.
+struct FreeList {
+    words: Box<[AtomicU64]>,
+    /// Successful pushes so far (seqlock for coherent-miss detection).
+    pushes: AtomicUsize,
+    bound: usize,
+}
+
+impl FreeList {
+    /// Creates an empty free list accepting names `1..=bound`.
+    fn new(bound: usize) -> Self {
+        FreeList {
+            words: (0..=bound / 64).map(|_| AtomicU64::new(0)).collect(),
+            pushes: AtomicUsize::new(0),
+            bound,
+        }
+    }
+
+    /// The largest name the list can hold.
+    fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Marks `name` free; returns `false` (rejecting the push) if the name
+    /// is out of range or already free.
+    fn push(&self, name: usize) -> bool {
+        if name == 0 || name > self.bound {
+            return false;
+        }
+        let bit = 1u64 << (name % 64);
+        let previous = self.words[name / 64].fetch_or(bit, Ordering::SeqCst);
+        if previous & bit != 0 {
+            return false;
+        }
+        self.pushes.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+
+    /// Claims the smallest free name in one scan, if any.
+    fn pop(&self) -> Option<usize> {
+        for (index, word) in self.words.iter().enumerate() {
+            let mut current = word.load(Ordering::SeqCst);
+            while current != 0 {
+                let bit = current.trailing_zeros() as u64;
+                match word.compare_exchange_weak(
+                    current,
+                    current & !(1u64 << bit),
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => return Some(index * 64 + bit as usize),
+                    Err(now) => current = now,
+                }
+            }
+        }
+        None
+    }
+
+    /// Claims the smallest free name; a miss is retried until no release
+    /// landed during the scan, so `None` means the list was observably empty
+    /// at a single instant. Lock-free: each retry is caused by another
+    /// thread's completed release.
+    fn pop_coherent(&self) -> Option<usize> {
+        loop {
+            let before = self.pushes.load(Ordering::SeqCst);
+            if let Some(name) = self.pop() {
+                return Some(name);
+            }
+            if self.pushes.load(Ordering::SeqCst) == before {
+                return None;
+            }
+        }
+    }
+
+    /// The number of names currently free (O(bound / 64); diagnostics).
+    fn len(&self) -> usize {
+        self.words
+            .iter()
+            .map(|word| word.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
+/// Adapts a one-shot [`Renaming`] object into a [`LongLivedRenaming`] object
+/// by recycling released names through a lock-free free list.
+///
+/// # Example
+///
+/// ```
+/// use adaptive_renaming::lease::LongLivedRenaming;
+/// use adaptive_renaming::recycler::Recycler;
+/// use adaptive_renaming::renaming_network::RenamingNetwork;
+/// use shmem::process::{ProcessCtx, ProcessId};
+/// use sortnet::batcher::odd_even_network;
+/// use std::sync::Arc;
+///
+/// // A compiled renaming network over 16 wires, recycled for at most 4
+/// // concurrent holders.
+/// let recycler = Arc::new(Recycler::new(
+///     RenamingNetwork::<_>::new(odd_even_network(16)),
+///     4,
+/// ));
+/// let mut ctx = ProcessCtx::new(ProcessId::new(0), 1);
+///
+/// let a = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+/// let b = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+/// assert_eq!((a.name(), b.name()), (1, 2));
+/// b.release(&mut ctx);
+/// let c = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+/// assert_eq!(c.name(), 2, "the released name is recycled, not name 3");
+/// assert_eq!(recycler.fresh_names(), 2);
+/// assert_eq!(recycler.recycled_names(), 1);
+/// ```
+pub struct Recycler<R: Renaming> {
+    inner: R,
+    free: FreeList,
+    /// Next virtual participant index for fresh acquisitions.
+    tickets: AtomicUsize,
+    max_concurrent: usize,
+    /// Leases granted (or attempted) and not yet fully released; includes
+    /// in-flight releases and crashed attempts, which never decrement.
+    live: AtomicUsize,
+    peak: AtomicUsize,
+    recycled: AtomicUsize,
+    leaked: AtomicUsize,
+}
+
+impl<R: Renaming> Recycler<R> {
+    /// Wraps `inner`, allowing at most `max_concurrent` simultaneously live
+    /// leases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrent` is zero or exceeds the inner object's
+    /// capacity (a bounded object cannot serve more concurrent holders than
+    /// it has names).
+    pub fn new(inner: R, max_concurrent: usize) -> Self {
+        assert!(
+            max_concurrent >= 1,
+            "a recycler needs at least one concurrent lease"
+        );
+        let bound = match inner.capacity() {
+            Some(capacity) => {
+                assert!(
+                    max_concurrent <= capacity,
+                    "max_concurrent ({max_concurrent}) exceeds the inner \
+                     object's capacity ({capacity})"
+                );
+                capacity
+            }
+            None => max_concurrent.saturating_mul(UNBOUNDED_FREELIST_HEADROOM),
+        };
+        Recycler {
+            inner,
+            free: FreeList::new(bound),
+            tickets: AtomicUsize::new(0),
+            max_concurrent,
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            recycled: AtomicUsize::new(0),
+            leaked: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped one-shot object.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Names acquired fresh from the inner object so far.
+    pub fn fresh_names(&self) -> usize {
+        self.tickets.load(Ordering::Relaxed)
+    }
+
+    /// Leases served from the free list (recycled names) so far.
+    pub fn recycled_names(&self) -> usize {
+        self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Peak number of simultaneously live leases observed so far.
+    pub fn peak_leases(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Names lost to the recycling discipline (double releases or releases
+    /// of out-of-range names). Zero in well-formed executions.
+    pub fn leaked_names(&self) -> usize {
+        self.leaked.load(Ordering::Relaxed)
+    }
+
+    /// Names currently waiting on the free list (O(capacity); diagnostics).
+    pub fn free_names(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl<R: Renaming + 'static> LongLivedRenaming for Recycler<R> {
+    fn lease(self: Arc<Self>, ctx: &mut ProcessCtx) -> Result<NameLease, RenamingError> {
+        // Admission control: bound the simultaneously live leases. The slot
+        // is reserved before touching shared state and returned on failure.
+        let live = self.live.fetch_add(1, Ordering::AcqRel) + 1;
+        if live > self.max_concurrent {
+            self.live.fetch_sub(1, Ordering::AcqRel);
+            return Err(RenamingError::CapacityExceeded {
+                capacity: self.max_concurrent,
+            });
+        }
+        self.peak.fetch_max(live, Ordering::AcqRel);
+
+        // Fast path: recycle a released name. The coherent pop only reports
+        // a miss when the list was empty at a single instant, so a miss
+        // proves every issued ticket still has a live owner.
+        ctx.record(StepKind::ReadModifyWrite);
+        if let Some(name) = self.free.pop_coherent() {
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            return Ok(NameLease::new(name, self));
+        }
+
+        // Slow path: every name handed out so far is still held — acquire a
+        // fresh one as a new virtual participant. An error rolls back the
+        // admission slot; the consumed ticket is not reused (it can only be
+        // burned by genuine inner-object exhaustion, since the coherent miss
+        // above bounds issued tickets by `max_concurrent ≤ capacity`).
+        let participant = self.tickets.fetch_add(1, Ordering::AcqRel);
+        match self.inner.acquire_as(ctx, participant) {
+            Ok(name) => Ok(NameLease::new(name, self)),
+            Err(error) => {
+                self.live.fetch_sub(1, Ordering::AcqRel);
+                Err(error)
+            }
+        }
+    }
+
+    fn release_raw(&self, name: usize) {
+        if !self.free.push(name) {
+            // A rejected push is a double release (or an out-of-range name,
+            // unreachable through `NameLease`). The admission slot was
+            // already returned by the first release, so decrementing again
+            // would over-admit and break the namespace bound — count the
+            // misuse and otherwise treat the call as a no-op.
+            self.leaked.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Decrement strictly after the push (and after the push's seqlock
+        // bump) so in-flight releases keep counting as live — the invariant
+        // that makes fresh names contention-bounded.
+        let _ = self
+            .live
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |live| {
+                live.checked_sub(1)
+            });
+    }
+
+    fn max_concurrent(&self) -> Option<usize> {
+        Some(self.max_concurrent)
+    }
+
+    fn live_leases(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+}
+
+impl<R: Renaming> fmt::Debug for Recycler<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recycler")
+            .field("max_concurrent", &self.max_concurrent)
+            .field("live", &self.live.load(Ordering::Relaxed))
+            .field("fresh_names", &self.fresh_names())
+            .field("recycled_names", &self.recycled_names())
+            .field("leaked_names", &self.leaked_names())
+            .field("free_list_bound", &self.free.bound())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveRenaming;
+    use crate::linear_probe::LinearProbeRenaming;
+    use crate::renaming_network::RenamingNetwork;
+    use shmem::adversary::ExecConfig;
+    use shmem::executor::Executor;
+    use shmem::process::ProcessId;
+    use sortnet::batcher::odd_even_network;
+    use tas::ratrace::RatRaceTas;
+
+    fn ctx(id: usize, seed: u64) -> ProcessCtx {
+        ProcessCtx::new(ProcessId::new(id), seed)
+    }
+
+    #[test]
+    fn free_list_pops_the_minimum_and_rejects_duplicates() {
+        let list = FreeList::new(200);
+        assert_eq!(list.pop(), None);
+        assert!(list.push(5));
+        assert!(list.push(3));
+        assert!(list.push(130)); // second word of the bitmap
+        assert!(!list.push(5), "duplicate push is rejected");
+        assert!(!list.push(0), "name 0 is rejected");
+        assert!(!list.push(201), "out-of-range name is rejected");
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.pop(), Some(3), "the smallest free name comes first");
+        assert_eq!(list.pop(), Some(5));
+        assert_eq!(list.pop(), Some(130));
+        assert_eq!(list.pop(), None);
+        assert!(list.push(5), "popped names can be pushed again");
+        assert_eq!(list.pop_coherent(), Some(5));
+        assert_eq!(list.pop_coherent(), None);
+    }
+
+    #[test]
+    fn free_list_misses_are_coherent_under_concurrent_churn() {
+        // Two pushers cycle names through the list while poppers drain it;
+        // a coherent miss must never coincide with an unclaimed name. The
+        // accounting check: every popped name is pushed back, so at the end
+        // all names are on the list again.
+        let list = Arc::new(FreeList::new(128));
+        assert!(list.push(1) && list.push(100));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let list = Arc::clone(&list);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        if let Some(name) = list.pop_coherent() {
+                            assert!(list.push(name), "claimed names push back cleanly");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(list.len(), 2, "both names survive the churn");
+        assert_eq!(list.pop_coherent(), Some(1));
+        assert_eq!(list.pop_coherent(), Some(100));
+        assert_eq!(list.pop_coherent(), None);
+    }
+
+    #[test]
+    fn sequential_churn_recycles_instead_of_growing() {
+        let recycler = Arc::new(Recycler::new(
+            RenamingNetwork::<_>::new(odd_even_network(32)),
+            4,
+        ));
+        let mut ctx = ctx(0, 9);
+        for round in 0..20 {
+            let lease = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+            assert_eq!(lease.name(), 1, "round {round}");
+            lease.release(&mut ctx);
+        }
+        assert_eq!(recycler.fresh_names(), 1, "one fresh name serves all churn");
+        assert_eq!(recycler.recycled_names(), 19);
+        assert_eq!(recycler.leaked_names(), 0);
+        assert_eq!(recycler.live_leases(), 0);
+        assert!(ctx.stats().releases >= 19);
+    }
+
+    #[test]
+    fn names_stay_within_max_concurrent_under_staircase_churn() {
+        let recycler = Arc::new(Recycler::new(AdaptiveRenaming::default(), 3));
+        let mut ctx = ctx(7, 2);
+        for _ in 0..5 {
+            let a = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+            let b = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+            let c = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+            for lease in [&a, &b, &c] {
+                assert!((1..=3).contains(&lease.name()), "name {}", lease.name());
+            }
+            drop(c);
+            drop(b);
+            drop(a);
+        }
+        assert!(recycler.fresh_names() <= 3);
+        assert_eq!(recycler.peak_leases(), 3);
+    }
+
+    #[test]
+    fn admission_control_rejects_excess_concurrency() {
+        let recycler = Arc::new(Recycler::new(
+            LinearProbeRenaming::with_slots((0..4).map(|_| RatRaceTas::new()).collect::<Vec<_>>()),
+            2,
+        ));
+        let mut ctx = ctx(0, 0);
+        let a = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+        let _b = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+        assert_eq!(
+            Arc::clone(&recycler).lease(&mut ctx).unwrap_err(),
+            RenamingError::CapacityExceeded { capacity: 2 }
+        );
+        drop(a);
+        let c = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+        assert_eq!(c.name(), 1, "releasing re-opens admission with recycling");
+    }
+
+    #[test]
+    fn forget_detaches_the_name_and_release_raw_returns_it() {
+        let recycler = Arc::new(Recycler::new(AdaptiveRenaming::default(), 2));
+        let mut ctx = ctx(1, 4);
+        let lease = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+        let name = lease.forget();
+        assert_eq!(recycler.live_leases(), 1, "a forgotten name stays live");
+        recycler.release_raw(name);
+        assert_eq!(recycler.live_leases(), 0);
+        let again = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+        assert_eq!(again.name(), name);
+    }
+
+    #[test]
+    fn double_release_raw_is_rejected_and_counted() {
+        let recycler = Arc::new(Recycler::new(AdaptiveRenaming::default(), 2));
+        let mut ctx = ctx(0, 5);
+        let name = Arc::clone(&recycler).lease(&mut ctx).unwrap().forget();
+        let held = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+        recycler.release_raw(name);
+        assert_eq!(recycler.live_leases(), 1, "one lease is still held");
+        recycler.release_raw(name); // misuse: the duplicate is leaked
+        assert_eq!(recycler.leaked_names(), 1);
+        assert_eq!(
+            recycler.live_leases(),
+            1,
+            "a rejected release must not return an admission slot twice"
+        );
+        drop(held);
+        assert_eq!(recycler.live_leases(), 0);
+    }
+
+    #[test]
+    fn concurrent_churn_yields_unique_live_names_in_bound() {
+        for seed in 0..4 {
+            let recycler = Arc::new(Recycler::new(
+                RenamingNetwork::<_>::new(odd_even_network(64)),
+                8,
+            ));
+            let outcome = Executor::new(ExecConfig::new(seed)).run(8, {
+                let recycler = Arc::clone(&recycler);
+                move |ctx| {
+                    let mut names = Vec::new();
+                    for _ in 0..6 {
+                        let lease = Arc::clone(&recycler).lease(ctx).unwrap();
+                        names.push(lease.name());
+                        lease.release(ctx);
+                    }
+                    names
+                }
+            });
+            let names = outcome.flattened();
+            assert_eq!(names.len(), 48, "seed {seed}");
+            assert!(
+                names.iter().all(|&name| (1..=8).contains(&name)),
+                "seed {seed}: names must stay in 1..=max_concurrent, got {names:?}"
+            );
+            assert!(recycler.fresh_names() <= 8, "seed {seed}");
+            assert_eq!(recycler.live_leases(), 0, "seed {seed}");
+            assert_eq!(recycler.leaked_names(), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn debug_reports_the_counters() {
+        let recycler = Recycler::new(AdaptiveRenaming::default(), 2);
+        let formatted = format!("{recycler:?}");
+        assert!(formatted.contains("Recycler"));
+        assert!(formatted.contains("max_concurrent"));
+        assert_eq!(LongLivedRenaming::max_concurrent(&recycler), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one concurrent lease")]
+    fn zero_concurrency_is_rejected() {
+        let _ = Recycler::new(AdaptiveRenaming::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the inner")]
+    fn max_concurrent_above_capacity_is_rejected() {
+        let _ = Recycler::new(
+            LinearProbeRenaming::with_slots((0..2).map(|_| RatRaceTas::new()).collect::<Vec<_>>()),
+            3,
+        );
+    }
+}

@@ -15,10 +15,10 @@
 //! The paper's cost bounds count test-and-set operations, so the substrate
 //! must not hide extra synchronization behind each one. [`RenamingNetwork`]
 //! therefore lowers its schedule into a
-//! [`CompiledSchedule`](sortnet::compiled::CompiledSchedule) at construction
+//! [`CompiledSchedule`] at construction
 //! — a flat wire map answering "which comparator touches my wire in the next
 //! stage?" with one array load — and stores the comparator test-and-sets in a
-//! [`ComparatorSlab`](crate::comparator_slab::ComparatorSlab) indexed by the
+//! [`ComparatorSlab`] indexed by the
 //! compiled dense slot. The traversal hot path performs no hashing, no
 //! reference-count traffic and no locking beyond each cell's one-time
 //! initialization: per stage, one wire-map load plus the test-and-set
@@ -233,6 +233,14 @@ impl<S: ComparatorSchedule, T: TwoPartyTas + Default> Renaming for RenamingNetwo
         self.acquire_with_report(ctx).map(|report| report.name)
     }
 
+    /// Enters the network on the wire given by the *virtual participant*
+    /// index instead of the caller's identifier, so long-lived wrappers can
+    /// route repeated fresh acquisitions through distinct input ports.
+    fn acquire_as(&self, ctx: &mut ProcessCtx, participant: usize) -> Result<usize, RenamingError> {
+        self.traverse_from(ctx, participant)
+            .map(|report| report.name)
+    }
+
     fn capacity(&self) -> Option<usize> {
         Some(self.compiled.width())
     }
@@ -365,6 +373,11 @@ impl<S: ComparatorSchedule, T: TwoPartyTas + Default> fmt::Debug for LockedRenam
 impl<S: ComparatorSchedule, T: TwoPartyTas + Default> Renaming for LockedRenamingNetwork<S, T> {
     fn acquire(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
         self.acquire_with_report(ctx).map(|report| report.name)
+    }
+
+    fn acquire_as(&self, ctx: &mut ProcessCtx, participant: usize) -> Result<usize, RenamingError> {
+        self.traverse_from(ctx, participant)
+            .map(|report| report.name)
     }
 
     fn capacity(&self) -> Option<usize> {

@@ -2,6 +2,7 @@
 
 use crate::error::RenamingError;
 use shmem::process::ProcessCtx;
+use std::sync::Arc;
 
 /// A one-shot-per-participant renaming object.
 ///
@@ -27,6 +28,25 @@ pub trait Renaming: Send + Sync {
     /// initial identifier does not fit the object's input namespace.
     fn acquire(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError>;
 
+    /// Acquires a unique name on behalf of the `participant`-th *virtual
+    /// participant* (0-based).
+    ///
+    /// Long-lived wrappers such as [`Recycler`](crate::recycler::Recycler)
+    /// route every fresh acquisition through a distinct virtual participant
+    /// so that identity-sensitive objects — a renaming network enters the
+    /// network on the wire given by the caller's identifier — keep working
+    /// when one OS process acquires repeatedly. Identity-oblivious objects
+    /// use the default implementation, which ignores `participant`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Renaming::acquire`]; identity-sensitive objects additionally
+    /// reject a `participant` index outside their input namespace.
+    fn acquire_as(&self, ctx: &mut ProcessCtx, participant: usize) -> Result<usize, RenamingError> {
+        let _ = participant;
+        self.acquire(ctx)
+    }
+
     /// The maximum number of names this object can hand out, or `None` if it
     /// is unbounded (adaptive).
     fn capacity(&self) -> Option<usize>;
@@ -34,6 +54,42 @@ pub trait Renaming: Send + Sync {
     /// Whether the size of the acquired namespace adapts to the contention
     /// `k` (as opposed to being fixed at `n`).
     fn is_adaptive(&self) -> bool;
+}
+
+impl<T: Renaming + ?Sized> Renaming for Arc<T> {
+    fn acquire(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+        (**self).acquire(ctx)
+    }
+
+    fn acquire_as(&self, ctx: &mut ProcessCtx, participant: usize) -> Result<usize, RenamingError> {
+        (**self).acquire_as(ctx, participant)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        (**self).capacity()
+    }
+
+    fn is_adaptive(&self) -> bool {
+        (**self).is_adaptive()
+    }
+}
+
+impl<T: Renaming + ?Sized> Renaming for Box<T> {
+    fn acquire(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+        (**self).acquire(ctx)
+    }
+
+    fn acquire_as(&self, ctx: &mut ProcessCtx, participant: usize) -> Result<usize, RenamingError> {
+        (**self).acquire_as(ctx, participant)
+    }
+
+    fn capacity(&self) -> Option<usize> {
+        (**self).capacity()
+    }
+
+    fn is_adaptive(&self) -> bool {
+        (**self).is_adaptive()
+    }
 }
 
 /// Checks a set of acquired names for the *strong* (tight) renaming
@@ -69,12 +125,33 @@ pub fn assert_tight_namespace(names: &[usize]) -> Result<(), String> {
 
 /// Checks a set of acquired names for uniqueness only (the *loose* renaming
 /// guarantee): duplicates are violations, holes are allowed.
+///
+/// The common case — names from a near-tight namespace, so `max(name)` is
+/// within a small factor of the count — is handled with one linear pass over
+/// a bitset instead of cloning and sorting; very sparse name sets fall back
+/// to the sort-based check.
 pub fn assert_unique_names(names: &[usize]) -> Result<(), String> {
-    let mut sorted = names.to_vec();
-    sorted.sort_unstable();
-    for pair in sorted.windows(2) {
-        if pair[0] == pair[1] {
-            return Err(format!("name {} acquired twice", pair[0]));
+    if names.len() < 2 {
+        return Ok(());
+    }
+    let max = names.iter().copied().max().expect("len checked above");
+    if max <= names.len().saturating_mul(4) {
+        // Dense path: one u64-word bitset over 0..=max, linear time, no sort.
+        let mut seen = vec![0u64; max / 64 + 1];
+        for &name in names {
+            let (word, bit) = (name / 64, 1u64 << (name % 64));
+            if seen[word] & bit != 0 {
+                return Err(format!("name {name} acquired twice"));
+            }
+            seen[word] |= bit;
+        }
+    } else {
+        let mut sorted = names.to_vec();
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(format!("name {} acquired twice", pair[0]));
+            }
         }
     }
     Ok(())
@@ -103,5 +180,17 @@ mod tests {
         assert!(assert_unique_names(&[10, 20, 30]).is_ok());
         assert!(assert_unique_names(&[7, 7]).is_err());
         assert!(assert_unique_names(&[]).is_ok());
+        assert!(assert_unique_names(&[5]).is_ok());
+    }
+
+    #[test]
+    fn unique_names_dense_and_sparse_paths_agree() {
+        // Dense path: max ≤ 4·len, checked via the bitset.
+        assert!(assert_unique_names(&[4, 1, 3, 2]).is_ok());
+        assert!(assert_unique_names(&[4, 1, 3, 1]).is_err());
+        assert!(assert_unique_names(&[8, 2]).is_ok()); // boundary: 8 = 4·2
+                                                       // Sparse path: max far above 4·len, checked via sorting.
+        assert!(assert_unique_names(&[1_000_000, 2]).is_ok());
+        assert!(assert_unique_names(&[1_000_000, 1_000_000, 2]).is_err());
     }
 }

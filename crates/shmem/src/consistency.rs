@@ -10,8 +10,8 @@
 //!   provides. [`check_monotone_consistent`] implements the three conditions
 //!   of Lemma 4 directly on a recorded history.
 //!
-//! Both checkers consume [`History`](crate::history::History) values produced
-//! by a [`Recorder`](crate::history::Recorder).
+//! Both checkers consume [`History`] values produced by a
+//! [`Recorder`](crate::history::Recorder).
 
 use crate::history::{History, OpRecord};
 use std::collections::HashSet;

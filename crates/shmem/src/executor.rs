@@ -2,7 +2,7 @@
 //!
 //! The [`Executor`] runs `k` processes — each an OS thread executing the same
 //! closure against `Arc`-shared objects — under an adversarial
-//! [`ExecConfig`](crate::adversary::ExecConfig): arrival schedule, yield
+//! [`ExecConfig`]: arrival schedule, yield
 //! injection and crash injection. It collects every process's return value and
 //! step statistics into an [`ExecutionOutcome`], the raw material for all
 //! correctness checks and experiments.
@@ -55,6 +55,7 @@ impl<R> ProcessOutcome<R> {
 }
 
 /// The collected results of one adversarial execution of `k` processes.
+#[must_use = "an execution outcome carries the results and step statistics every check needs"]
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionOutcome<R> {
     outcomes: Vec<(ProcessId, ProcessOutcome<R>)>,
@@ -94,6 +95,28 @@ impl<R> ExecutionOutcome<R> {
         self.completed().map(|(_, r)| r.clone()).collect()
     }
 
+    /// The results of all completed processes, sorted ascending.
+    ///
+    /// Replaces the ubiquitous `let mut v = outcome.results();
+    /// v.sort_unstable();` pattern in tests and examples.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use shmem::executor::Executor;
+    ///
+    /// let outcome = Executor::with_seed(3).run(4, |ctx| ctx.id().as_usize());
+    /// assert_eq!(outcome.results_sorted(), vec![0, 1, 2, 3]);
+    /// ```
+    pub fn results_sorted(&self) -> Vec<R>
+    where
+        R: Clone + Ord,
+    {
+        let mut results = self.results();
+        results.sort_unstable();
+        results
+    }
+
     /// Number of processes that crashed.
     pub fn crashed_count(&self) -> usize {
         self.outcomes.iter().filter(|(_, o)| o.is_crashed()).count()
@@ -125,12 +148,45 @@ impl<R> ExecutionOutcome<R> {
     }
 }
 
+impl<R> ExecutionOutcome<Vec<R>> {
+    /// Flattens the per-process result vectors of a multi-operation execution
+    /// (each process performing several operations and returning a `Vec`)
+    /// into one list over all completed processes, in process-index order.
+    pub fn flattened(&self) -> Vec<R>
+    where
+        R: Clone,
+    {
+        self.completed()
+            .flat_map(|(_, ops)| ops.iter().cloned())
+            .collect()
+    }
+
+    /// Like [`ExecutionOutcome::flattened`], sorted ascending.
+    pub fn flattened_sorted(&self) -> Vec<R>
+    where
+        R: Clone + Ord,
+    {
+        let mut results = self.flattened();
+        results.sort_unstable();
+        results
+    }
+}
+
 impl<R> IntoIterator for ExecutionOutcome<R> {
     type Item = (ProcessId, ProcessOutcome<R>);
     type IntoIter = std::vec::IntoIter<Self::Item>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.outcomes.into_iter()
+    }
+}
+
+impl<'a, R> IntoIterator for &'a ExecutionOutcome<R> {
+    type Item = &'a (ProcessId, ProcessOutcome<R>);
+    type IntoIter = std::slice::Iter<'a, (ProcessId, ProcessOutcome<R>)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.outcomes.iter()
     }
 }
 
@@ -151,9 +207,7 @@ impl<R> IntoIterator for ExecutionOutcome<R> {
 ///     let slots = Arc::clone(&slots);
 ///     move |ctx| slots.fetch_add(ctx, 1)
 /// });
-/// let mut claims = outcome.results();
-/// claims.sort_unstable();
-/// assert_eq!(claims, vec![0, 1, 2, 3]);
+/// assert_eq!(outcome.results_sorted(), vec![0, 1, 2, 3]);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Executor {
@@ -321,9 +375,7 @@ mod tests {
                     let reg = Arc::clone(&reg);
                     move |ctx| reg.fetch_add(ctx, 1)
                 });
-        let mut values = outcome.results();
-        values.sort_unstable();
-        assert_eq!(values, (0..16).collect::<Vec<_>>());
+        assert_eq!(outcome.results_sorted(), (0..16).collect::<Vec<_>>());
     }
 
     #[test]
@@ -334,9 +386,7 @@ mod tests {
             ProcessId::new(5000),
         ];
         let outcome = Executor::with_seed(1).run_with_ids(&ids, |ctx| ctx.id().as_usize());
-        let mut names = outcome.results();
-        names.sort_unstable();
-        assert_eq!(names, vec![10, 999, 5000]);
+        assert_eq!(outcome.results_sorted(), vec![10, 999, 5000]);
     }
 
     #[test]
@@ -389,8 +439,20 @@ mod tests {
     #[test]
     fn execution_outcome_into_iter_yields_all_processes() {
         let outcome = Executor::with_seed(2).run(3, |ctx| ctx.id().as_usize());
+        let borrowed: Vec<_> = (&outcome).into_iter().collect();
+        assert_eq!(borrowed.len(), 3);
         let collected: Vec<_> = outcome.into_iter().collect();
         assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    fn multi_operation_outcomes_flatten() {
+        let outcome = Executor::with_seed(4).run(3, |ctx| {
+            let base = ctx.id().as_usize() * 10;
+            vec![base, base + 1]
+        });
+        assert_eq!(outcome.flattened().len(), 6);
+        assert_eq!(outcome.flattened_sorted(), vec![0, 1, 10, 11, 20, 21]);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! * [`register`] — MWMR atomic registers with per-operation step accounting.
 //! * [`steps`] — the paper's cost model: counts of shared-memory reads,
 //!   writes, read-modify-writes and test-and-set invocations per process.
-//! * [`process`] — [`ProcessId`](process::ProcessId) and
-//!   [`ProcessCtx`](process::ProcessCtx), the handle each simulated process
+//! * [`process`] — [`ProcessId`] and
+//!   [`ProcessCtx`], the handle each simulated process
 //!   threads through every shared-memory operation (identity, seeded
 //!   randomness, step accounting, adversarial yielding and crash injection).
 //! * [`adversary`] — schedule-perturbation policies standing in for the strong

@@ -33,6 +33,11 @@ pub enum StepKind {
     /// A batch of local coin flips between two shared-memory operations
     /// (counted as a single step, per §2).
     CoinFlip,
+    /// A release of a previously acquired name back to a long-lived renaming
+    /// object (one push onto its free list). The paper's objects are
+    /// one-shot, so this category only appears in long-lived executions; it
+    /// is tracked separately so the one-shot cost measures stay comparable.
+    Release,
 }
 
 impl fmt::Display for StepKind {
@@ -43,6 +48,7 @@ impl fmt::Display for StepKind {
             StepKind::ReadModifyWrite => "read-modify-write",
             StepKind::TasInvocation => "tas-invocation",
             StepKind::CoinFlip => "coin-flip",
+            StepKind::Release => "release",
         };
         f.write_str(name)
     }
@@ -78,6 +84,8 @@ pub struct StepStats {
     pub tas_invocations: u64,
     /// Number of coin-flip steps (batches of local coin flips).
     pub coin_flips: u64,
+    /// Number of name releases performed against long-lived renaming objects.
+    pub releases: u64,
 }
 
 impl StepStats {
@@ -94,6 +102,7 @@ impl StepStats {
             StepKind::ReadModifyWrite => self.rmws += 1,
             StepKind::TasInvocation => self.tas_invocations += 1,
             StepKind::CoinFlip => self.coin_flips += 1,
+            StepKind::Release => self.releases += 1,
         }
     }
 
@@ -117,9 +126,10 @@ impl StepStats {
     }
 
     /// Total shared-memory operations of any kind (register steps plus
-    /// test-and-set invocations). Useful as a conservative upper bound.
+    /// test-and-set invocations plus releases). Useful as a conservative
+    /// upper bound.
     pub fn total_all(&self) -> u64 {
-        self.total() + self.tas_invocations
+        self.total() + self.tas_invocations + self.releases
     }
 
     /// Returns `true` if no steps of any kind have been recorded.
@@ -138,6 +148,7 @@ impl Add for StepStats {
             rmws: self.rmws + rhs.rmws,
             tas_invocations: self.tas_invocations + rhs.tas_invocations,
             coin_flips: self.coin_flips + rhs.coin_flips,
+            releases: self.releases + rhs.releases,
         }
     }
 }
@@ -158,12 +169,13 @@ impl fmt::Display for StepStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reads={} writes={} rmws={} tas={} flips={} (register steps={})",
+            "reads={} writes={} rmws={} tas={} flips={} releases={} (register steps={})",
             self.reads,
             self.writes,
             self.rmws,
             self.tas_invocations,
             self.coin_flips,
+            self.releases,
             self.total()
         )
     }
@@ -253,25 +265,28 @@ mod tests {
         stats.record(StepKind::ReadModifyWrite);
         stats.record(StepKind::TasInvocation);
         stats.record(StepKind::CoinFlip);
+        stats.record(StepKind::Release);
         assert_eq!(stats.reads, 2);
         assert_eq!(stats.writes, 1);
         assert_eq!(stats.rmws, 1);
         assert_eq!(stats.tas_invocations, 1);
         assert_eq!(stats.coin_flips, 1);
+        assert_eq!(stats.releases, 1);
     }
 
     #[test]
-    fn total_excludes_tas_invocations() {
+    fn total_excludes_tas_invocations_and_releases() {
         let stats = StepStats {
             reads: 3,
             writes: 2,
             rmws: 1,
             tas_invocations: 100,
             coin_flips: 4,
+            releases: 7,
         };
         assert_eq!(stats.total(), 10);
         assert_eq!(stats.total_unit_tas(), 100);
-        assert_eq!(stats.total_all(), 110);
+        assert_eq!(stats.total_all(), 117);
     }
 
     #[test]
@@ -290,6 +305,7 @@ mod tests {
             rmws: 3,
             tas_invocations: 4,
             coin_flips: 5,
+            releases: 6,
         };
         let b = StepStats {
             reads: 10,
@@ -297,6 +313,7 @@ mod tests {
             rmws: 30,
             tas_invocations: 40,
             coin_flips: 50,
+            releases: 60,
         };
         let c = a + b;
         assert_eq!(c.reads, 11);
@@ -304,6 +321,7 @@ mod tests {
         assert_eq!(c.rmws, 33);
         assert_eq!(c.tas_invocations, 44);
         assert_eq!(c.coin_flips, 55);
+        assert_eq!(c.releases, 66);
 
         let summed: StepStats = vec![a, b, c].into_iter().sum();
         assert_eq!(summed.reads, 22);

@@ -1,9 +1,9 @@
 //! Compiled comparator schedules: flat, cache-friendly, O(1) queries.
 //!
-//! A [`ComparatorSchedule`](crate::schedule::ComparatorSchedule) answers
+//! A [`ComparatorSchedule`] answers
 //! "which comparator touches wire `w` in stage `s`?" — but the generic
 //! implementations answer it slowly: a materialized
-//! [`ComparatorNetwork`](crate::network::ComparatorNetwork) historically
+//! [`ComparatorNetwork`] historically
 //! scanned the stage's comparator list per query, and the default
 //! `stage_comparators`/`apply_schedule` methods allocate a fresh `Vec` per
 //! stage. On the renaming hot path that query runs once per process per

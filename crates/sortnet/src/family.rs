@@ -69,6 +69,36 @@ impl NetworkFamily {
     }
 }
 
+impl Default for NetworkFamily {
+    /// Batcher's odd-even mergesort — the default basis of the renaming
+    /// networks throughout the workspace.
+    fn default() -> Self {
+        NetworkFamily::OddEven
+    }
+}
+
+impl std::str::FromStr for NetworkFamily {
+    type Err = String;
+
+    /// Parses a family name as reported by [`SortingFamily::name`]
+    /// (`"odd-even-merge"`, `"bitonic"`, `"transposition"`), accepting the
+    /// common short forms `"odd-even"` and `"odd_even"`. Used by builders and
+    /// experiment binaries that select the family from configuration.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "odd-even-merge" | "odd-even" | "odd_even" | "oddeven" | "batcher" => {
+                Ok(NetworkFamily::OddEven)
+            }
+            "bitonic" => Ok(NetworkFamily::Bitonic),
+            "transposition" => Ok(NetworkFamily::Transposition),
+            other => Err(format!(
+                "unknown sorting-network family {other:?} \
+                 (expected odd-even-merge, bitonic or transposition)"
+            )),
+        }
+    }
+}
+
 impl fmt::Display for NetworkFamily {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
@@ -155,6 +185,44 @@ mod tests {
         assert_eq!(NetworkFamily::Transposition.depth_exponent(), 0);
         assert_eq!(NetworkFamily::OddEven.to_string(), "odd-even-merge");
         assert_eq!(format!("{:?}", NetworkFamily::Bitonic), "Bitonic");
+    }
+
+    #[test]
+    fn family_names_round_trip_through_from_str() {
+        for family in NetworkFamily::all() {
+            assert_eq!(family.name().parse::<NetworkFamily>(), Ok(family));
+        }
+        assert_eq!(
+            "odd-even".parse::<NetworkFamily>(),
+            Ok(NetworkFamily::OddEven)
+        );
+        assert_eq!(
+            " Bitonic ".parse::<NetworkFamily>(),
+            Ok(NetworkFamily::Bitonic)
+        );
+        assert!("aks".parse::<NetworkFamily>().is_err());
+        assert_eq!(NetworkFamily::default(), NetworkFamily::OddEven);
+    }
+
+    #[test]
+    fn arc_schedules_forward_all_queries() {
+        let family = NetworkFamily::OddEven;
+        let shared = family.schedule(8);
+        let owned = OddEvenSchedule::new(8);
+        assert_eq!(ComparatorSchedule::width(&shared), owned.width());
+        assert_eq!(ComparatorSchedule::depth(&shared), owned.depth());
+        for stage in 0..owned.depth() {
+            assert_eq!(
+                shared.stage_comparators(stage),
+                owned.stage_comparators(stage)
+            );
+            for wire in 0..owned.width() {
+                assert_eq!(
+                    shared.comparator_at(stage, wire),
+                    owned.comparator_at(stage, wire)
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,12 +6,12 @@
 //!
 //! * [`network`] — materialized comparator networks: stages of disjoint
 //!   comparators, application to inputs, depth/size metrics.
-//! * [`schedule`] — the [`ComparatorSchedule`](schedule::ComparatorSchedule)
+//! * [`schedule`] — the [`ComparatorSchedule`]
 //!   abstraction: "which comparator (if any) touches wire `w` in stage `s`?".
 //!   Analytic schedules answer it arithmetically, so arbitrarily wide
 //!   networks (the adaptive construction's outer levels) can be queried
 //!   without materializing millions of comparators.
-//! * [`compiled`] — [`CompiledSchedule`](compiled::CompiledSchedule): any
+//! * [`compiled`] — [`CompiledSchedule`]: any
 //!   schedule lowered into flat wire-map + dense-comparator arrays with O(1)
 //!   queries and a dense index space, the substrate of the lock-free
 //!   comparator slab in the renaming engine.

@@ -8,6 +8,7 @@
 //! comparators: analytic schedules compute the answer arithmetically.
 
 use crate::network::{Comparator, ComparatorNetwork};
+use std::sync::Arc;
 
 /// A stage-by-stage description of a comparator network.
 ///
@@ -94,6 +95,29 @@ impl ComparatorSchedule for ComparatorNetwork {
     fn comparator_at(&self, stage: usize, wire: usize) -> Option<Comparator> {
         // O(1) through the network's per-wire lookup index.
         self.comparator_touching(stage, wire)
+    }
+}
+
+/// Forwarding impl so shared schedules — in particular the
+/// `Arc<dyn ComparatorSchedule>` produced by
+/// [`SortingFamily::schedule`](crate::family::SortingFamily::schedule) — can
+/// be used wherever an owned schedule is expected (e.g. as the schedule of a
+/// renaming network chosen at runtime by a builder).
+impl<S: ComparatorSchedule + ?Sized> ComparatorSchedule for Arc<S> {
+    fn width(&self) -> usize {
+        (**self).width()
+    }
+
+    fn depth(&self) -> usize {
+        (**self).depth()
+    }
+
+    fn comparator_at(&self, stage: usize, wire: usize) -> Option<Comparator> {
+        (**self).comparator_at(stage, wire)
+    }
+
+    fn stage_comparators(&self, stage: usize) -> Vec<Comparator> {
+        (**self).stage_comparators(stage)
     }
 }
 

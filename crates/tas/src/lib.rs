@@ -6,21 +6,21 @@
 //! comparator of a sorting network with a two-process test-and-set. This crate
 //! provides the full menagerie the paper relies on:
 //!
-//! * [`HardwareTas`](hardware::HardwareTas) — an atomic-swap test-and-set,
+//! * [`HardwareTas`] — an atomic-swap test-and-set,
 //!   the "unit cost" object the paper's hardware-assisted bounds assume
 //!   (§1 Discussion, §2).
-//! * [`TwoProcessTas`](two_process::TwoProcessTas) — a randomized wait-free
+//! * [`TwoProcessTas`] — a randomized wait-free
 //!   two-process test-and-set built from read/write registers, in the spirit
-//!   of Tromp–Vitányi [20]: rounds of a register-based commit-adopt gadget
+//!   of Tromp–Vitányi \[20\]: rounds of a register-based commit-adopt gadget
 //!   plus a randomized race.
-//! * [`RandomizedSplitter`](splitter::RandomizedSplitter) — the randomized
-//!   splitter of Attiya et al. [25], the building block of the `TempName`
+//! * [`RandomizedSplitter`] — the randomized
+//!   splitter of Attiya et al. \[25\], the building block of the `TempName`
 //!   stage and of the RatRace tree.
-//! * [`TournamentTas`](tournament::TournamentTas) — a deterministic-structure
+//! * [`TournamentTas`] — a deterministic-structure
 //!   `n`-process test-and-set built as a balanced tournament of two-process
 //!   objects (requires knowing `n`; non-adaptive baseline).
-//! * [`RatRaceTas`](ratrace::RatRaceTas) — an adaptive `n`-process
-//!   test-and-set in the style of RatRace [12]: a randomized splitter tree
+//! * [`RatRaceTas`] — an adaptive `n`-process
+//!   test-and-set in the style of RatRace \[12\]: a randomized splitter tree
 //!   in which the acquirer of a node climbs back to the root through
 //!   three-player tournaments of two-process test-and-sets. Its step
 //!   complexity is polylogarithmic in the contention `k`, not in `n`.

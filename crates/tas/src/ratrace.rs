@@ -1,7 +1,7 @@
 //! RatRace-style adaptive `n`-process test-and-set.
 //!
 //! The paper's BitBatching algorithm (§4) and its temporary-name stage rely on
-//! the adaptive test-and-set of Alistarh et al. [12] ("RatRace"), whose step
+//! the adaptive test-and-set of Alistarh et al. \[12\] ("RatRace"), whose step
 //! complexity is `O(log² k)` with high probability in the contention `k` —
 //! crucially independent of `n` and of the size of the initial namespace.
 //!
@@ -64,7 +64,7 @@ impl Node {
     }
 }
 
-/// An adaptive `n`-process test-and-set in the style of RatRace [12].
+/// An adaptive `n`-process test-and-set in the style of RatRace \[12\].
 ///
 /// Step complexity is polylogarithmic in the contention `k` with high
 /// probability, and the object is safe (at most one winner, a solo

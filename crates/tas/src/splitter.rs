@@ -3,10 +3,10 @@
 //! A splitter is the classic register-only object of Moir–Anderson/Lamport
 //! fame: when `k ≥ 1` processes enter it, at most one *acquires* it, and a
 //! process running alone always acquires it. The randomized splitter *tree*
-//! of Attiya et al. [25] sends every non-acquiring process to a uniformly
+//! of Attiya et al. \[25\] sends every non-acquiring process to a uniformly
 //! random child; after `O(log k)` levels every process has acquired some node
 //! with high probability. The paper uses this structure twice: inside the
-//! RatRace adaptive test-and-set [12] (§2) and as the `TempName` first stage
+//! RatRace adaptive test-and-set \[12\] (§2) and as the `TempName` first stage
 //! of the adaptive renaming algorithm (§6.2).
 
 use shmem::process::ProcessCtx;

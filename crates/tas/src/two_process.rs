@@ -1,6 +1,6 @@
 //! Randomized two-process test-and-set from read/write registers.
 //!
-//! The paper uses the two-process test-and-set of Tromp and Vitányi [20] as
+//! The paper uses the two-process test-and-set of Tromp and Vitányi \[20\] as
 //! the comparator object of its renaming networks: expected `O(1)` steps, and
 //! `O(log n)` steps with high probability (§2). [`TwoProcessTas`] reproduces
 //! that object's interface and cost profile with a construction we can verify

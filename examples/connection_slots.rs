@@ -3,9 +3,9 @@
 //!
 //! This is the classic use case for *non-adaptive strong renaming*: the pool
 //! size `n` is fixed up front and every slot should be usable. The example
-//! runs the paper's BitBatching algorithm (§4) against the folklore
-//! linear-probing baseline and reports how many test-and-set probes each
-//! handler needed.
+//! builds the paper's BitBatching algorithm (§4) and the folklore
+//! linear-probing baseline through the `Renaming::builder()` facade and
+//! compares how many test-and-set invocations each handler needed.
 //!
 //! Run with:
 //!
@@ -13,8 +13,33 @@
 //! cargo run --example connection_slots
 //! ```
 
-use std::sync::Arc;
 use strong_renaming::prelude::*;
+
+/// Runs `handlers` concurrent acquisitions against `renaming` and reports
+/// the per-handler test-and-set invocation profile from the step statistics.
+fn race(label: &str, renaming: std::sync::Arc<dyn Renaming>, handlers: usize, seed: u64) -> u64 {
+    let outcome = Executor::new(ExecConfig::new(seed)).run(handlers, {
+        let renaming = renaming.clone();
+        move |ctx| renaming.acquire(ctx).expect("enough slots")
+    });
+    assert_tight_namespace(&outcome.results()).expect("every slot is assigned exactly once");
+
+    let per_process = outcome.per_process_steps();
+    let max_tas = per_process
+        .iter()
+        .map(|s| s.tas_invocations)
+        .max()
+        .unwrap_or(0);
+    let mean_tas = per_process
+        .iter()
+        .map(|s| s.tas_invocations as f64)
+        .sum::<f64>()
+        / per_process.len() as f64;
+    println!("{label}:");
+    println!("  every handler got a distinct slot in 1..={handlers}");
+    println!("  test-and-set invocations per handler: mean {mean_tas:.1}, max {max_tas}");
+    max_tas
+}
 
 fn main() {
     let slots = 64usize;
@@ -22,39 +47,30 @@ fn main() {
     let seed = 42;
 
     // --- BitBatching: O(log² n) probes per handler w.h.p. -----------------
-    let bitbatching = Arc::new(BitBatchingRenaming::new(slots));
-    let outcome = Executor::new(ExecConfig::new(seed)).run(handlers, {
-        let renaming = Arc::clone(&bitbatching);
-        move |ctx| renaming.acquire_with_report(ctx).expect("enough slots")
-    });
-    let reports = outcome.results();
-    let names: Vec<usize> = reports.iter().map(|r| r.name).collect();
-    assert_tight_namespace(&names).expect("every slot is assigned exactly once");
-
-    let max_probes = reports.iter().map(|r| r.probes).max().unwrap_or(0);
-    let mean_probes: f64 =
-        reports.iter().map(|r| r.probes as f64).sum::<f64>() / reports.len() as f64;
-    println!("BitBatching over {slots} slots, {handlers} handlers:");
-    println!("  every handler got a distinct slot in 1..={slots}");
-    println!("  probes per handler: mean {mean_probes:.1}, max {max_probes}");
-    println!(
-        "  handlers that needed the sequential fallback stage: {}",
-        reports.iter().filter(|r| r.entered_second_stage).count()
+    let bitbatching = RenamingBuilder::new()
+        .bit_batching()
+        .capacity(slots)
+        .seed(seed)
+        .build()
+        .expect("valid configuration");
+    let max_bitbatching = race(
+        &format!("BitBatching over {slots} slots, {handlers} handlers"),
+        bitbatching,
+        handlers,
+        seed,
     );
 
     // --- Linear probing baseline: Θ(k) probes per handler ------------------
-    let linear = Arc::new(LinearProbeRenaming::new(slots));
-    let outcome = Executor::new(ExecConfig::new(seed)).run(handlers, {
-        let renaming = Arc::clone(&linear);
-        move |ctx| renaming.acquire_with_probes(ctx).expect("enough slots")
-    });
-    let probes: Vec<usize> = outcome.results().iter().map(|(_, p)| *p).collect();
-    let max_linear = probes.iter().copied().max().unwrap_or(0);
-    let mean_linear: f64 = probes.iter().map(|&p| p as f64).sum::<f64>() / probes.len() as f64;
-    println!("\nLinear probing baseline:");
-    println!("  probes per handler: mean {mean_linear:.1}, max {max_linear}");
+    let linear = RenamingBuilder::new()
+        .linear_probe()
+        .capacity(slots)
+        .seed(seed)
+        .build()
+        .expect("valid configuration");
+    let max_linear = race("\nLinear probing baseline", linear, handlers, seed);
 
     println!(
-        "\nBitBatching's worst handler probed {max_probes} slots; linear probing's probed {max_linear}."
+        "\nBitBatching's worst handler invoked {max_bitbatching} test-and-sets; \
+         linear probing's invoked {max_linear}."
     );
 }

@@ -1,5 +1,6 @@
 //! Quickstart: eight threads with arbitrary identities agree on the names
-//! 1..=8 using the paper's adaptive strong renaming algorithm.
+//! 1..=8 using the paper's adaptive strong renaming algorithm, constructed
+//! through the unified `Renaming::builder()` facade.
 //!
 //! Run with:
 //!
@@ -7,7 +8,6 @@
 //! cargo run --example quickstart
 //! ```
 
-use std::sync::Arc;
 use strong_renaming::prelude::*;
 
 fn main() {
@@ -16,39 +16,37 @@ fn main() {
     let initial_ids = [90_210usize, 7, 123_456_789, 31_337, 4_242, 999, 17, 2_024];
     let ids: Vec<ProcessId> = initial_ids.iter().copied().map(ProcessId::new).collect();
 
-    let renaming = Arc::new(AdaptiveRenaming::new());
+    // One builder configures everything: algorithm, engine, seed.
+    let builder = RenamingBuilder::new().adaptive().seed(0xC0FFEE);
+    let renaming = builder.build().expect("the default configuration is valid");
     let executor = Executor::new(
-        ExecConfig::new(0xC0FFEE).with_yield_policy(YieldPolicy::Probabilistic(0.05)),
+        builder
+            .exec_config()
+            .with_yield_policy(YieldPolicy::Probabilistic(0.05)),
     );
 
     let outcome = executor.run_with_ids(&ids, {
-        let renaming = Arc::clone(&renaming);
+        let renaming = renaming.clone();
         move |ctx| {
-            let report = renaming
-                .acquire_with_report(ctx)
+            let name = renaming
+                .acquire(ctx)
                 .expect("adaptive renaming never fails");
-            (ctx.id().as_usize(), report)
+            (ctx.id().as_usize(), name)
         }
     });
 
-    println!("initial id -> new name   (temp name, comparators played, register steps)");
-    println!("----------------------------------------------------------------------");
+    println!("initial id -> new name   (register steps)");
+    println!("-----------------------------------------");
     let mut rows: Vec<_> = outcome
         .iter()
-        .filter_map(|(id, o)| o.result().map(|r| (*id, *r, o.steps())))
+        .filter_map(|(_, o)| o.result().map(|r| (*r, o.steps())))
         .collect();
-    rows.sort_by_key(|(_, (_, report), _)| report.name);
-    for (_, (initial, report), steps) in &rows {
-        println!(
-            "{initial:>11} -> {:>8}   (temp {:>4}, {:>3} comparators, {:>4} steps)",
-            report.name,
-            report.temp_name,
-            report.comparators_played,
-            steps.total()
-        );
+    rows.sort_by_key(|((_, name), _)| *name);
+    for ((initial, name), steps) in &rows {
+        println!("{initial:>11} -> {name:>8}   ({:>4} steps)", steps.total());
     }
 
-    let names: Vec<usize> = rows.iter().map(|(_, (_, r), _)| r.name).collect();
+    let names: Vec<usize> = rows.iter().map(|((_, name), _)| *name).collect();
     assert_tight_namespace(&names).expect("strong adaptive renaming: names are exactly 1..=k");
     println!(
         "\nAll {} names are unique and form exactly 1..={}.",

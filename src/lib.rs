@@ -24,21 +24,28 @@ pub use sortnet;
 pub use tas;
 
 /// A convenience prelude for examples and tests: the items needed to run the
-/// paper's objects under the adversarial executor.
+/// paper's objects under the adversarial executor, plus the builder and
+/// long-lived lease surface.
 pub mod prelude {
     pub use adaptive_renaming::adaptive::AdaptiveRenaming;
     pub use adaptive_renaming::bit_batching::BitBatchingRenaming;
+    pub use adaptive_renaming::builder::{Algorithm, ComparatorKind, EngineKind, RenamingBuilder};
     pub use adaptive_renaming::comparator_slab::ComparatorSlab;
     pub use adaptive_renaming::counter::{CasCounter, Counter, MonotoneCounter};
     pub use adaptive_renaming::fetch_increment::BoundedFetchIncrement;
+    pub use adaptive_renaming::lease::{
+        assert_tight_lease_namespace, LeaseRecord, LongLivedRenaming, NameLease,
+    };
     pub use adaptive_renaming::linear_probe::LinearProbeRenaming;
     pub use adaptive_renaming::loose::LooseRenaming;
     pub use adaptive_renaming::ltas::BoundedTas;
+    pub use adaptive_renaming::recycler::Recycler;
     pub use adaptive_renaming::renaming_network::{LockedRenamingNetwork, RenamingNetwork};
     pub use adaptive_renaming::traits::{assert_tight_namespace, assert_unique_names, Renaming};
     pub use shmem::adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
     pub use shmem::executor::Executor;
     pub use shmem::process::{ProcessCtx, ProcessId};
+    pub use sortnet::family::NetworkFamily;
 }
 
 #[cfg(test)]
@@ -47,7 +54,16 @@ mod tests {
     fn prelude_exposes_the_main_types() {
         use crate::prelude::*;
         let _ = ExecConfig::new(0);
-        let _ = AdaptiveRenaming::new();
+        let renaming = <dyn Renaming>::builder().build().unwrap();
+        assert!(renaming.is_adaptive());
+        let long_lived = RenamingBuilder::new()
+            .network()
+            .capacity(8)
+            .max_concurrent(4)
+            .build_long_lived()
+            .unwrap();
+        assert_eq!(long_lived.max_concurrent(), Some(4));
         assert!(assert_tight_namespace(&[1, 2]).is_ok());
+        assert!(assert_tight_lease_namespace(&[]).is_ok());
     }
 }

@@ -15,14 +15,16 @@ use strong_renaming::prelude::*;
 #[test]
 fn adaptive_renaming_handles_bursts_of_mixed_arrival_times() {
     for (seed, k) in [(1u64, 4usize), (2, 9), (3, 16), (4, 25)] {
-        let renaming = Arc::new(AdaptiveRenaming::new());
+        let renaming = <dyn Renaming>::builder()
+            .build()
+            .expect("valid configuration");
         let config = ExecConfig::new(seed)
             .with_arrival(ArrivalSchedule::RandomJitter {
                 max_delay: Duration::from_micros(300),
             })
             .with_yield_policy(YieldPolicy::Probabilistic(0.1));
         let outcome = Executor::new(config).run(k, {
-            let renaming = Arc::clone(&renaming);
+            let renaming = renaming.clone();
             move |ctx| renaming.acquire(ctx).unwrap()
         });
         assert_tight_namespace(&outcome.results())
@@ -36,7 +38,7 @@ fn adaptive_renaming_beats_linear_probing_on_worst_case_steps() {
     // per-process test-and-set count of the adaptive algorithm is far below
     // the k probes linear probing needs.
     let k = 24usize;
-    let adaptive = Arc::new(AdaptiveRenaming::new());
+    let adaptive = Arc::new(AdaptiveRenaming::default());
     let adaptive_outcome = Executor::new(ExecConfig::new(5)).run(k, {
         let adaptive = Arc::clone(&adaptive);
         move |ctx| adaptive.acquire_with_report(ctx).unwrap()
@@ -50,7 +52,11 @@ fn adaptive_renaming_beats_linear_probing_on_worst_case_steps() {
     )
     .unwrap();
 
-    let linear = Arc::new(LinearProbeRenaming::new(k));
+    let linear = Arc::new(LinearProbeRenaming::with_slots(
+        (0..k)
+            .map(|_| tas::ratrace::RatRaceTas::new())
+            .collect::<Vec<_>>(),
+    ));
     let linear_outcome = Executor::new(ExecConfig::new(5)).run(k, {
         let linear = Arc::clone(&linear);
         move |ctx| linear.acquire_with_probes(ctx).unwrap()
@@ -194,9 +200,11 @@ fn fetch_and_increment_under_heavy_yielding_is_linearizable() {
                 value
             }
         });
-        let mut values = outcome.results();
-        values.sort_unstable();
-        assert_eq!(values, (0..10u64).collect::<Vec<_>>(), "seed {seed}");
+        assert_eq!(
+            outcome.results_sorted(),
+            (0..10u64).collect::<Vec<_>>(),
+            "seed {seed}"
+        );
         let history = recorder.take_history();
         check_linearizable(&FetchIncrementSpec { limit }, &history)
             .unwrap_or_else(|violation| panic!("seed {seed}: {violation}"));
@@ -222,9 +230,11 @@ fn renaming_network_and_adaptive_renaming_agree_on_tightness_for_shared_ids() {
     });
     assert_tight_namespace(&outcome.results()).unwrap();
 
-    let adaptive = Arc::new(AdaptiveRenaming::new());
+    let adaptive = <dyn Renaming>::builder()
+        .build()
+        .expect("valid configuration");
     let outcome = Executor::new(ExecConfig::new(31)).run_with_ids(&ids, {
-        let adaptive = Arc::clone(&adaptive);
+        let adaptive = adaptive.clone();
         move |ctx| adaptive.acquire(ctx).unwrap()
     });
     assert_tight_namespace(&outcome.results()).unwrap();

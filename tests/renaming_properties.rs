@@ -39,9 +39,9 @@ proptest! {
         yield_percent in 0u8..40,
         arrival_choice in 0u8..3,
     ) {
-        let renaming = Arc::new(AdaptiveRenaming::new());
+        let renaming = <dyn Renaming>::builder().build().expect("valid configuration");
         let outcome = Executor::new(config(seed, yield_percent, arrival_choice)).run(k, {
-            let renaming = Arc::clone(&renaming);
+            let renaming = renaming.clone();
             move |ctx| renaming.acquire(ctx).expect("adaptive renaming never fails")
         });
         prop_assert!(assert_tight_namespace(&outcome.results()).is_ok());
@@ -75,9 +75,13 @@ proptest! {
         yield_percent in 0u8..40,
     ) {
         let n = 16usize;
-        let renaming = Arc::new(BitBatchingRenaming::new(n));
+        let renaming = RenamingBuilder::new()
+            .bit_batching()
+            .capacity(n)
+            .build()
+            .expect("valid configuration");
         let outcome = Executor::new(config(seed, yield_percent, 0)).run(k, {
-            let renaming = Arc::clone(&renaming);
+            let renaming = renaming.clone();
             move |ctx| renaming.acquire(ctx).expect("k <= n")
         });
         let names = outcome.results();
@@ -135,13 +139,13 @@ proptest! {
         seed in 0u64..1_000_000,
         crash_percent in 10u8..60,
     ) {
-        let renaming = Arc::new(AdaptiveRenaming::new());
+        let renaming = <dyn Renaming>::builder().build().expect("valid configuration");
         let exec_config = ExecConfig::new(seed).with_crash_plan(CrashPlan::Random {
             prob: f64::from(crash_percent) / 100.0,
             max_steps: 50,
         });
         let outcome = Executor::new(exec_config).run(k, {
-            let renaming = Arc::clone(&renaming);
+            let renaming = renaming.clone();
             move |ctx| renaming.acquire(ctx).expect("adaptive renaming never fails")
         });
         let names = outcome.results();
