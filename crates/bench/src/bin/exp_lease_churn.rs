@@ -2,24 +2,39 @@
 //!
 //! Worker threads repeatedly lease and release a name. The contenders:
 //!
-//! * **`Recycler<RenamingNetwork>`** — the compiled §5 renaming network
-//!   behind the lock-free recycling free list. Names stay inside
-//!   `1..=threads` forever (the long-lived strong renaming guarantee).
+//! * **`Recycler` (flat free list)** — the compiled §5 renaming network
+//!   behind the lock-free recycling free list, with the flat one-level
+//!   bitmap (the pre-hierarchical baseline). Names stay inside
+//!   `1..=threads` forever (the *tight* long-lived guarantee).
+//! * **`Recycler` (hierarchical free list)** — the same object with the
+//!   two-level bitmap: pop-minimum consults a summary word and visits only
+//!   data words that have ever held a free name, so hits *and* misses are
+//!   `O(1)` expected under churn instead of `O(bound / 64)` flat scans.
+//! * **`ShardedRecycler`** — one recycler per worker-count shard over
+//!   disjoint name ranges, home shards by process id, overflow stealing.
+//!   Shard-local atomics take the coherence traffic out of the hot path at
+//!   the price of the documented *loose* bound
+//!   (`namespace ≤ shards × per-shard contention`, names ≤ shards × span).
 //! * **`CasCounter`-style ticket dispenser** — one `fetch_add` per acquire,
 //!   one per release. As fast as the hardware allows, but the namespace
 //!   grows without bound: after `10^9` operations names are 10 decimal
 //!   digits wide, which is exactly what renaming exists to prevent.
 //!
 //! Reported: acquire/release cycles per second at 2/4/8/16 threads, plus
-//! the recycler's fresh/recycled split. The numbers are written to
-//! `BENCH_lease_churn.json` so the trajectory of the long-lived hot path is
-//! tracked across revisions.
+//! the recyclers' fresh/recycled split and each variant's namespace bound.
+//! Every row's `max name seen` is checked against its documented bound.
+//! The numbers are written to `BENCH_lease_churn.json` so the trajectory of
+//! the long-lived hot path is tracked across revisions.
 //!
-//! Run with `cargo run --release -p renaming-bench --bin exp_lease_churn`.
+//! Run with `cargo run --release -p renaming-bench --bin exp_lease_churn`;
+//! pass `--smoke` for a seconds-long CI-sized run that skips the JSON.
 
 use adaptive_renaming::builder::RenamingBuilder;
+use adaptive_renaming::free_list::FreeListKind;
 use adaptive_renaming::lease::LongLivedRenaming;
 use adaptive_renaming::recycler::Recycler;
+use adaptive_renaming::sharded::ShardedRecycler;
+use adaptive_renaming::traits::Renaming;
 use renaming_bench::{fmt1, Table};
 use shmem::adversary::ExecConfig;
 use shmem::executor::Executor;
@@ -27,14 +42,73 @@ use shmem::register::AtomicU64Register;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Input wires of the one-shot network under the recycler.
+/// Input wires of the one-shot network under the single recyclers.
 const WIDTH: usize = 64;
-/// Lease/release cycles per worker per timed execution.
-const OPS_PER_WORKER: usize = 2_000;
-/// Timed executions per configuration (the mean is reported).
-const EXECUTIONS: usize = 5;
-/// Thread counts of the sweep.
-const THREADS: [usize; 4] = [2, 4, 8, 16];
+/// Input wires of each shard's one-shot network under the sharded recycler.
+const SHARD_SPAN: usize = 8;
+/// Live leases allowed per shard (the loose per-shard admission bound).
+const PER_SHARD_MAX: usize = 2;
+/// Leases per call of the batched variant (amortized admission + release).
+const BATCH: usize = 8;
+
+/// Run sizing; the full sweep feeds `BENCH_lease_churn.json`, the smoke
+/// sweep bounds CI time.
+struct Sizing {
+    ops_per_worker: usize,
+    executions: usize,
+    threads: &'static [usize],
+    write_json: bool,
+}
+
+const FULL: Sizing = Sizing {
+    ops_per_worker: 2_000,
+    executions: 5,
+    threads: &[2, 4, 8, 16],
+    write_json: true,
+};
+
+const SMOKE: Sizing = Sizing {
+    ops_per_worker: 200,
+    executions: 2,
+    threads: &[2, 4],
+    write_json: false,
+};
+
+/// How a variant's namespace is bounded, for the per-row `max_name` check.
+#[derive(Clone, Copy)]
+enum Bound {
+    /// Names stay in `1..=limit` (limit = the concurrency bound).
+    Tight(usize),
+    /// Names stay in `1..=limit` (limit = shards × span); the *set* in use
+    /// is further bounded by shards × per-shard contention.
+    Loose(usize),
+    /// No bound — the baseline's failure mode, not a guarantee.
+    Unbounded,
+}
+
+impl Bound {
+    fn kind(&self) -> &'static str {
+        match self {
+            Bound::Tight(_) => "tight",
+            Bound::Loose(_) => "loose",
+            Bound::Unbounded => "unbounded",
+        }
+    }
+
+    fn limit(&self) -> usize {
+        match self {
+            Bound::Tight(limit) | Bound::Loose(limit) => *limit,
+            Bound::Unbounded => 0,
+        }
+    }
+
+    fn admits(&self, name: usize) -> bool {
+        match self {
+            Bound::Tight(limit) | Bound::Loose(limit) => name <= *limit,
+            Bound::Unbounded => true,
+        }
+    }
+}
 
 /// One measured configuration.
 struct Sample {
@@ -46,30 +120,55 @@ struct Sample {
     max_name: usize,
     fresh_names: usize,
     recycled_names: usize,
+    bound: Bound,
+    /// Capacity of the variant's inner one-shot object(s): the network
+    /// width of a single recycler, the per-shard width of the sharded one.
+    inner_capacity: usize,
 }
 
-/// Times `EXECUTIONS` runs of `threads` workers × `OPS_PER_WORKER` cycles of
-/// `cycle`, which returns the largest name it observed.
-fn measure<F>(
+/// The static shape of one measured variant.
+struct VariantSpec {
     variant: &'static str,
     threads: usize,
+    bound: Bound,
+    /// Lease/release ops per `cycle` invocation: 1 for the single-lease
+    /// variants, the batch size for the batched ones.
+    ops_per_call: usize,
+    inner_capacity: usize,
+}
+
+/// Times `executions` runs of `spec.threads` workers × `ops_per_worker`
+/// lease/release ops issued through `cycle`, which performs
+/// `spec.ops_per_call` ops per invocation and returns the largest name it
+/// observed.
+fn measure<F>(
+    sizing: &Sizing,
+    spec: VariantSpec,
     mut stats_after: impl FnMut() -> (usize, usize),
     cycle: F,
 ) -> Sample
 where
     F: Fn(&mut shmem::process::ProcessCtx, usize) -> usize + Send + Sync,
 {
-    let total_ops = (threads * OPS_PER_WORKER) as f64;
+    let VariantSpec {
+        variant,
+        threads,
+        bound,
+        ops_per_call,
+        inner_capacity,
+    } = spec;
+    let calls_per_worker = sizing.ops_per_worker / ops_per_call;
+    let total_ops = (threads * calls_per_worker * ops_per_call) as f64;
     let mut total_ns = 0.0;
     let mut min_ns = f64::INFINITY;
     let mut max_ns: f64 = 0.0;
     let mut max_name = 0usize;
     let cycle = &cycle;
-    for execution in 0..EXECUTIONS {
+    for execution in 0..sizing.executions {
         let start = Instant::now();
         let outcome = Executor::new(ExecConfig::new(execution as u64)).run(threads, move |ctx| {
             let mut worst = 0usize;
-            for _ in 0..OPS_PER_WORKER {
+            for _ in 0..calls_per_worker {
                 worst = worst.max(cycle(ctx, threads));
             }
             worst
@@ -80,45 +179,152 @@ where
         max_ns = max_ns.max(elapsed);
         max_name = max_name.max(outcome.results().into_iter().max().unwrap_or(0));
     }
+    assert!(
+        bound.admits(max_name),
+        "{variant} at {threads} threads leaked name {max_name} past its \
+         {} bound of {}",
+        bound.kind(),
+        bound.limit(),
+    );
     let (fresh_names, recycled_names) = stats_after();
     Sample {
         variant,
         threads,
-        mean_ns_per_op: total_ns / EXECUTIONS as f64,
+        mean_ns_per_op: total_ns / sizing.executions as f64,
         min_ns_per_op: min_ns,
         max_ns_per_op: max_ns,
         max_name,
         fresh_names,
         recycled_names,
+        bound,
+        inner_capacity,
     }
 }
 
-fn run_sweep() -> Vec<Sample> {
-    let mut samples = Vec::new();
-    for &threads in &THREADS {
-        // --- Recycler over the compiled renaming network ------------------
-        let inner = RenamingBuilder::new()
-            .network()
-            .capacity(WIDTH)
-            .hardware_comparators()
-            .build()
-            .expect("valid configuration");
-        let recycler = Arc::new(Recycler::new(inner, threads));
-        samples.push(measure(
-            "recycler_renaming_network",
+fn network(capacity: usize) -> Arc<dyn Renaming> {
+    RenamingBuilder::new()
+        .network()
+        .capacity(capacity)
+        .hardware_comparators()
+        .build()
+        .expect("valid configuration")
+}
+
+/// Measures a single recycler with the given free-list layout.
+fn measure_recycler(
+    sizing: &Sizing,
+    variant: &'static str,
+    threads: usize,
+    kind: FreeListKind,
+) -> Sample {
+    let recycler = Arc::new(Recycler::with_free_list(network(WIDTH), threads, kind));
+    measure(
+        sizing,
+        VariantSpec {
+            variant,
             threads,
-            {
-                let recycler = Arc::clone(&recycler);
-                move || (recycler.fresh_names(), recycler.recycled_names())
+            bound: Bound::Tight(threads),
+            ops_per_call: 1,
+            inner_capacity: WIDTH,
+        },
+        {
+            let recycler = Arc::clone(&recycler);
+            move || (recycler.fresh_names(), recycler.recycled_names())
+        },
+        {
+            // The raw lease surface: like the ticket baseline, the timed
+            // cycle carries no RAII guard (which would add two reference
+            // count updates per cycle on top of the renaming protocol).
+            let recycler = Arc::clone(&recycler);
+            move |ctx, _| {
+                let name = recycler
+                    .lease_raw(ctx)
+                    .expect("admission bound equals the worker count");
+                recycler.release_with(ctx, name);
+                name
+            }
+        },
+    )
+}
+
+fn run_sweep(sizing: &Sizing) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for &threads in sizing.threads {
+        // --- Recycler over the compiled renaming network, both layouts ----
+        samples.push(measure_recycler(
+            sizing,
+            "recycler_flat",
+            threads,
+            FreeListKind::Flat,
+        ));
+        samples.push(measure_recycler(
+            sizing,
+            "recycler_hierarchical",
+            threads,
+            FreeListKind::Hierarchical,
+        ));
+
+        // --- Batched leases: admission and release amortized over BATCH ---
+        // Each worker cycles a whole batch at a time through the raw batch
+        // surface: one admission reservation and one release-side counter
+        // bump per BATCH leases instead of per lease.
+        let batched = Arc::new(Recycler::with_free_list(
+            network(threads * BATCH),
+            threads * BATCH,
+            FreeListKind::Hierarchical,
+        ));
+        samples.push(measure(
+            sizing,
+            VariantSpec {
+                variant: "recycler_hierarchical_batch8",
+                threads,
+                bound: Bound::Tight(threads * BATCH),
+                ops_per_call: BATCH,
+                inner_capacity: threads * BATCH,
             },
             {
-                let recycler = Arc::clone(&recycler);
+                let batched = Arc::clone(&batched);
+                move || (batched.fresh_names(), batched.recycled_names())
+            },
+            {
+                let batched = Arc::clone(&batched);
                 move |ctx, _| {
-                    let lease = Arc::clone(&recycler)
-                        .lease(ctx)
-                        .expect("admission bound equals the worker count");
-                    let name = lease.name();
-                    lease.release(ctx);
+                    let mut names = Vec::with_capacity(BATCH);
+                    batched
+                        .lease_many_raw(ctx, BATCH, &mut names)
+                        .expect("admission bound equals workers × batch");
+                    let worst = names.iter().copied().max().unwrap_or(0);
+                    batched.release_many_raw(&names);
+                    worst
+                }
+            },
+        ));
+
+        // --- Sharded recycler: one home shard per worker ------------------
+        let sharded = Arc::new(ShardedRecycler::new(
+            (0..threads).map(|_| network(SHARD_SPAN)).collect(),
+            PER_SHARD_MAX,
+        ));
+        samples.push(measure(
+            sizing,
+            VariantSpec {
+                variant: "sharded_recycler",
+                threads,
+                bound: Bound::Loose(threads * sharded.span()),
+                ops_per_call: 1,
+                inner_capacity: SHARD_SPAN,
+            },
+            {
+                let sharded = Arc::clone(&sharded);
+                move || (sharded.fresh_names(), sharded.recycled_names())
+            },
+            {
+                let sharded = Arc::clone(&sharded);
+                move |ctx, _| {
+                    let name = sharded
+                        .lease_raw(ctx)
+                        .expect("every worker fits in its home shard");
+                    sharded.release_with(ctx, name);
                     name
                 }
             },
@@ -127,22 +333,33 @@ fn run_sweep() -> Vec<Sample> {
         // --- Ticket baseline: fetch-and-add acquire + release -------------
         let tickets = Arc::new(AtomicU64Register::new(0));
         let stubs = Arc::new(AtomicU64Register::new(0));
-        samples.push(measure("cas_ticket_baseline", threads, || (0, 0), {
-            let tickets = Arc::clone(&tickets);
-            let stubs = Arc::clone(&stubs);
-            move |ctx, _| {
-                let name = tickets.fetch_add(ctx, 1) as usize + 1;
-                stubs.fetch_add(ctx, 1); // "return the ticket stub"
-                name
-            }
-        }));
+        samples.push(measure(
+            sizing,
+            VariantSpec {
+                variant: "cas_ticket_baseline",
+                threads,
+                bound: Bound::Unbounded,
+                ops_per_call: 1,
+                inner_capacity: 0,
+            },
+            || (0, 0),
+            {
+                let tickets = Arc::clone(&tickets);
+                let stubs = Arc::clone(&stubs);
+                move |ctx, _| {
+                    let name = tickets.fetch_add(ctx, 1) as usize + 1;
+                    stubs.fetch_add(ctx, 1); // "return the ticket stub"
+                    name
+                }
+            },
+        ));
     }
     samples
 }
 
 fn print_table(samples: &[Sample]) {
     let mut table = Table::new(
-        "Lease churn — acquire/release cycles, recycler vs ticket dispenser",
+        "Lease churn — acquire/release cycles: recyclers (flat/hierarchical/sharded) vs ticket dispenser",
         &[
             "variant",
             "threads",
@@ -150,11 +367,16 @@ fn print_table(samples: &[Sample]) {
             "ns/op (min)",
             "ns/op (max)",
             "max name seen",
+            "bound",
             "fresh",
             "recycled",
         ],
     );
     for s in samples {
+        let bound = match s.bound {
+            Bound::Unbounded => "none".to_string(),
+            _ => format!("{} ≤{}", s.bound.kind(), s.bound.limit()),
+        };
         table.row(vec![
             s.variant.to_string(),
             s.threads.to_string(),
@@ -162,6 +384,7 @@ fn print_table(samples: &[Sample]) {
             fmt1(s.min_ns_per_op),
             fmt1(s.max_ns_per_op),
             s.max_name.to_string(),
+            bound,
             s.fresh_names.to_string(),
             s.recycled_names.to_string(),
         ]);
@@ -169,7 +392,7 @@ fn print_table(samples: &[Sample]) {
     table.print();
 }
 
-fn write_json(samples: &[Sample]) -> std::io::Result<()> {
+fn write_json(sizing: &Sizing, samples: &[Sample]) -> std::io::Result<()> {
     let mut variants = String::new();
     for (index, s) in samples.iter().enumerate() {
         if index > 0 {
@@ -178,6 +401,7 @@ fn write_json(samples: &[Sample]) -> std::io::Result<()> {
         variants.push_str(&format!(
             "    {{\"variant\": \"{}\", \"threads\": {}, \"mean_ns_per_op\": {:.1}, \
              \"min_ns_per_op\": {:.1}, \"max_ns_per_op\": {:.1}, \"max_name\": {}, \
+             \"bound_kind\": \"{}\", \"namespace_bound\": {}, \"inner_capacity\": {}, \
              \"fresh_names\": {}, \"recycled_names\": {}}}",
             s.variant,
             s.threads,
@@ -185,22 +409,28 @@ fn write_json(samples: &[Sample]) -> std::io::Result<()> {
             s.min_ns_per_op,
             s.max_ns_per_op,
             s.max_name,
+            s.bound.kind(),
+            s.bound.limit(),
+            s.inner_capacity,
             s.fresh_names,
             s.recycled_names
         ));
     }
     let json = format!(
         "{{\n  \"experiment\": \"lease_churn\",\n  \"network_width\": {WIDTH},\n  \
-         \"ops_per_worker\": {OPS_PER_WORKER},\n  \"executions\": {EXECUTIONS},\n  \
-         \"variants\": [\n{variants}\n  ]\n}}\n"
+         \"shard_span\": {SHARD_SPAN},\n  \"ops_per_worker\": {},\n  \
+         \"executions\": {},\n  \"variants\": [\n{variants}\n  ]\n}}\n",
+        sizing.ops_per_worker, sizing.executions,
     );
     std::fs::write("BENCH_lease_churn.json", json)
 }
 
 fn main() {
-    let samples = run_sweep();
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let sizing = if smoke { &SMOKE } else { &FULL };
+    let samples = run_sweep(sizing);
     print_table(&samples);
-    for &threads in &THREADS {
+    for &threads in sizing.threads {
         let ns = |variant: &str| {
             samples
                 .iter()
@@ -208,16 +438,28 @@ fn main() {
                 .map(|s| s.mean_ns_per_op)
                 .unwrap_or(f64::NAN)
         };
+        let ticket = ns("cas_ticket_baseline");
         println!(
-            "{threads:>2} threads: recycler {:.0} ns/op vs ticket {:.0} ns/op \
-             ({:.1}x); recycler namespace stays 1..={threads}",
-            ns("recycler_renaming_network"),
-            ns("cas_ticket_baseline"),
-            ns("recycler_renaming_network") / ns("cas_ticket_baseline"),
+            "{threads:>2} threads: flat {:.0} ns/op ({:.1}x), hierarchical {:.0} ns/op \
+             ({:.1}x), batch8 {:.0} ns/op ({:.1}x), sharded {:.0} ns/op ({:.1}x) vs \
+             ticket {ticket:.0} ns/op; tight namespace 1..={threads}, loose ≤ {}",
+            ns("recycler_flat"),
+            ns("recycler_flat") / ticket,
+            ns("recycler_hierarchical"),
+            ns("recycler_hierarchical") / ticket,
+            ns("recycler_hierarchical_batch8"),
+            ns("recycler_hierarchical_batch8") / ticket,
+            ns("sharded_recycler"),
+            ns("sharded_recycler") / ticket,
+            threads * SHARD_SPAN,
         );
     }
-    match write_json(&samples) {
-        Ok(()) => println!("wrote BENCH_lease_churn.json"),
-        Err(error) => eprintln!("failed to write BENCH_lease_churn.json: {error}"),
+    if sizing.write_json {
+        match write_json(sizing, &samples) {
+            Ok(()) => println!("wrote BENCH_lease_churn.json"),
+            Err(error) => eprintln!("failed to write BENCH_lease_churn.json: {error}"),
+        }
+    } else {
+        println!("smoke mode: BENCH_lease_churn.json left untouched");
     }
 }

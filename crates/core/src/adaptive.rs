@@ -161,18 +161,6 @@ pub struct AdaptiveRenaming<T: TwoPartyTas + Default = TwoProcessTas> {
     stores: Vec<SectionStore<T>>,
 }
 
-impl AdaptiveRenaming<TwoProcessTas> {
-    /// Creates the adaptive renaming object with the default configuration.
-    #[deprecated(
-        since = "0.2.0",
-        note = "construct through the facade: `<dyn Renaming>::builder().build()`; \
-                use `AdaptiveRenaming::default()` where the concrete type is needed"
-    )]
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
 impl Default for AdaptiveRenaming<TwoProcessTas> {
     /// The default configuration: randomized two-process test-and-set
     /// comparators over the adaptive network based on Batcher's odd-even

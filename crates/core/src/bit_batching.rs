@@ -79,24 +79,6 @@ pub struct BitBatchingRenaming<T: TestAndSet = RatRaceTas> {
     trials_per_batch: usize,
 }
 
-impl BitBatchingRenaming<RatRaceTas> {
-    /// Creates the object over `n` names backed by adaptive RatRace
-    /// test-and-set objects, created lazily on first probe.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n < 2`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "construct through the facade: \
-                `<dyn Renaming>::builder().bit_batching().capacity(n).build()`; \
-                use `with_factory(n, RatRaceTas::new)` where the concrete type is needed"
-    )]
-    pub fn new(n: usize) -> Self {
-        Self::with_factory(n, RatRaceTas::new)
-    }
-}
-
 impl<T: TestAndSet> BitBatchingRenaming<T> {
     /// Creates the object over `n` lazily initialized names; `factory` builds
     /// a slot's test-and-set when some process first probes it.

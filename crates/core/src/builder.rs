@@ -28,10 +28,12 @@
 use crate::adaptive::AdaptiveRenaming;
 use crate::bit_batching::BitBatchingRenaming;
 use crate::error::RenamingError;
+use crate::free_list::FreeListKind;
 use crate::lease::LongLivedRenaming;
 use crate::linear_probe::LinearProbeRenaming;
 use crate::recycler::Recycler;
 use crate::renaming_network::{LockedRenamingNetwork, RenamingNetwork};
+use crate::sharded::ShardedRecycler;
 use crate::traits::Renaming;
 use shmem::adversary::ExecConfig;
 use sortnet::family::{NetworkFamily, SortingFamily};
@@ -94,6 +96,8 @@ pub struct RenamingBuilder {
     comparators: ComparatorKind,
     adaptive_level: Option<usize>,
     probe_multiplier: usize,
+    shards: usize,
+    free_list: FreeListKind,
     seed: u64,
 }
 
@@ -108,6 +112,8 @@ impl Default for RenamingBuilder {
             comparators: ComparatorKind::default(),
             adaptive_level: None,
             probe_multiplier: 3,
+            shards: 1,
+            free_list: FreeListKind::default(),
             seed: 0,
         }
     }
@@ -209,6 +215,32 @@ impl RenamingBuilder {
         self
     }
 
+    /// Shards the long-lived object produced by
+    /// [`RenamingBuilder::build_long_lived`] over `shards` independent
+    /// recyclers ([`ShardedRecycler`]): each shard gets its own inner
+    /// one-shot object (the configured capacity is **per shard**) and
+    /// `⌈max_concurrent / shards⌉` admission slots, with per-process home
+    /// shards and overflow stealing. Trades the tight namespace bound for
+    /// the documented loose one — see the
+    /// [`sharded`](crate::sharded) module docs for when that is acceptable.
+    ///
+    /// `shards == 1` (the default) builds a plain tight [`Recycler`];
+    /// `shards > 1` makes [`RenamingBuilder::build`] fail, since sharding
+    /// only applies to the long-lived form.
+    pub fn sharded(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Selects the free-list layout of the long-lived object produced by
+    /// [`RenamingBuilder::build_long_lived`]: the two-level hierarchical
+    /// bitmap (default, `O(1)` expected pop-minimum) or the flat scan
+    /// baseline (`O(capacity / 64)`).
+    pub fn free_list(mut self, kind: FreeListKind) -> Self {
+        self.free_list = kind;
+        self
+    }
+
     /// Sets the seed recorded for adversarial executions driven against the
     /// built object (see [`RenamingBuilder::exec_config`]). Construction
     /// itself is deterministic: all randomness in the paper's algorithms is
@@ -251,6 +283,17 @@ impl RenamingBuilder {
     /// capacity on the unbounded adaptive algorithm, the locked engine on a
     /// non-network algorithm).
     pub fn build(&self) -> Result<Arc<dyn Renaming>, RenamingError> {
+        if self.shards > 1 {
+            return Err(RenamingError::InvalidConfiguration {
+                reason: "sharding applies to the long-lived form: use build_long_lived()",
+            });
+        }
+        self.build_one()
+    }
+
+    /// Builds one one-shot object ignoring the sharding knob (each shard of
+    /// a sharded long-lived object is one of these).
+    fn build_one(&self) -> Result<Arc<dyn Renaming>, RenamingError> {
         if self.engine == EngineKind::Locked && self.algorithm != Algorithm::Network {
             return Err(RenamingError::InvalidConfiguration {
                 reason: "the locked engine only applies to fixed renaming networks",
@@ -330,18 +373,29 @@ impl RenamingBuilder {
         }
     }
 
-    /// Builds the configured object and wraps it in a [`Recycler`], yielding
-    /// a long-lived renaming object whose leases recycle released names.
+    /// Builds the configured object and wraps it in a [`Recycler`] — or,
+    /// with [`RenamingBuilder::sharded`], builds one object per shard and
+    /// wraps them in a [`ShardedRecycler`] — yielding a long-lived renaming
+    /// object whose leases recycle released names through the configured
+    /// [`FreeListKind`].
     ///
     /// The concurrency bound is [`RenamingBuilder::max_concurrent`] if set,
-    /// otherwise the capacity.
+    /// otherwise the capacity; a sharded object splits it evenly, giving
+    /// each shard `⌈max_concurrent / shards⌉` admission slots (so the
+    /// effective total bound rounds up to a multiple of the shard count).
     ///
     /// # Errors
     ///
     /// As [`RenamingBuilder::build`], plus
     /// [`RenamingError::InvalidConfiguration`] when no concurrency bound can
-    /// be derived or it exceeds the capacity.
+    /// be derived, it exceeds the (per-shard) capacity, or the shard count
+    /// is zero.
     pub fn build_long_lived(&self) -> Result<Arc<dyn LongLivedRenaming>, RenamingError> {
+        if self.shards == 0 {
+            return Err(RenamingError::InvalidConfiguration {
+                reason: "a sharded recycler needs at least one shard",
+            });
+        }
         let max_concurrent =
             self.max_concurrent
                 .or(self.capacity)
@@ -353,15 +407,32 @@ impl RenamingBuilder {
                 reason: "max_concurrent must be at least 1",
             });
         }
-        let inner = self.build()?;
-        if let Some(capacity) = inner.capacity() {
-            if max_concurrent > capacity {
+        let per_shard_max = max_concurrent.div_ceil(self.shards);
+        let inners = (0..self.shards)
+            .map(|_| self.build_one())
+            .collect::<Result<Vec<_>, _>>()?;
+        if let Some(capacity) = inners[0].capacity() {
+            if per_shard_max > capacity {
                 return Err(RenamingError::InvalidConfiguration {
-                    reason: "max_concurrent exceeds the object's capacity",
+                    reason: "max_concurrent exceeds the object's capacity \
+                             (per shard, when sharded)",
                 });
             }
         }
-        Ok(Arc::new(Recycler::new(inner, max_concurrent)))
+        if self.shards == 1 {
+            let inner = inners.into_iter().next().expect("one shard");
+            Ok(Arc::new(Recycler::with_free_list(
+                inner,
+                per_shard_max,
+                self.free_list,
+            )))
+        } else {
+            Ok(Arc::new(ShardedRecycler::with_free_list(
+                inners,
+                per_shard_max,
+                self.free_list,
+            )))
+        }
     }
 }
 
@@ -468,6 +539,28 @@ mod tests {
             .max_concurrent(9)
             .build_long_lived();
         assert!(excess.is_err());
+        let sharded_one_shot = <dyn Renaming>::builder()
+            .network()
+            .capacity(8)
+            .sharded(2)
+            .build();
+        assert!(
+            sharded_one_shot.is_err(),
+            "sharding only applies to the long-lived form"
+        );
+        let zero_shards = <dyn Renaming>::builder()
+            .network()
+            .capacity(8)
+            .sharded(0)
+            .build_long_lived();
+        assert!(zero_shards.is_err());
+        let per_shard_excess = <dyn Renaming>::builder()
+            .network()
+            .capacity(4)
+            .sharded(2)
+            .max_concurrent(12) // 6 per shard > the per-shard capacity of 4
+            .build_long_lived();
+        assert!(per_shard_excess.is_err());
     }
 
     #[test]
@@ -502,6 +595,54 @@ mod tests {
         a.release(&mut ctx);
         b.release(&mut ctx);
         assert_eq!(ctx.stats().releases, 2);
+    }
+
+    #[test]
+    fn sharded_and_free_list_knobs_build_long_lived_objects() {
+        use crate::free_list::FreeListKind;
+
+        // Both free-list layouts serve churn identically at this scale.
+        for kind in [FreeListKind::Flat, FreeListKind::Hierarchical] {
+            let object = <dyn Renaming>::builder()
+                .network()
+                .capacity(16)
+                .max_concurrent(4)
+                .free_list(kind)
+                .build_long_lived()
+                .unwrap();
+            let mut ctx = ProcessCtx::new(ProcessId::new(0), 6);
+            for _ in 0..5 {
+                let lease = Arc::clone(&object).lease(&mut ctx).unwrap();
+                assert_eq!(lease.name(), 1, "{kind:?}");
+            }
+        }
+
+        // A 2-sharded object homes processes by identifier and splits the
+        // concurrency bound: names come from disjoint per-shard ranges.
+        let sharded = <dyn Renaming>::builder()
+            .network()
+            .capacity(8)
+            .sharded(2)
+            .max_concurrent(4)
+            .build_long_lived()
+            .unwrap();
+        assert_eq!(sharded.max_concurrent(), Some(4));
+        let mut p0 = ProcessCtx::new(ProcessId::new(0), 1);
+        let mut p1 = ProcessCtx::new(ProcessId::new(1), 1);
+        let a = Arc::clone(&sharded).lease(&mut p0).unwrap();
+        let b = Arc::clone(&sharded).lease(&mut p1).unwrap();
+        assert_eq!(a.name(), 1);
+        assert_eq!(b.name(), 9, "shard 1 owns names 9..=16");
+        assert_eq!(sharded.live_leases(), 2);
+        drop(a);
+        drop(b);
+
+        // The batch surface works through the trait object too.
+        let batch = Arc::clone(&sharded).lease_many(&mut p0, 3).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(sharded.live_leases(), 3);
+        drop(batch);
+        assert_eq!(sharded.live_leases(), 0);
     }
 
     #[test]

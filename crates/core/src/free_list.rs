@@ -1,0 +1,497 @@
+//! Lock-free pop-minimum free lists of names, flat and hierarchical.
+//!
+//! A [`FreeList`] is the heart of the long-lived recycling layer
+//! ([`Recycler`](crate::recycler::Recycler)): released names are parked in an
+//! atomic bitmap, and a lease claims the **smallest** free name. Claiming the
+//! minimum is what keeps recycling *adaptive* — for a lease to be granted
+//! name `m`, every name below `m` must be held or in transit at the moment of
+//! the scan, so the point contention is at least `m`. A LIFO stack would hand
+//! a name granted at peak contention straight back out at low contention and
+//! break that bound.
+//!
+//! Two layouts are provided, selected by [`FreeListKind`]:
+//!
+//! * **Flat** — one word per 64 names, scanned in order. Pop-minimum is
+//!   `O(bound / 64)` in the worst case (an empty or top-heavy list scans the
+//!   whole array). This was the only layout before the hierarchical one
+//!   landed; it is kept as the bit-exact baseline.
+//! * **Hierarchical** — the same data words plus a *summary* level: one
+//!   summary bit per data word (so one summary word per 64 data words, i.e.
+//!   per 4096 names). Pop-minimum reads the first non-zero summary word,
+//!   jumps straight to its lowest flagged data word, and claims that word's
+//!   lowest bit — `O(1)` expected instead of `O(bound / 64)`.
+//!
+//! # The summary protocol: monotone flags
+//!
+//! Summary bits are **monotone**: a push *ensures* its word's summary bit
+//! is set (a plain load, plus one `fetch_or` only if the bit is still
+//! clear) strictly before the push completes, and **nothing ever clears a
+//! summary bit**. A flagged word may be empty (all its names claimed
+//! again); an *unflagged* word carries an exact guarantee — **no push for
+//! any of its names has ever completed**, i.e. no name in that word has
+//! ever been free.
+//!
+//! That guarantee is what makes skipping unflagged words sound, where a
+//! clearing protocol would not be:
+//!
+//! * **Minimality.** A pop may only skip a word it knows holds no free
+//!   name. Flagged words the pop inspects itself (one load). Unflagged
+//!   words have never held a free name at any point in time — a fact no
+//!   concurrent interleaving can invalidate mid-scan, because the bits
+//!   only ever go from 0 to 1. (Any protocol that *clears* summary bits
+//!   opens a window in which a refilled word is hidden behind another
+//!   thread's stale observation, letting a pop return a non-minimum name.)
+//! * **Coherent misses.** A completed push ensured its summary bit before
+//!   bumping the seqlock below, and the bit cannot have been cleared since
+//!   — so any scan that starts after the bump is guaranteed to visit the
+//!   word. In-flight pushes (bit ensured but seqlock not yet bumped) are
+//!   exactly what the seqlock re-scan rule accounts for.
+//!
+//! The trade-off is that emptied words keep their flags: a pop pays one
+//! load per *historically touched* word it passes, degenerating to the
+//! flat scan plus summary overhead only when every word has held a free
+//! name at some point. Under the recycling workloads the hierarchy is for
+//! — free names dense at the bottom of the namespace — only the lowest
+//! words are ever flagged, and pop-minimum (hits *and* misses) stays
+//! `O(1)` expected regardless of the bound.
+//!
+//! # Coherent misses
+//!
+//! The word scan of [`FreeList::pop`] is not by itself an atomic emptiness
+//! check: a name released into an already-scanned region would be missed,
+//! and a miss wrongly reported as "no free names" would let a recycler
+//! consume a fresh name it does not need — breaking the `1..=max_concurrent`
+//! bound. The `pushes` counter closes that hole seqlock-style: every
+//! successful push bumps it (after all bits land, before the releaser stops
+//! counting as live), and [`FreeList::pop_coherent`] rescans whenever the
+//! counter moved during a missing scan. A coherent miss therefore proves
+//! that at its linearization point every name absent from the list was owned
+//! by a still-live lease operation.
+//!
+//! # Name-to-bit mapping
+//!
+//! Names are 1-based; name `n` occupies bit `(n - 1) % 64` of data word
+//! `(n - 1) / 64`, so a list of bound `b` allocates exactly `⌈b / 64⌉`
+//! words. (An earlier revision mapped name `n` to bit `n % 64` of word
+//! `n / 64`, which wasted bit 0 of word 0 and allocated one entire extra
+//! word whenever `bound % 64 == 0` — e.g. 2 words for a 64-name list.)
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The layout of a [`FreeList`]'s bitmap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FreeListKind {
+    /// Data words only; pop-minimum scans them in order (`O(bound / 64)`).
+    Flat,
+    /// Data words plus a summary word per 64 data words; pop-minimum is
+    /// `O(1)` expected. The default.
+    #[default]
+    Hierarchical,
+}
+
+/// A lock-free pop-minimum set of names `1..=bound`, stored as an atomic
+/// bitmap (optionally two-level, see [`FreeListKind`] and the
+/// [module documentation](self)).
+pub struct FreeList {
+    words: Box<[AtomicU64]>,
+    /// One bit per data word; present only for the hierarchical layout.
+    summary: Option<Box<[AtomicU64]>>,
+    /// Successful pushes so far (seqlock for coherent-miss detection).
+    pushes: AtomicUsize,
+    bound: usize,
+}
+
+impl FreeList {
+    /// Creates an empty free list accepting names `1..=bound`, with the
+    /// default (hierarchical) layout.
+    pub fn new(bound: usize) -> Self {
+        Self::with_kind(bound, FreeListKind::default())
+    }
+
+    /// Creates an empty free list accepting names `1..=bound` with the given
+    /// layout.
+    pub fn with_kind(bound: usize, kind: FreeListKind) -> Self {
+        let word_count = bound.div_ceil(64).max(1);
+        FreeList {
+            words: (0..word_count).map(|_| AtomicU64::new(0)).collect(),
+            summary: match kind {
+                FreeListKind::Flat => None,
+                FreeListKind::Hierarchical => Some(
+                    (0..word_count.div_ceil(64))
+                        .map(|_| AtomicU64::new(0))
+                        .collect(),
+                ),
+            },
+            pushes: AtomicUsize::new(0),
+            bound,
+        }
+    }
+
+    /// The largest name the list can hold.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// The layout of this list.
+    pub fn kind(&self) -> FreeListKind {
+        match self.summary {
+            None => FreeListKind::Flat,
+            Some(_) => FreeListKind::Hierarchical,
+        }
+    }
+
+    /// Successful pushes so far. Together with [`FreeList::len`] this yields
+    /// the number of successful pops: `pushes() - len()`.
+    pub fn pushes(&self) -> usize {
+        self.pushes.load(Ordering::SeqCst)
+    }
+
+    /// Marks `name` free; returns `false` (rejecting the push) if the name
+    /// is out of range or already free.
+    pub fn push(&self, name: usize) -> bool {
+        if !self.set_bit(name) {
+            return false;
+        }
+        self.pushes.fetch_add(1, Ordering::SeqCst);
+        true
+    }
+
+    /// Marks every name in `names` free with a **single** seqlock bump at
+    /// the end (after every bit has landed), amortizing the release-side
+    /// counter update over the batch. Returns how many pushes were accepted;
+    /// out-of-range and already-free names are rejected exactly as by
+    /// [`FreeList::push`].
+    ///
+    /// Until the final bump the batch's names keep counting as in-flight
+    /// (seqlock-wise they have not been released yet), which is the
+    /// conservative direction for every coherence argument built on the
+    /// counter.
+    pub fn push_many(&self, names: &[usize]) -> usize {
+        let pushed = names.iter().filter(|&&name| self.set_bit(name)).count();
+        if pushed > 0 {
+            self.pushes.fetch_add(pushed, Ordering::SeqCst);
+        }
+        pushed
+    }
+
+    /// Sets `name`'s bit and ensures its word's (monotone) summary bit,
+    /// without touching the seqlock. Returns `false` for out-of-range or
+    /// already-free names.
+    fn set_bit(&self, name: usize) -> bool {
+        if name == 0 || name > self.bound {
+            return false;
+        }
+        let (word, bit) = ((name - 1) / 64, 1u64 << ((name - 1) % 64));
+        let previous = self.words[word].fetch_or(bit, Ordering::SeqCst);
+        if previous & bit != 0 {
+            return false;
+        }
+        if let Some(summary) = &self.summary {
+            // Ensure the summary flag before this push can complete. The
+            // bits are monotone (never cleared), so an observed-set flag is
+            // set forever and the common case is one plain load. Skipping
+            // based on the *data* word being non-empty would be unsound:
+            // the earlier pusher that made it non-empty may still be
+            // in-flight before its own summary write.
+            let flag = &summary[word / 64];
+            let summary_bit = 1u64 << (word % 64);
+            if flag.load(Ordering::SeqCst) & summary_bit == 0 {
+                flag.fetch_or(summary_bit, Ordering::SeqCst);
+            }
+        }
+        true
+    }
+
+    /// Claims the smallest free name in one scan, if any.
+    ///
+    /// A `None` from a single scan is **not** an atomic emptiness check; use
+    /// [`FreeList::pop_coherent`] when a miss must mean "observably empty at
+    /// one instant".
+    pub fn pop(&self) -> Option<usize> {
+        match &self.summary {
+            None => self.pop_flat(),
+            Some(summary) => self.pop_hierarchical(summary),
+        }
+    }
+
+    fn pop_flat(&self) -> Option<usize> {
+        for (index, word) in self.words.iter().enumerate() {
+            if let Some(bit) = Self::claim_lowest(word) {
+                return Some(index * 64 + bit + 1);
+            }
+        }
+        None
+    }
+
+    fn pop_hierarchical(&self, summary: &[AtomicU64]) -> Option<usize> {
+        for (summary_index, summary_word) in summary.iter().enumerate() {
+            // One snapshot per summary word, visited lowest bit first. A
+            // flag appearing behind the cursor belongs to a push that
+            // overlaps this scan — the same race a flat scan has, covered
+            // by the seqlock for coherent misses. Flags over emptied words
+            // cost one data-word load each and are never cleared (see the
+            // module docs for why clearing would be unsound).
+            let mut flags = summary_word.load(Ordering::SeqCst);
+            while flags != 0 {
+                let summary_bit = flags.trailing_zeros() as usize;
+                flags &= !(1u64 << summary_bit);
+                let word_index = summary_index * 64 + summary_bit;
+                if let Some(bit) = Self::claim_lowest(&self.words[word_index]) {
+                    return Some(word_index * 64 + bit + 1);
+                }
+            }
+        }
+        None
+    }
+
+    /// Claims the lowest set bit of `word`, returning its index.
+    fn claim_lowest(word: &AtomicU64) -> Option<usize> {
+        let mut current = word.load(Ordering::SeqCst);
+        while current != 0 {
+            let bit = current.trailing_zeros();
+            match word.compare_exchange_weak(
+                current,
+                current & !(1u64 << bit),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some(bit as usize),
+                Err(now) => current = now,
+            }
+        }
+        None
+    }
+
+    /// Claims the smallest free name; a miss is retried until no release
+    /// landed during the scan, so `None` means the list was observably empty
+    /// at a single instant. Lock-free: each retry is caused by another
+    /// thread's completed release.
+    pub fn pop_coherent(&self) -> Option<usize> {
+        loop {
+            let before = self.pushes.load(Ordering::SeqCst);
+            if let Some(name) = self.pop() {
+                return Some(name);
+            }
+            if self.pushes.load(Ordering::SeqCst) == before {
+                return None;
+            }
+        }
+    }
+
+    /// The number of names currently free (`O(bound / 64)`; diagnostics).
+    pub fn len(&self) -> usize {
+        self.words
+            .iter()
+            .map(|word| word.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether no names are currently free (diagnostics; racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The number of data words allocated (exactly `⌈bound / 64⌉`, except
+    /// that a zero-bound list still allocates one word).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+}
+
+impl fmt::Debug for FreeList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FreeList")
+            .field("kind", &self.kind())
+            .field("bound", &self.bound)
+            .field("len", &self.len())
+            .field("pushes", &self.pushes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const BOTH: [FreeListKind; 2] = [FreeListKind::Flat, FreeListKind::Hierarchical];
+
+    /// Iterations of the multi-threaded churn tests; shrunk under miri,
+    /// whose interpreter runs them ~1000× slower than native.
+    const CHURN_OPS: usize = if cfg!(miri) { 200 } else { 10_000 };
+
+    #[test]
+    fn pops_the_minimum_and_rejects_duplicates() {
+        for kind in BOTH {
+            let list = FreeList::with_kind(200, kind);
+            assert_eq!(list.kind(), kind);
+            assert_eq!(list.pop(), None);
+            assert!(list.push(5));
+            assert!(list.push(3));
+            assert!(list.push(130)); // third word of the bitmap
+            assert!(!list.push(5), "duplicate push is rejected");
+            assert!(!list.push(0), "name 0 is rejected");
+            assert!(!list.push(201), "out-of-range name is rejected");
+            assert_eq!(list.len(), 3);
+            assert_eq!(list.pop(), Some(3), "the smallest free name comes first");
+            assert_eq!(list.pop(), Some(5));
+            assert_eq!(list.pop(), Some(130));
+            assert_eq!(list.pop(), None);
+            assert!(list.push(5), "popped names can be pushed again");
+            assert_eq!(list.pop_coherent(), Some(5));
+            assert_eq!(list.pop_coherent(), None);
+        }
+    }
+
+    #[test]
+    fn word_sizing_is_exact_at_the_64_boundaries() {
+        // One word per 64 names, no extra word when the bound divides 64.
+        for (bound, words) in [(1, 1), (63, 1), (64, 1), (65, 2), (127, 2), (128, 2)] {
+            for kind in BOTH {
+                let list = FreeList::with_kind(bound, kind);
+                assert_eq!(list.word_count(), words, "bound {bound}, {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_bounds_round_trip_every_name() {
+        // Exhaustive push/pop/pop_coherent at the word-boundary bounds named
+        // by the audit: every name in 1..=bound lands and comes back out in
+        // ascending order; bound + 1 and 0 are rejected.
+        for bound in [1usize, 63, 64, 65, 128] {
+            for kind in BOTH {
+                let list = FreeList::with_kind(bound, kind);
+                for name in 1..=bound {
+                    assert!(list.push(name), "bound {bound}, {kind:?}: push {name}");
+                }
+                assert!(!list.push(0), "bound {bound}, {kind:?}");
+                assert!(
+                    !list.push(bound + 1),
+                    "bound {bound}, {kind:?}: name above the bound"
+                );
+                assert_eq!(list.len(), bound, "bound {bound}, {kind:?}");
+                for name in 1..=bound {
+                    assert_eq!(
+                        list.pop_coherent(),
+                        Some(name),
+                        "bound {bound}, {kind:?}: pop-minimum order"
+                    );
+                }
+                assert_eq!(list.pop_coherent(), None, "bound {bound}, {kind:?}");
+                assert_eq!(list.pushes(), bound, "bound {bound}, {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn the_highest_name_lives_in_the_last_word() {
+        for kind in BOTH {
+            let list = FreeList::with_kind(64, kind);
+            assert!(list.push(64), "{kind:?}: name == bound is accepted");
+            assert_eq!(list.len(), 1);
+            assert_eq!(list.pop(), Some(64), "{kind:?}");
+            let wide = FreeList::with_kind(128, kind);
+            assert!(wide.push(128));
+            assert_eq!(wide.pop(), Some(128), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn emptied_words_keep_their_flags_and_are_skipped_cheaply() {
+        let list = FreeList::with_kind(8192, FreeListKind::Hierarchical);
+        // Park a name far up the namespace, then cycle a low name: word 0's
+        // monotone summary flag survives the pop that empties it, and later
+        // pops walk past it (one load) to find name 5000.
+        assert!(list.push(5000));
+        assert!(list.push(1));
+        assert_eq!(list.pop(), Some(1));
+        assert_eq!(list.pop(), Some(5000), "flagged-but-empty words are passed");
+        assert_eq!(list.pop(), None);
+        // The flags stay set; correctness is unaffected across refills.
+        assert!(list.push(8192));
+        assert!(list.push(1));
+        assert_eq!(list.pop_coherent(), Some(1), "pop-minimum across refills");
+        assert_eq!(list.pop_coherent(), Some(8192));
+        assert_eq!(list.pop_coherent(), None);
+    }
+
+    #[test]
+    fn misses_are_coherent_under_concurrent_churn() {
+        // Pushers cycle names through the list while poppers drain it; a
+        // coherent miss must never coincide with an unclaimed name. The
+        // accounting check: every popped name is pushed back, so at the end
+        // all names are on the list again.
+        for kind in BOTH {
+            let list = Arc::new(FreeList::with_kind(8192, kind));
+            assert!(list.push(1) && list.push(100) && list.push(8000));
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let list = Arc::clone(&list);
+                    scope.spawn(move || {
+                        for _ in 0..CHURN_OPS {
+                            if let Some(name) = list.pop_coherent() {
+                                assert!(list.push(name), "claimed names push back cleanly");
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(list.len(), 3, "{kind:?}: all names survive the churn");
+            assert_eq!(list.pop_coherent(), Some(1), "{kind:?}");
+            assert_eq!(list.pop_coherent(), Some(100), "{kind:?}");
+            assert_eq!(list.pop_coherent(), Some(8000), "{kind:?}");
+            assert_eq!(list.pop_coherent(), None, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_and_flat_agree_on_sequential_scripts() {
+        // A deterministic interleaving driven against both layouts must
+        // produce identical results op for op (the property-based version
+        // with random scripts lives in tests/lease_churn.rs).
+        let flat = FreeList::with_kind(300, FreeListKind::Flat);
+        let hier = FreeList::with_kind(300, FreeListKind::Hierarchical);
+        let script: Vec<(usize, usize)> = (0..600usize)
+            .map(|i| ((i * 7 + 3) % 4, (i * 131 + 17) % 302))
+            .collect();
+        for (op, name) in script {
+            match op {
+                0 | 1 => assert_eq!(flat.push(name), hier.push(name), "push {name}"),
+                2 => assert_eq!(flat.pop(), hier.pop()),
+                _ => assert_eq!(flat.pop_coherent(), hier.pop_coherent()),
+            }
+        }
+        assert_eq!(flat.len(), hier.len());
+        assert_eq!(flat.pushes(), hier.pushes());
+    }
+
+    #[test]
+    fn push_many_batches_the_seqlock_and_rejects_like_push() {
+        for kind in BOTH {
+            let list = FreeList::with_kind(100, kind);
+            assert!(list.push(7));
+            // 7 is a duplicate, 0 and 101 are out of range: 3 of 6 land.
+            let pushed = list.push_many(&[5, 7, 0, 70, 101, 9]);
+            assert_eq!(pushed, 3, "{kind:?}");
+            assert_eq!(list.pushes(), 4, "{kind:?}: one bump per landed name");
+            assert_eq!(list.len(), 4, "{kind:?}");
+            for expected in [5, 7, 9, 70] {
+                assert_eq!(list.pop_coherent(), Some(expected), "{kind:?}");
+            }
+            assert_eq!(list.pop_coherent(), None, "{kind:?}");
+            assert_eq!(list.push_many(&[]), 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn debug_reports_layout_and_occupancy() {
+        let list = FreeList::new(10);
+        assert!(list.is_empty());
+        assert!(list.push(2));
+        let formatted = format!("{list:?}");
+        assert!(formatted.contains("Hierarchical"), "{formatted}");
+        assert!(formatted.contains("len: 1"), "{formatted}");
+    }
+}

@@ -41,7 +41,10 @@
 //! algorithm, and [`Recycler`] turns any of them into a
 //! [`LongLivedRenaming`] object whose
 //! [`NameLease`] guards recycle released names through a
-//! lock-free free list.
+//! lock-free [`FreeList`] (flat or two-level hierarchical bitmap, see
+//! [`FreeListKind`]). For shard-local throughput under heavy churn,
+//! [`ShardedRecycler`] trades the tight namespace bound for a documented
+//! *loose* one (`.sharded(n)` on the builder).
 //!
 //! # Quick start
 //!
@@ -74,12 +77,14 @@ pub mod comparator_slab;
 pub mod counter;
 pub mod error;
 pub mod fetch_increment;
+pub mod free_list;
 pub mod lease;
 pub mod linear_probe;
 pub mod loose;
 pub mod ltas;
 pub mod recycler;
 pub mod renaming_network;
+pub mod sharded;
 pub mod temp_name;
 pub mod traits;
 
@@ -90,11 +95,16 @@ pub use comparator_slab::ComparatorSlab;
 pub use counter::{CasCounter, Counter, MonotoneCounter};
 pub use error::RenamingError;
 pub use fetch_increment::BoundedFetchIncrement;
-pub use lease::{assert_tight_lease_namespace, LeaseRecord, LongLivedRenaming, NameLease};
+pub use free_list::{FreeList, FreeListKind};
+pub use lease::{
+    assert_loose_lease_namespace, assert_tight_lease_namespace, LeaseRecord, LongLivedRenaming,
+    NameLease,
+};
 pub use linear_probe::LinearProbeRenaming;
 pub use loose::LooseRenaming;
 pub use ltas::BoundedTas;
 pub use recycler::Recycler;
 pub use renaming_network::{LockedRenamingNetwork, RenamingNetwork};
+pub use sharded::ShardedRecycler;
 pub use temp_name::TempName;
 pub use traits::Renaming;

@@ -38,23 +38,6 @@ pub struct LinearProbeRenaming<T: TestAndSet = RatRaceTas> {
     slots: Vec<T>,
 }
 
-impl LinearProbeRenaming<RatRaceTas> {
-    /// Creates the baseline with `capacity` RatRace test-and-set slots.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    #[deprecated(
-        since = "0.2.0",
-        note = "construct through the facade: \
-                `<dyn Renaming>::builder().linear_probe().capacity(n).build()`; \
-                use `with_slots(..)` where the concrete type is needed"
-    )]
-    pub fn new(capacity: usize) -> Self {
-        Self::with_slots((0..capacity).map(|_| RatRaceTas::new()).collect())
-    }
-}
-
 impl<T: TestAndSet> LinearProbeRenaming<T> {
     /// Creates the baseline over the given test-and-set slots.
     ///

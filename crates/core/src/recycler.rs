@@ -28,24 +28,27 @@
 //!
 //! # The free list
 //!
-//! Released names live in an atomic bitmap: release sets the name's bit
-//! (one `fetch_or`), lease claims the **lowest** set bit (a scan of the
-//! word array plus one CAS). Claiming the minimum free name is what keeps
-//! recycling *adaptive*: for a lease to be granted name `m`, every name
-//! below `m` must be held or in transit at the moment of the scan, so the
-//! point contention is at least `m`. A plain LIFO stack would hand a name
-//! granted at peak contention straight back out at low contention and break
-//! that bound. Both operations are lock-free and allocation-free, and a
+//! Released names live in a [`FreeList`]: release sets the name's bit (one
+//! `fetch_or`), lease claims the **lowest** set bit. Claiming the minimum
+//! free name is what keeps recycling *adaptive* — see the
+//! [`free_list`](crate::free_list) module documentation for the argument,
+//! the flat-vs-hierarchical layouts, and the seqlock protocol behind
+//! coherent misses. Both operations are lock-free and allocation-free, and a
 //! double release is detected by the `fetch_or` (the duplicate is rejected
 //! and counted in [`Recycler::leaked_names`]).
+//!
+//! For shard-local throughput at the price of a *loose* namespace bound, see
+//! [`ShardedRecycler`](crate::sharded::ShardedRecycler), which spreads
+//! leases over several independent recyclers.
 
 use crate::error::RenamingError;
+use crate::free_list::{FreeList, FreeListKind};
 use crate::lease::{LongLivedRenaming, NameLease};
 use crate::traits::Renaming;
 use shmem::process::ProcessCtx;
 use shmem::steps::StepKind;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Headroom multiplier used to size the free list of a recycler over an
@@ -54,102 +57,6 @@ use std::sync::Arc;
 /// (they would exceed the admission limit); if one appears it is leaked, not
 /// lost.
 const UNBOUNDED_FREELIST_HEADROOM: usize = 4;
-
-/// A lock-free pop-minimum set of small integers (names), stored as an
-/// atomic bitmap. Bit `name` of word `name / 64` is set while the name is
-/// free.
-///
-/// The word-by-word scan of [`FreeList::pop`] is not by itself an atomic
-/// emptiness check: a name released into an already-scanned word would be
-/// missed, and a miss wrongly reported as "no free names" would let the
-/// recycler consume a fresh name it does not need — breaking the
-/// `1..=max_concurrent` bound. The `pushes` counter closes that hole
-/// seqlock-style: every successful push bumps it (after the bit lands, before
-/// the releaser stops counting as live), and [`FreeList::pop_coherent`]
-/// rescans whenever the counter moved during a missing scan. A coherent miss
-/// therefore proves that at its linearization point every name absent from
-/// the list was owned by a still-live lease operation.
-struct FreeList {
-    words: Box<[AtomicU64]>,
-    /// Successful pushes so far (seqlock for coherent-miss detection).
-    pushes: AtomicUsize,
-    bound: usize,
-}
-
-impl FreeList {
-    /// Creates an empty free list accepting names `1..=bound`.
-    fn new(bound: usize) -> Self {
-        FreeList {
-            words: (0..=bound / 64).map(|_| AtomicU64::new(0)).collect(),
-            pushes: AtomicUsize::new(0),
-            bound,
-        }
-    }
-
-    /// The largest name the list can hold.
-    fn bound(&self) -> usize {
-        self.bound
-    }
-
-    /// Marks `name` free; returns `false` (rejecting the push) if the name
-    /// is out of range or already free.
-    fn push(&self, name: usize) -> bool {
-        if name == 0 || name > self.bound {
-            return false;
-        }
-        let bit = 1u64 << (name % 64);
-        let previous = self.words[name / 64].fetch_or(bit, Ordering::SeqCst);
-        if previous & bit != 0 {
-            return false;
-        }
-        self.pushes.fetch_add(1, Ordering::SeqCst);
-        true
-    }
-
-    /// Claims the smallest free name in one scan, if any.
-    fn pop(&self) -> Option<usize> {
-        for (index, word) in self.words.iter().enumerate() {
-            let mut current = word.load(Ordering::SeqCst);
-            while current != 0 {
-                let bit = current.trailing_zeros() as u64;
-                match word.compare_exchange_weak(
-                    current,
-                    current & !(1u64 << bit),
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                ) {
-                    Ok(_) => return Some(index * 64 + bit as usize),
-                    Err(now) => current = now,
-                }
-            }
-        }
-        None
-    }
-
-    /// Claims the smallest free name; a miss is retried until no release
-    /// landed during the scan, so `None` means the list was observably empty
-    /// at a single instant. Lock-free: each retry is caused by another
-    /// thread's completed release.
-    fn pop_coherent(&self) -> Option<usize> {
-        loop {
-            let before = self.pushes.load(Ordering::SeqCst);
-            if let Some(name) = self.pop() {
-                return Some(name);
-            }
-            if self.pushes.load(Ordering::SeqCst) == before {
-                return None;
-            }
-        }
-    }
-
-    /// The number of names currently free (O(bound / 64); diagnostics).
-    fn len(&self) -> usize {
-        self.words
-            .iter()
-            .map(|word| word.load(Ordering::Relaxed).count_ones() as usize)
-            .sum()
-    }
-}
 
 /// Adapts a one-shot [`Renaming`] object into a [`LongLivedRenaming`] object
 /// by recycling released names through a lock-free free list.
@@ -187,17 +94,21 @@ pub struct Recycler<R: Renaming> {
     /// Next virtual participant index for fresh acquisitions.
     tickets: AtomicUsize,
     max_concurrent: usize,
-    /// Leases granted (or attempted) and not yet fully released; includes
-    /// in-flight releases and crashed attempts, which never decrement.
-    live: AtomicUsize,
+    /// Admission reservations that led to a grant (or crashed trying);
+    /// rejected reservations unreserve themselves, completed releases never
+    /// decrement. The live-lease count is `granted − free.pushes()`: the
+    /// free list's seqlock bump — which a release performs strictly after
+    /// its name lands on the list — doubles as the admission release, saving
+    /// an atomic read-modify-write per release and making it impossible for
+    /// an in-flight release to stop counting as live too early.
+    granted: AtomicUsize,
     peak: AtomicUsize,
-    recycled: AtomicUsize,
     leaked: AtomicUsize,
 }
 
 impl<R: Renaming> Recycler<R> {
     /// Wraps `inner`, allowing at most `max_concurrent` simultaneously live
-    /// leases.
+    /// leases, with the default (hierarchical) free-list layout.
     ///
     /// # Panics
     ///
@@ -205,6 +116,17 @@ impl<R: Renaming> Recycler<R> {
     /// capacity (a bounded object cannot serve more concurrent holders than
     /// it has names).
     pub fn new(inner: R, max_concurrent: usize) -> Self {
+        Self::with_free_list(inner, max_concurrent, FreeListKind::default())
+    }
+
+    /// Like [`Recycler::new`], with an explicit free-list layout — the flat
+    /// baseline or the two-level hierarchical bitmap (see
+    /// [`FreeListKind`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`Recycler::new`].
+    pub fn with_free_list(inner: R, max_concurrent: usize, kind: FreeListKind) -> Self {
         assert!(
             max_concurrent >= 1,
             "a recycler needs at least one concurrent lease"
@@ -222,12 +144,11 @@ impl<R: Renaming> Recycler<R> {
         };
         Recycler {
             inner,
-            free: FreeList::new(bound),
+            free: FreeList::with_kind(bound, kind),
             tickets: AtomicUsize::new(0),
             max_concurrent,
-            live: AtomicUsize::new(0),
+            granted: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
-            recycled: AtomicUsize::new(0),
             leaked: AtomicUsize::new(0),
         }
     }
@@ -237,14 +158,28 @@ impl<R: Renaming> Recycler<R> {
         &self.inner
     }
 
+    /// The largest name this recycler can ever grant (the free list's
+    /// bound): the inner object's capacity, or a fixed headroom multiple of
+    /// `max_concurrent` for unbounded inner objects.
+    pub fn name_bound(&self) -> usize {
+        self.free.bound()
+    }
+
+    /// The free-list layout in use.
+    pub fn free_list_kind(&self) -> FreeListKind {
+        self.free.kind()
+    }
+
     /// Names acquired fresh from the inner object so far.
     pub fn fresh_names(&self) -> usize {
         self.tickets.load(Ordering::Relaxed)
     }
 
-    /// Leases served from the free list (recycled names) so far.
+    /// Leases served from the free list (recycled names) so far, derived as
+    /// `releases − names currently free` (`O(capacity)`; diagnostics —
+    /// momentarily stale while operations are in flight).
     pub fn recycled_names(&self) -> usize {
-        self.recycled.load(Ordering::Relaxed)
+        self.free.pushes().saturating_sub(self.free.len())
     }
 
     /// Peak number of simultaneously live leases observed so far.
@@ -262,63 +197,210 @@ impl<R: Renaming> Recycler<R> {
     pub fn free_names(&self) -> usize {
         self.free.len()
     }
-}
 
-impl<R: Renaming + 'static> LongLivedRenaming for Recycler<R> {
-    fn lease(self: Arc<Self>, ctx: &mut ProcessCtx) -> Result<NameLease, RenamingError> {
-        // Admission control: bound the simultaneously live leases. The slot
-        // is reserved before touching shared state and returned on failure.
-        let live = self.live.fetch_add(1, Ordering::AcqRel) + 1;
+    /// Leases currently live (including in-flight releases and crashed
+    /// attempts): total reservations granted minus completed releases.
+    fn live_count(&self) -> usize {
+        self.granted
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.free.pushes())
+    }
+
+    /// Grants one name without wrapping it in a [`NameLease`]: the
+    /// admission + recycle/fresh core shared by [`LongLivedRenaming::lease`]
+    /// and [`ShardedRecycler`](crate::sharded::ShardedRecycler). The caller
+    /// owes the name one [`LongLivedRenaming::release_raw`].
+    pub(crate) fn grant(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+        // Admission control: bound the simultaneously live leases. The
+        // reservation is taken before touching shared state and unreserved
+        // on failure. Reading `pushes` *after* the reservation makes the
+        // live estimate an overcount of the true outstanding leases (other
+        // in-flight reservations are all counted, completed releases may
+        // lag), so admission can spuriously reject under a race but can
+        // never over-admit past `max_concurrent`.
+        let reserved = self.granted.fetch_add(1, Ordering::SeqCst) + 1;
+        let live = reserved.saturating_sub(self.free.pushes());
         if live > self.max_concurrent {
-            self.live.fetch_sub(1, Ordering::AcqRel);
+            self.granted.fetch_sub(1, Ordering::SeqCst);
             return Err(RenamingError::CapacityExceeded {
                 capacity: self.max_concurrent,
             });
         }
-        self.peak.fetch_max(live, Ordering::AcqRel);
+        if live > self.peak.load(Ordering::Relaxed) {
+            self.peak.fetch_max(live, Ordering::AcqRel);
+        }
 
         // Fast path: recycle a released name. The coherent pop only reports
         // a miss when the list was empty at a single instant, so a miss
         // proves every issued ticket still has a live owner.
         ctx.record(StepKind::ReadModifyWrite);
         if let Some(name) = self.free.pop_coherent() {
-            self.recycled.fetch_add(1, Ordering::Relaxed);
-            return Ok(NameLease::new(name, self));
+            return Ok(name);
         }
-
-        // Slow path: every name handed out so far is still held — acquire a
-        // fresh one as a new virtual participant. An error rolls back the
-        // admission slot; the consumed ticket is not reused (it can only be
-        // burned by genuine inner-object exhaustion, since the coherent miss
-        // above bounds issued tickets by `max_concurrent ≤ capacity`).
-        let participant = self.tickets.fetch_add(1, Ordering::AcqRel);
-        match self.inner.acquire_as(ctx, participant) {
-            Ok(name) => Ok(NameLease::new(name, self)),
+        match self.grant_fresh(ctx) {
+            Ok(name) => Ok(name),
             Err(error) => {
-                self.live.fetch_sub(1, Ordering::AcqRel);
+                self.granted.fetch_sub(1, Ordering::SeqCst);
                 Err(error)
             }
         }
+    }
+
+    /// Slow path: every name handed out so far is still held — acquire a
+    /// fresh one as a new virtual participant. The caller owns the
+    /// admission reservation and unreserves it on failure.
+    fn grant_fresh(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+        let participant = self.tickets.fetch_add(1, Ordering::AcqRel);
+        match self.inner.acquire_as(ctx, participant) {
+            Ok(name) => Ok(name),
+            Err(error) => {
+                // Roll the ticket back so a failed inner acquisition neither
+                // over-reports `fresh_names()` nor burns a virtual
+                // participant index (which would inflate the inner object's
+                // namespace on retry). The compare-exchange only restores
+                // the counter when no later fresh acquisition raced past us;
+                // in that rare case the index stays burned — acceptable,
+                // since concurrent freshers are bounded by admission.
+                let _ = self.tickets.compare_exchange(
+                    participant + 1,
+                    participant,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+                Err(error)
+            }
+        }
+    }
+
+    /// Grants up to `count` names with a single amortized admission
+    /// reservation, appending them to `names`. Returns how many were
+    /// granted (possibly zero when the admission bound is reached) plus the
+    /// inner fresh-path error that cut the batch short, if any — callers
+    /// decide whether a partial batch is usable (shard sweeps) or must be
+    /// rolled back with the true cause surfaced (all-or-nothing leases).
+    /// Every granted name owes one [`LongLivedRenaming::release_raw`].
+    pub(crate) fn grant_many(
+        &self,
+        ctx: &mut ProcessCtx,
+        count: usize,
+        names: &mut Vec<usize>,
+    ) -> (usize, Option<RenamingError>) {
+        if count == 0 {
+            return (0, None);
+        }
+        // One fetch_add reserves the whole batch; excess reservations are
+        // returned immediately, so transient over-reservation never rejects
+        // others spuriously for longer than this window.
+        let before = self.granted.fetch_add(count, Ordering::SeqCst);
+        let live_before = before.saturating_sub(self.free.pushes());
+        let admitted = self.max_concurrent.saturating_sub(live_before).min(count);
+        if admitted < count {
+            self.granted.fetch_sub(count - admitted, Ordering::SeqCst);
+        }
+        if admitted == 0 {
+            return (0, None);
+        }
+        if live_before + admitted > self.peak.load(Ordering::Relaxed) {
+            self.peak
+                .fetch_max(live_before + admitted, Ordering::AcqRel);
+        }
+        let mut served = 0;
+        while served < admitted {
+            ctx.record(StepKind::ReadModifyWrite);
+            let result = match self.free.pop_coherent() {
+                Some(name) => Ok(name),
+                None => self.grant_fresh(ctx),
+            };
+            match result {
+                Ok(name) => {
+                    names.push(name);
+                    served += 1;
+                }
+                Err(error) => {
+                    // Unreserve the failing slot plus the not-yet-attempted
+                    // remainder of the batch.
+                    self.granted.fetch_sub(admitted - served, Ordering::SeqCst);
+                    return (served, Some(error));
+                }
+            }
+        }
+        (served, None)
+    }
+}
+
+impl<R: Renaming + 'static> LongLivedRenaming for Recycler<R> {
+    fn lease(self: Arc<Self>, ctx: &mut ProcessCtx) -> Result<NameLease, RenamingError> {
+        let name = self.grant(ctx)?;
+        Ok(NameLease::new(name, self))
+    }
+
+    fn lease_raw(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+        self.grant(ctx)
+    }
+
+    /// Raw batch form with the amortized admission [`Recycler::lease_many`]
+    /// builds on: one atomic reservation for the whole batch, all-or-nothing
+    /// with the true shortfall cause surfaced.
+    fn lease_many_raw(
+        &self,
+        ctx: &mut ProcessCtx,
+        count: usize,
+        out: &mut Vec<usize>,
+    ) -> Result<(), RenamingError> {
+        let start = out.len();
+        let (served, stop) = self.grant_many(ctx, count, out);
+        if served == count {
+            return Ok(());
+        }
+        let partial = out.split_off(start);
+        self.release_many_raw(&partial);
+        Err(stop.unwrap_or(RenamingError::CapacityExceeded {
+            capacity: self.max_concurrent,
+        }))
+    }
+
+    /// Batch form with *amortized admission*: one atomic reservation admits
+    /// the whole batch instead of one reservation per lease. All-or-nothing:
+    /// on a shortfall the partial batch is released and the cause is
+    /// returned — the inner object's error if its fresh path failed,
+    /// [`RenamingError::CapacityExceeded`] otherwise.
+    fn lease_many(
+        self: Arc<Self>,
+        ctx: &mut ProcessCtx,
+        count: usize,
+    ) -> Result<Vec<NameLease>, RenamingError> {
+        let mut names = Vec::with_capacity(count);
+        self.lease_many_raw(ctx, count, &mut names)?;
+        Ok(names
+            .into_iter()
+            .map(|name| NameLease::new(name, Arc::clone(&self) as Arc<dyn LongLivedRenaming>))
+            .collect())
     }
 
     fn release_raw(&self, name: usize) {
         if !self.free.push(name) {
             // A rejected push is a double release (or an out-of-range name,
             // unreachable through `NameLease`). The admission slot was
-            // already returned by the first release, so decrementing again
-            // would over-admit and break the namespace bound — count the
-            // misuse and otherwise treat the call as a no-op.
+            // already returned by the first release, so the duplicate must
+            // not count as another release — count the misuse and otherwise
+            // treat the call as a no-op. (A rejected push does not bump the
+            // seqlock, so `live_leases` is untouched automatically.)
             self.leaked.fetch_add(1, Ordering::Relaxed);
-            return;
         }
-        // Decrement strictly after the push (and after the push's seqlock
-        // bump) so in-flight releases keep counting as live — the invariant
-        // that makes fresh names contention-bounded.
-        let _ = self
-            .live
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |live| {
-                live.checked_sub(1)
-            });
+        // No further bookkeeping: the successful push's seqlock bump *is*
+        // the admission release, and it lands strictly after the name does —
+        // so in-flight releases keep counting as live, the invariant that
+        // makes fresh names contention-bounded.
+    }
+
+    /// Batch release with one seqlock bump (hence one admission release
+    /// operation) for the whole batch, after every name's bit has landed.
+    fn release_many_raw(&self, names: &[usize]) {
+        let pushed = self.free.push_many(names);
+        if pushed < names.len() {
+            self.leaked
+                .fetch_add(names.len() - pushed, Ordering::Relaxed);
+        }
     }
 
     fn max_concurrent(&self) -> Option<usize> {
@@ -326,7 +408,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for Recycler<R> {
     }
 
     fn live_leases(&self) -> usize {
-        self.live.load(Ordering::Acquire)
+        self.live_count()
     }
 }
 
@@ -334,11 +416,11 @@ impl<R: Renaming> fmt::Debug for Recycler<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Recycler")
             .field("max_concurrent", &self.max_concurrent)
-            .field("live", &self.live.load(Ordering::Relaxed))
+            .field("live", &self.live_count())
             .field("fresh_names", &self.fresh_names())
             .field("recycled_names", &self.recycled_names())
             .field("leaked_names", &self.leaked_names())
-            .field("free_list_bound", &self.free.bound())
+            .field("free_list", &self.free)
             .finish()
     }
 }
@@ -349,6 +431,7 @@ mod tests {
     use crate::adaptive::AdaptiveRenaming;
     use crate::linear_probe::LinearProbeRenaming;
     use crate::renaming_network::RenamingNetwork;
+    use parking_lot::Mutex;
     use shmem::adversary::ExecConfig;
     use shmem::executor::Executor;
     use shmem::process::ProcessId;
@@ -360,68 +443,30 @@ mod tests {
     }
 
     #[test]
-    fn free_list_pops_the_minimum_and_rejects_duplicates() {
-        let list = FreeList::new(200);
-        assert_eq!(list.pop(), None);
-        assert!(list.push(5));
-        assert!(list.push(3));
-        assert!(list.push(130)); // second word of the bitmap
-        assert!(!list.push(5), "duplicate push is rejected");
-        assert!(!list.push(0), "name 0 is rejected");
-        assert!(!list.push(201), "out-of-range name is rejected");
-        assert_eq!(list.len(), 3);
-        assert_eq!(list.pop(), Some(3), "the smallest free name comes first");
-        assert_eq!(list.pop(), Some(5));
-        assert_eq!(list.pop(), Some(130));
-        assert_eq!(list.pop(), None);
-        assert!(list.push(5), "popped names can be pushed again");
-        assert_eq!(list.pop_coherent(), Some(5));
-        assert_eq!(list.pop_coherent(), None);
-    }
-
-    #[test]
-    fn free_list_misses_are_coherent_under_concurrent_churn() {
-        // Two pushers cycle names through the list while poppers drain it;
-        // a coherent miss must never coincide with an unclaimed name. The
-        // accounting check: every popped name is pushed back, so at the end
-        // all names are on the list again.
-        let list = Arc::new(FreeList::new(128));
-        assert!(list.push(1) && list.push(100));
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                let list = Arc::clone(&list);
-                scope.spawn(move || {
-                    for _ in 0..10_000 {
-                        if let Some(name) = list.pop_coherent() {
-                            assert!(list.push(name), "claimed names push back cleanly");
-                        }
-                    }
-                });
-            }
-        });
-        assert_eq!(list.len(), 2, "both names survive the churn");
-        assert_eq!(list.pop_coherent(), Some(1));
-        assert_eq!(list.pop_coherent(), Some(100));
-        assert_eq!(list.pop_coherent(), None);
-    }
-
-    #[test]
     fn sequential_churn_recycles_instead_of_growing() {
-        let recycler = Arc::new(Recycler::new(
-            RenamingNetwork::<_>::new(odd_even_network(32)),
-            4,
-        ));
-        let mut ctx = ctx(0, 9);
-        for round in 0..20 {
-            let lease = Arc::clone(&recycler).lease(&mut ctx).unwrap();
-            assert_eq!(lease.name(), 1, "round {round}");
-            lease.release(&mut ctx);
+        for kind in [FreeListKind::Flat, FreeListKind::Hierarchical] {
+            let recycler = Arc::new(Recycler::with_free_list(
+                RenamingNetwork::<_>::new(odd_even_network(32)),
+                4,
+                kind,
+            ));
+            assert_eq!(recycler.free_list_kind(), kind);
+            let mut ctx = ctx(0, 9);
+            for round in 0..20 {
+                let lease = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+                assert_eq!(lease.name(), 1, "{kind:?}, round {round}");
+                lease.release(&mut ctx);
+            }
+            assert_eq!(
+                recycler.fresh_names(),
+                1,
+                "{kind:?}: one fresh name serves all churn"
+            );
+            assert_eq!(recycler.recycled_names(), 19, "{kind:?}");
+            assert_eq!(recycler.leaked_names(), 0, "{kind:?}");
+            assert_eq!(recycler.live_leases(), 0, "{kind:?}");
+            assert!(ctx.stats().releases >= 19);
         }
-        assert_eq!(recycler.fresh_names(), 1, "one fresh name serves all churn");
-        assert_eq!(recycler.recycled_names(), 19);
-        assert_eq!(recycler.leaked_names(), 0);
-        assert_eq!(recycler.live_leases(), 0);
-        assert!(ctx.stats().releases >= 19);
     }
 
     #[test]
@@ -462,6 +507,71 @@ mod tests {
     }
 
     #[test]
+    fn lease_many_amortizes_admission_and_is_all_or_nothing() {
+        let recycler = Arc::new(Recycler::new(
+            RenamingNetwork::<_>::new(odd_even_network(32)),
+            4,
+        ));
+        let mut ctx = ctx(0, 3);
+        let batch = Arc::clone(&recycler).lease_many(&mut ctx, 3).unwrap();
+        let mut names: Vec<usize> = batch.iter().map(NameLease::name).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec![1, 2, 3]);
+        assert_eq!(recycler.live_leases(), 3);
+        // Requesting past the admission bound releases the partial batch.
+        assert_eq!(
+            Arc::clone(&recycler).lease_many(&mut ctx, 2).unwrap_err(),
+            RenamingError::CapacityExceeded { capacity: 4 }
+        );
+        assert_eq!(recycler.live_leases(), 3, "partial batch fully released");
+        drop(batch);
+        assert_eq!(recycler.live_leases(), 0);
+        // After full release the batch recycles instead of growing.
+        let again = Arc::clone(&recycler).lease_many(&mut ctx, 4).unwrap();
+        assert_eq!(again.len(), 4);
+        assert!(recycler.fresh_names() <= 4);
+        assert_eq!(
+            Arc::clone(&recycler).lease_many(&mut ctx, 0).unwrap().len(),
+            0
+        );
+    }
+
+    #[test]
+    fn raw_batches_round_trip_with_one_seqlock_bump_per_batch() {
+        let recycler = Arc::new(Recycler::new(
+            RenamingNetwork::<_>::new(odd_even_network(32)),
+            4,
+        ));
+        let mut ctx = ctx(0, 8);
+        let mut names = Vec::new();
+        recycler.lease_many_raw(&mut ctx, 4, &mut names).unwrap();
+        names.sort_unstable();
+        assert_eq!(names, vec![1, 2, 3, 4]);
+        assert_eq!(recycler.live_leases(), 4);
+        // All-or-nothing past the bound, with the buffer restored.
+        let mut overflow = vec![99];
+        assert_eq!(
+            recycler
+                .lease_many_raw(&mut ctx, 1, &mut overflow)
+                .unwrap_err(),
+            RenamingError::CapacityExceeded { capacity: 4 }
+        );
+        assert_eq!(overflow, vec![99], "the out buffer keeps prior contents");
+        recycler.release_many_raw(&names);
+        assert_eq!(recycler.live_leases(), 0);
+        assert_eq!(recycler.free_names(), 4);
+        // A second batch recycles the same names; a double batch release is
+        // rejected name by name and counted.
+        let mut again = Vec::new();
+        recycler.lease_many_raw(&mut ctx, 4, &mut again).unwrap();
+        assert!(recycler.fresh_names() <= 4);
+        recycler.release_many_raw(&again);
+        recycler.release_many_raw(&again);
+        assert_eq!(recycler.leaked_names(), 4);
+        assert_eq!(recycler.live_leases(), 0);
+    }
+
+    #[test]
     fn forget_detaches_the_name_and_release_raw_returns_it() {
         let recycler = Arc::new(Recycler::new(AdaptiveRenaming::default(), 2));
         let mut ctx = ctx(1, 4);
@@ -491,6 +601,88 @@ mod tests {
         );
         drop(held);
         assert_eq!(recycler.live_leases(), 0);
+    }
+
+    /// A one-shot object whose `acquire_as` fails a scripted number of times
+    /// before succeeding, recording every participant index it is offered —
+    /// the probe for the fresh-path ticket rollback.
+    struct FlakyRenaming {
+        failures_left: AtomicUsize,
+        participants_seen: Mutex<Vec<usize>>,
+    }
+
+    impl FlakyRenaming {
+        fn failing(times: usize) -> Self {
+            FlakyRenaming {
+                failures_left: AtomicUsize::new(times),
+                participants_seen: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl Renaming for FlakyRenaming {
+        fn acquire(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+            self.acquire_as(ctx, 0)
+        }
+
+        fn acquire_as(
+            &self,
+            _ctx: &mut ProcessCtx,
+            participant: usize,
+        ) -> Result<usize, RenamingError> {
+            self.participants_seen.lock().push(participant);
+            let failing = self
+                .failures_left
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                    left.checked_sub(1)
+                })
+                .is_ok();
+            if failing {
+                Err(RenamingError::CapacityExceeded { capacity: 0 })
+            } else {
+                Ok(participant + 1)
+            }
+        }
+
+        fn capacity(&self) -> Option<usize> {
+            Some(64)
+        }
+
+        fn is_adaptive(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn failed_fresh_acquisitions_roll_the_ticket_back() {
+        // Regression test for the fresh-path ticket leak: a failing inner
+        // renaming used to burn a virtual participant index per failure and
+        // leave `fresh_names()` over-reporting, inflating the inner
+        // namespace on retry.
+        let recycler = Arc::new(Recycler::new(FlakyRenaming::failing(3), 4));
+        let mut ctx = ctx(0, 1);
+        for attempt in 0..3 {
+            let error = Arc::clone(&recycler).lease(&mut ctx).unwrap_err();
+            assert_eq!(error, RenamingError::CapacityExceeded { capacity: 0 });
+            assert_eq!(
+                recycler.fresh_names(),
+                0,
+                "attempt {attempt}: failed fresh acquisitions must not be counted"
+            );
+            assert_eq!(recycler.live_leases(), 0, "attempt {attempt}");
+        }
+        let lease = Arc::clone(&recycler).lease(&mut ctx).unwrap();
+        assert_eq!(
+            lease.name(),
+            1,
+            "the retry reuses participant 0, keeping the inner namespace tight"
+        );
+        assert_eq!(recycler.fresh_names(), 1);
+        assert_eq!(
+            *recycler.inner().participants_seen.lock(),
+            vec![0, 0, 0, 0],
+            "every attempt entered the inner object as participant 0"
+        );
     }
 
     #[test]
@@ -531,6 +723,7 @@ mod tests {
         assert!(formatted.contains("Recycler"));
         assert!(formatted.contains("max_concurrent"));
         assert_eq!(LongLivedRenaming::max_concurrent(&recycler), Some(2));
+        assert_eq!(recycler.name_bound(), 2 * UNBOUNDED_FREELIST_HEADROOM);
     }
 
     #[test]

@@ -33,14 +33,17 @@ pub mod prelude {
     pub use adaptive_renaming::comparator_slab::ComparatorSlab;
     pub use adaptive_renaming::counter::{CasCounter, Counter, MonotoneCounter};
     pub use adaptive_renaming::fetch_increment::BoundedFetchIncrement;
+    pub use adaptive_renaming::free_list::{FreeList, FreeListKind};
     pub use adaptive_renaming::lease::{
-        assert_tight_lease_namespace, LeaseRecord, LongLivedRenaming, NameLease,
+        assert_loose_lease_namespace, assert_tight_lease_namespace, LeaseRecord, LongLivedRenaming,
+        NameLease,
     };
     pub use adaptive_renaming::linear_probe::LinearProbeRenaming;
     pub use adaptive_renaming::loose::LooseRenaming;
     pub use adaptive_renaming::ltas::BoundedTas;
     pub use adaptive_renaming::recycler::Recycler;
     pub use adaptive_renaming::renaming_network::{LockedRenamingNetwork, RenamingNetwork};
+    pub use adaptive_renaming::sharded::ShardedRecycler;
     pub use adaptive_renaming::traits::{assert_tight_namespace, assert_unique_names, Renaming};
     pub use shmem::adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
     pub use shmem::executor::Executor;

@@ -5,7 +5,10 @@
 //! guarantees at every instant: no two live leases share a name, and every
 //! granted name is bounded by the point contention of its grant. Histories
 //! are recorded with logical timestamps and checked offline by
-//! `assert_tight_lease_namespace`.
+//! `assert_tight_lease_namespace`. The sharded variants run the same churn
+//! against a `ShardedRecycler` and check the relaxed guarantee with
+//! `assert_loose_lease_namespace`; the free-list properties pin the
+//! hierarchical bitmap to the flat baseline op for op.
 
 use parking_lot::Mutex;
 use proptest::prelude::*;
@@ -181,26 +184,197 @@ proptest! {
     }
 
     /// The builder's long-lived surface composes the same way over the other
-    /// strong adaptive backends.
+    /// strong adaptive backends, whichever free-list layout it is given.
     #[test]
     fn builder_long_lived_objects_stay_tight(
         k in 2usize..6,
         rounds in 1usize..5,
         seed in 0u64..1_000_000,
         algorithm in 0u8..3,
+        hierarchical in 0u8..2,
     ) {
         let builder = match algorithm % 3 {
             0 => RenamingBuilder::new().network().capacity(32),
             1 => RenamingBuilder::new().adaptive().adaptive_level(3),
             _ => RenamingBuilder::new().linear_probe().capacity(32),
         };
+        let kind = if hierarchical == 0 { FreeListKind::Flat } else { FreeListKind::Hierarchical };
         let object = builder
             .max_concurrent(2 * k)
+            .free_list(kind)
             .seed(seed)
             .build_long_lived()
             .unwrap();
         let records = churn(object, k, rounds, ExecConfig::new(seed));
         let check = assert_tight_lease_namespace(&records);
         prop_assert!(check.is_ok(), "{check:?}");
+    }
+
+    /// Sharded leases under random interleavings: per-shard localized names
+    /// stay unique and tight against shard contention — the documented
+    /// loose bound `namespace ≤ shards × per-shard point contention`.
+    #[test]
+    fn sharded_recycler_leases_stay_unique_and_loose(
+        k in 2usize..8,
+        shards in 2usize..5,
+        rounds in 1usize..8,
+        seed in 0u64..1_000_000,
+        yield_percent in 0u8..40,
+    ) {
+        let sharded = Arc::new(ShardedRecycler::new(
+            (0..shards)
+                .map(|_| RenamingNetwork::<_>::new(sortnet::batcher::odd_even_network(16)))
+                .collect(),
+            2 * k, // every shard could absorb the whole load via stealing
+        ));
+        let span = sharded.span();
+        let config = ExecConfig::new(seed)
+            .with_yield_policy(YieldPolicy::Probabilistic(f64::from(yield_percent) / 100.0))
+            .with_arrival(ArrivalSchedule::Simultaneous);
+        let records = churn(
+            Arc::clone(&sharded) as Arc<dyn LongLivedRenaming>,
+            k,
+            rounds,
+            config,
+        );
+
+        prop_assert_eq!(records.len(), k * rounds);
+        let check = assert_loose_lease_namespace(&records, shards, span);
+        prop_assert!(check.is_ok(), "{check:?}");
+        prop_assert_eq!(sharded.live_leases(), 0);
+        prop_assert_eq!(sharded.leaked_names(), 0);
+        prop_assert!(sharded.fresh_names() <= k * rounds);
+    }
+
+    /// The loose guarantees survive crash injection exactly as the tight
+    /// ones do: a crashed holder's lease is released by the unwind
+    /// (re-entering its home shard's free list), a crash inside the
+    /// acquisition keeps counting toward contention forever, and no
+    /// interleaving yields duplicate live names in any shard.
+    #[test]
+    fn sharded_recycler_leases_survive_crashes(
+        k in 2usize..8,
+        shards in 2usize..5,
+        rounds in 1usize..6,
+        seed in 0u64..1_000_000,
+        crash_percent in 10u8..60,
+    ) {
+        let sharded = Arc::new(ShardedRecycler::new(
+            (0..shards)
+                .map(|_| RenamingNetwork::<_>::new(sortnet::batcher::odd_even_network(16)))
+                .collect(),
+            2 * k,
+        ));
+        let span = sharded.span();
+        let config = ExecConfig::new(seed).with_crash_plan(CrashPlan::Random {
+            prob: f64::from(crash_percent) / 100.0,
+            max_steps: 40,
+        });
+        let records = churn(
+            Arc::clone(&sharded) as Arc<dyn LongLivedRenaming>,
+            k,
+            rounds,
+            config,
+        );
+
+        let check = assert_loose_lease_namespace(&records, shards, span);
+        prop_assert!(check.is_ok(), "{check:?}");
+        prop_assert_eq!(sharded.leaked_names(), 0);
+    }
+
+    /// The hierarchical free list is pinned to the flat baseline: the same
+    /// random push/pop/pop_coherent interleaving, replayed deterministically
+    /// against both layouts, must produce identical pop-minimum results and
+    /// identical coherent-miss verdicts at every step.
+    #[test]
+    fn hierarchical_free_list_agrees_with_flat_on_random_scripts(
+        bound in 1usize..5000,
+        ops in 1usize..400,
+        seed in 0u64..1_000_000,
+    ) {
+        let flat = FreeList::with_kind(bound, FreeListKind::Flat);
+        let hier = FreeList::with_kind(bound, FreeListKind::Hierarchical);
+        prop_assert_eq!(flat.word_count(), hier.word_count());
+        let mut state = seed.wrapping_mul(2).wrapping_add(1);
+        let mut step = move || {
+            // SplitMix64: a deterministic op stream from the sampled seed.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for index in 0..ops {
+            let draw = step();
+            // Pushes dominate so the lists fill; names deliberately overshoot
+            // the bound a little to exercise the rejection path.
+            match draw % 4 {
+                0 | 1 => {
+                    let name = (step() % (bound as u64 + 2)) as usize;
+                    prop_assert_eq!(
+                        flat.push(name),
+                        hier.push(name),
+                        "op {}: push({}) verdicts diverge", index, name
+                    );
+                }
+                2 => prop_assert_eq!(flat.pop(), hier.pop(), "op {}: pop", index),
+                _ => prop_assert_eq!(
+                    flat.pop_coherent(),
+                    hier.pop_coherent(),
+                    "op {}: pop_coherent", index
+                ),
+            }
+        }
+        // Drain both: remaining contents are identical, in identical order.
+        loop {
+            let (a, b) = (flat.pop_coherent(), hier.pop_coherent());
+            prop_assert_eq!(a, b, "drain diverges");
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(flat.pushes(), hier.pushes());
+    }
+
+    /// Concurrent differential churn: the same conservation workload (every
+    /// popped name is pushed back) driven through real threads against both
+    /// layouts must leave both lists holding exactly the initial name set —
+    /// no coherent miss may ever swallow a name in either layout.
+    #[test]
+    fn free_list_layouts_conserve_names_under_concurrent_churn(
+        bound in 64usize..4096,
+        threads in 2usize..5,
+        names in 1usize..16,
+        iterations in 100usize..2000,
+        seed in 0u64..1_000_000,
+    ) {
+        let expected: Vec<usize> = (0..names.min(bound))
+            .map(|i| (seed as usize).wrapping_mul(31).wrapping_add(i * 97) % bound + 1)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for kind in [FreeListKind::Flat, FreeListKind::Hierarchical] {
+            let list = Arc::new(FreeList::with_kind(bound, kind));
+            for &name in &expected {
+                prop_assert!(list.push(name));
+            }
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let list = Arc::clone(&list);
+                    scope.spawn(move || {
+                        for _ in 0..iterations {
+                            if let Some(name) = list.pop_coherent() {
+                                assert!(list.push(name), "claimed names push back cleanly");
+                            }
+                        }
+                    });
+                }
+            });
+            let mut drained = Vec::new();
+            while let Some(name) = list.pop_coherent() {
+                drained.push(name);
+            }
+            prop_assert_eq!(&drained, &expected, "{:?} lost or invented names", kind);
+        }
     }
 }
