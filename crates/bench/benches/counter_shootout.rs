@@ -1,0 +1,55 @@
+//! Criterion bench for the counter-backend shootout: the paper's monotone
+//! counter vs the `cnet` counting-network counter vs the hardware
+//! fetch-and-add baseline, all behind the `<dyn Counter>::builder()` facade.
+
+use adaptive_renaming::counter::{Counter, CounterBackend};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shmem::adversary::ExecConfig;
+use shmem::executor::Executor;
+use std::sync::Arc;
+use std::time::Duration;
+
+const OPS_PER_WORKER: usize = 64;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_shootout_increments");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for threads in [4usize, 8] {
+        for backend in [
+            CounterBackend::Monotone,
+            CounterBackend::Network,
+            CounterBackend::FetchAdd,
+        ] {
+            let label = match backend {
+                CounterBackend::Monotone => "monotone",
+                CounterBackend::Network => "network",
+                CounterBackend::FetchAdd => "fetch_add",
+            };
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    let counter = <dyn Counter>::builder()
+                        .backend(backend)
+                        .width(threads.next_power_of_two())
+                        .build()
+                        .expect("valid configuration");
+                    let outcome = Executor::new(ExecConfig::new(1)).run(threads, {
+                        let counter = Arc::clone(&counter);
+                        move |ctx| {
+                            for _ in 0..OPS_PER_WORKER {
+                                counter.increment(ctx);
+                            }
+                            counter.read(ctx)
+                        }
+                    });
+                    assert_eq!(outcome.completed().count(), threads);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

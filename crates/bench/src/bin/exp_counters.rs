@@ -1,0 +1,305 @@
+//! The counter-backend shootout: monotone vs network vs fetch-and-add.
+//!
+//! Worker threads hammer one shared counter with increments. The contenders,
+//! all behind the `<dyn Counter>::builder()` facade:
+//!
+//! * **`monotone`** — the paper's §8.1 counter (adaptive strong renaming +
+//!   max register). Register-model-only and monotone-consistent, but every
+//!   increment runs a full renaming acquisition whose cost grows with the
+//!   number of increments.
+//! * **`network`** — the `cnet` counting-network counter (bitonic wiring,
+//!   width = thread count rounded up to a power of two). `Θ(log² w)`
+//!   balancer toggles plus one exit-wire fetch-add per increment, with the
+//!   toggles spread over the network's balancers instead of funnelling
+//!   through one word. Quiescently consistent.
+//! * **`fetch_add`** — one hardware fetch-and-add per increment: the speed
+//!   of light for a single cache line, linearizable, and outside the
+//!   paper's register-only model.
+//!
+//! Every thread count runs under two arrival schedules from
+//! `shmem::adversary`: **bursty** (all workers released simultaneously —
+//! maximum contention) and **steady** (staggered arrivals). After each
+//! execution the harness verifies the final count is exact and, for the
+//! network backend, that the exit-wire counts satisfy the step property at
+//! quiescence.
+//!
+//! The numbers are written to `BENCH_counters.json`. Run with
+//! `cargo run --release -p renaming-bench --bin exp_counters`; pass
+//! `--smoke` for a seconds-long CI-sized run that skips the JSON.
+
+use adaptive_renaming::counter::Counter;
+use cnet::counter::NetworkCounter;
+use cnet::family::CountingFamily;
+use cnet::verify::step_property_violation;
+use renaming_bench::{fmt1, Table};
+use shmem::adversary::{ArrivalSchedule, ExecConfig};
+use shmem::executor::Executor;
+use shmem::process::{ProcessCtx, ProcessId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Run sizing; the full sweep feeds `BENCH_counters.json`, the smoke sweep
+/// bounds CI time.
+struct Sizing {
+    ops_per_worker: usize,
+    executions: usize,
+    threads: &'static [usize],
+    write_json: bool,
+}
+
+const FULL: Sizing = Sizing {
+    ops_per_worker: 500,
+    executions: 3,
+    threads: &[2, 4, 8, 16],
+    write_json: true,
+};
+
+const SMOKE: Sizing = Sizing {
+    ops_per_worker: 50,
+    executions: 1,
+    threads: &[2, 4],
+    write_json: false,
+};
+
+/// The arrival schedules the shootout sweeps.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Arrivals {
+    /// All workers released together behind the barrier.
+    Bursty,
+    /// Workers arrive staggered, 20 µs apart.
+    Steady,
+}
+
+impl Arrivals {
+    fn all() -> [Arrivals; 2] {
+        [Arrivals::Bursty, Arrivals::Steady]
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Arrivals::Bursty => "bursty",
+            Arrivals::Steady => "steady",
+        }
+    }
+
+    fn schedule(&self) -> ArrivalSchedule {
+        match self {
+            Arrivals::Bursty => ArrivalSchedule::Simultaneous,
+            Arrivals::Steady => ArrivalSchedule::Staggered {
+                gap: Duration::from_micros(20),
+            },
+        }
+    }
+}
+
+/// One measured configuration.
+struct Sample {
+    backend: &'static str,
+    threads: usize,
+    arrivals: Arrivals,
+    network_width: usize,
+    mean_ns_per_op: f64,
+    min_ns_per_op: f64,
+    max_ns_per_op: f64,
+    /// Mean shared-memory operations (of any kind) per increment.
+    steps_per_op: f64,
+    /// Mean balancer toggles per increment (zero for non-network backends).
+    toggles_per_op: f64,
+}
+
+/// The network width used at a given thread count: the thread count rounded
+/// up to a power of two (and at least 2).
+fn width_for(threads: usize) -> usize {
+    threads.next_power_of_two().max(2)
+}
+
+/// Times `executions` fresh counters under `threads` workers × the sizing's
+/// increments. `make` builds the counter and optionally returns the concrete
+/// network counter for the quiescent step-property check.
+fn measure(
+    sizing: &Sizing,
+    backend: &'static str,
+    threads: usize,
+    arrivals: Arrivals,
+    network_width: usize,
+    make: impl Fn() -> (Arc<dyn Counter>, Option<Arc<NetworkCounter>>),
+) -> Sample {
+    let ops_per_worker = sizing.ops_per_worker;
+    let total_ops = (threads * ops_per_worker) as f64;
+    let mut total_ns = 0.0;
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns: f64 = 0.0;
+    let mut total_steps = 0u64;
+    let mut total_toggles = 0u64;
+    for execution in 0..sizing.executions {
+        let (counter, network) = make();
+        let config = ExecConfig::new(execution as u64).with_arrival(arrivals.schedule());
+        let start = Instant::now();
+        let outcome = Executor::new(config).run(threads, {
+            let counter = Arc::clone(&counter);
+            move |ctx| {
+                for _ in 0..ops_per_worker {
+                    counter.increment(ctx);
+                }
+            }
+        });
+        let elapsed = start.elapsed().as_nanos() as f64 / total_ops;
+        total_ns += elapsed;
+        min_ns = min_ns.min(elapsed);
+        max_ns = max_ns.max(elapsed);
+        let steps = outcome.total_steps();
+        total_steps += steps.total_all();
+        total_toggles += steps.balancer_toggles;
+
+        // Correctness gates: the quiescent count is exact, and the network
+        // backend's exit wires form a staircase.
+        let mut quiescent = ProcessCtx::new(ProcessId::new(10_000), 0);
+        let read = counter.read(&mut quiescent);
+        assert_eq!(
+            read,
+            total_ops as u64,
+            "{backend} at {threads} threads ({}) lost increments",
+            arrivals.name(),
+        );
+        if let Some(network) = network {
+            if let Some(violation) = step_property_violation(&network.exit_counts()) {
+                panic!(
+                    "{backend} at {threads} threads ({}): {violation}",
+                    arrivals.name()
+                );
+            }
+        }
+    }
+    let ops_all_executions = total_ops * sizing.executions as f64;
+    Sample {
+        backend,
+        threads,
+        arrivals,
+        network_width,
+        mean_ns_per_op: total_ns / sizing.executions as f64,
+        min_ns_per_op: min_ns,
+        max_ns_per_op: max_ns,
+        steps_per_op: total_steps as f64 / ops_all_executions,
+        toggles_per_op: total_toggles as f64 / ops_all_executions,
+    }
+}
+
+fn run_sweep(sizing: &Sizing) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for &threads in sizing.threads {
+        let width = width_for(threads);
+        for arrivals in Arrivals::all() {
+            samples.push(measure(sizing, "monotone", threads, arrivals, 0, || {
+                let counter = <dyn Counter>::builder().monotone().build().unwrap();
+                (counter, None)
+            }));
+            samples.push(measure(sizing, "network", threads, arrivals, width, || {
+                let network = Arc::new(NetworkCounter::new(CountingFamily::Bitonic, width));
+                (Arc::clone(&network) as Arc<dyn Counter>, Some(network))
+            }));
+            samples.push(measure(sizing, "fetch_add", threads, arrivals, 0, || {
+                let counter = <dyn Counter>::builder().fetch_add().build().unwrap();
+                (counter, None)
+            }));
+        }
+    }
+    samples
+}
+
+fn print_table(samples: &[Sample]) {
+    let mut table = Table::new(
+        "Counter shootout — increments/op: monotone (renaming + max register) vs network (cnet) vs fetch-and-add",
+        &[
+            "backend",
+            "threads",
+            "arrivals",
+            "width",
+            "ns/op (mean)",
+            "ns/op (min)",
+            "ns/op (max)",
+            "steps/op",
+            "toggles/op",
+        ],
+    );
+    for s in samples {
+        table.row(vec![
+            s.backend.to_string(),
+            s.threads.to_string(),
+            s.arrivals.name().to_string(),
+            if s.network_width == 0 {
+                "-".to_string()
+            } else {
+                s.network_width.to_string()
+            },
+            fmt1(s.mean_ns_per_op),
+            fmt1(s.min_ns_per_op),
+            fmt1(s.max_ns_per_op),
+            fmt1(s.steps_per_op),
+            fmt1(s.toggles_per_op),
+        ]);
+    }
+    table.print();
+}
+
+fn write_json(sizing: &Sizing, samples: &[Sample]) -> std::io::Result<()> {
+    let mut rows = String::new();
+    for (index, s) in samples.iter().enumerate() {
+        if index > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"threads\": {}, \"arrivals\": \"{}\", \
+             \"network_width\": {}, \"mean_ns_per_op\": {:.1}, \"min_ns_per_op\": {:.1}, \
+             \"max_ns_per_op\": {:.1}, \"steps_per_op\": {:.1}, \"toggles_per_op\": {:.1}}}",
+            s.backend,
+            s.threads,
+            s.arrivals.name(),
+            s.network_width,
+            s.mean_ns_per_op,
+            s.min_ns_per_op,
+            s.max_ns_per_op,
+            s.steps_per_op,
+            s.toggles_per_op,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"counters\",\n  \"family\": \"bitonic\",\n  \
+         \"ops_per_worker\": {},\n  \"executions\": {},\n  \"rows\": [\n{rows}\n  ]\n}}\n",
+        sizing.ops_per_worker, sizing.executions,
+    );
+    std::fs::write("BENCH_counters.json", json)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let sizing = if smoke { &SMOKE } else { &FULL };
+    let samples = run_sweep(sizing);
+    print_table(&samples);
+    for &threads in sizing.threads {
+        let ns = |backend: &str| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.backend == backend && s.threads == threads && s.arrivals == Arrivals::Bursty
+                })
+                .map(|s| s.mean_ns_per_op)
+                .unwrap_or(f64::NAN)
+        };
+        let monotone = ns("monotone");
+        let network = ns("network");
+        println!(
+            "{threads:>2} threads (bursty): monotone {monotone:.0} ns/op, network {network:.0} \
+             ns/op ({:.1}x faster), fetch_add {:.0} ns/op",
+            monotone / network,
+            ns("fetch_add"),
+        );
+    }
+    if sizing.write_json {
+        match write_json(sizing, &samples) {
+            Ok(()) => println!("wrote BENCH_counters.json"),
+            Err(error) => eprintln!("failed to write BENCH_counters.json: {error}"),
+        }
+    } else {
+        println!("smoke mode: BENCH_counters.json left untouched");
+    }
+}

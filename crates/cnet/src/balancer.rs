@@ -1,0 +1,192 @@
+//! The balancer: a one-word toggle routing tokens alternately up and down.
+//!
+//! A *balancer* is the counting-network analogue of a comparator: a two-wire
+//! switch that forwards arriving tokens alternately to its top and bottom
+//! output wires, starting with the top. In any quiescent state the balancer
+//! has therefore sent `⌈t / 2⌉` of its `t` tokens up and `⌊t / 2⌋` down —
+//! the two-wire step property from which the step property of whole counting
+//! networks is built (Aspnes, Herlihy & Shavit, *Counting Networks*, JACM
+//! 1994).
+//!
+//! The implementation is a single `fetch_add` on an atomic counter: the
+//! parity of the pre-increment value is the direction taken, and the counter
+//! itself doubles as the quiescent token count used by the test harness.
+//! Every toggle reports one [`StepKind::Balancer`] step to the calling
+//! process's context, keeping the cost model centralized exactly like the
+//! register and test-and-set substrate in `shmem`.
+
+use shmem::process::ProcessCtx;
+use shmem::steps::StepKind;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Direction a token leaves a balancer on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BalancerSlot {
+    /// The token exits on the balancer's top (lower-indexed) wire.
+    Top,
+    /// The token exits on the balancer's bottom (higher-indexed) wire.
+    Bottom,
+}
+
+/// An atomic two-wire balancer with step accounting.
+///
+/// # Example
+///
+/// ```
+/// use cnet::balancer::{Balancer, BalancerSlot};
+/// use shmem::process::{ProcessCtx, ProcessId};
+///
+/// let balancer = Balancer::new();
+/// let mut ctx = ProcessCtx::new(ProcessId::new(0), 1);
+/// assert_eq!(balancer.toggle(&mut ctx), BalancerSlot::Top);
+/// assert_eq!(balancer.toggle(&mut ctx), BalancerSlot::Bottom);
+/// assert_eq!(balancer.toggle(&mut ctx), BalancerSlot::Top);
+/// assert_eq!(balancer.tokens(), 3);
+/// assert_eq!(ctx.stats().balancer_toggles, 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Balancer {
+    /// Tokens that have passed through. The parity of the pre-increment
+    /// value is the direction the token takes: even → top, odd → bottom.
+    passed: AtomicU64,
+}
+
+impl Balancer {
+    /// Creates a balancer pointing at its top wire.
+    pub fn new() -> Self {
+        Balancer {
+            passed: AtomicU64::new(0),
+        }
+    }
+
+    /// Passes one token through the balancer, charging one
+    /// [`StepKind::Balancer`] step, and returns the wire the token exits on.
+    #[inline]
+    pub fn toggle(&self, ctx: &mut ProcessCtx) -> BalancerSlot {
+        ctx.record(StepKind::Balancer);
+        if self.passed.fetch_add(1, Ordering::AcqRel).is_multiple_of(2) {
+            BalancerSlot::Top
+        } else {
+            BalancerSlot::Bottom
+        }
+    }
+
+    /// Total tokens that have passed through, without charging a step
+    /// (harness/test inspection only, never from algorithm code).
+    pub fn tokens(&self) -> u64 {
+        self.passed.load(Ordering::Acquire)
+    }
+
+    /// Tokens sent to the top wire so far: `⌈tokens / 2⌉` in any quiescent
+    /// state (harness/test inspection only).
+    pub fn tokens_top(&self) -> u64 {
+        self.tokens().div_ceil(2)
+    }
+
+    /// Tokens sent to the bottom wire so far: `⌊tokens / 2⌋` in any
+    /// quiescent state (harness/test inspection only).
+    pub fn tokens_bottom(&self) -> u64 {
+        self.tokens() / 2
+    }
+}
+
+impl fmt::Display for Balancer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "balancer(tokens={})", self.tokens())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem::process::ProcessId;
+    use std::sync::Arc;
+
+    fn ctx() -> ProcessCtx {
+        ProcessCtx::new(ProcessId::new(0), 7)
+    }
+
+    #[test]
+    fn tokens_alternate_starting_with_top() {
+        let balancer = Balancer::new();
+        let mut ctx = ctx();
+        let directions: Vec<BalancerSlot> = (0..6).map(|_| balancer.toggle(&mut ctx)).collect();
+        assert_eq!(
+            directions,
+            vec![
+                BalancerSlot::Top,
+                BalancerSlot::Bottom,
+                BalancerSlot::Top,
+                BalancerSlot::Bottom,
+                BalancerSlot::Top,
+                BalancerSlot::Bottom,
+            ]
+        );
+    }
+
+    #[test]
+    fn toggles_charge_balancer_steps_only() {
+        let balancer = Balancer::new();
+        let mut ctx = ctx();
+        for _ in 0..5 {
+            balancer.toggle(&mut ctx);
+        }
+        let stats = ctx.stats();
+        assert_eq!(stats.balancer_toggles, 5);
+        assert_eq!(stats.total(), 0, "toggles are a separate unit-cost measure");
+        assert_eq!(stats.total_all(), 5);
+    }
+
+    #[test]
+    fn quiescent_counts_satisfy_the_two_wire_step_property() {
+        let balancer = Balancer::new();
+        let mut ctx = ctx();
+        for expected_tokens in 1..=9u64 {
+            balancer.toggle(&mut ctx);
+            assert_eq!(balancer.tokens(), expected_tokens);
+            let top = balancer.tokens_top();
+            let bottom = balancer.tokens_bottom();
+            assert_eq!(top + bottom, expected_tokens);
+            assert!(top == bottom || top == bottom + 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_toggles_conserve_tokens() {
+        // Sized so the test stays fast under miri (the CI miri job runs this
+        // module) while still exercising real contention natively.
+        let (threads, per_thread) = if cfg!(miri) { (3, 8) } else { (8, 500) };
+        let balancer = Arc::new(Balancer::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let balancer = Arc::clone(&balancer);
+                std::thread::spawn(move || {
+                    let mut ctx = ProcessCtx::new(ProcessId::new(t), 3);
+                    let mut top = 0u64;
+                    for _ in 0..per_thread {
+                        if balancer.toggle(&mut ctx) == BalancerSlot::Top {
+                            top += 1;
+                        }
+                    }
+                    top
+                })
+            })
+            .collect();
+        let top: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let total = (threads * per_thread) as u64;
+        assert_eq!(balancer.tokens(), total);
+        // Exactly the tokens with even pre-increment values went up.
+        assert_eq!(top, total.div_ceil(2));
+        assert_eq!(balancer.tokens_top(), top);
+        assert_eq!(balancer.tokens_bottom(), total - top);
+    }
+
+    #[test]
+    fn display_reports_the_token_count() {
+        let balancer = Balancer::new();
+        let mut ctx = ctx();
+        balancer.toggle(&mut ctx);
+        assert_eq!(format!("{balancer}"), "balancer(tokens=1)");
+    }
+}

@@ -1,0 +1,175 @@
+//! The compiled balancing-network fast path.
+//!
+//! [`CompiledBalancingNetwork`] reuses the renaming engine's
+//! [`CompiledSchedule`] lowering wholesale: the schedule's flat
+//! `depth × width` wire map answers "which balancer touches my wire?" with
+//! one array load, and the dense stage-major comparator index doubles as the
+//! index into a flat slab of [`Balancer`]s — exactly the layout the
+//! lock-free comparator slab uses for test-and-sets, minus the locks it
+//! never needed. A token's traversal is `depth` iterations of
+//! load-wire-map → fetch-add → pick-wire, with no hashing and no pointer
+//! chasing.
+
+use crate::balancer::Balancer;
+use crate::network::{exit_wire, BalancingTopology};
+use sortnet::compiled::CompiledSchedule;
+use sortnet::schedule::ComparatorSchedule;
+use std::fmt;
+
+/// A balancing network lowered onto [`CompiledSchedule`]'s flat arrays.
+///
+/// # Example
+///
+/// ```
+/// use cnet::compiled::CompiledBalancingNetwork;
+/// use cnet::family::CountingFamily;
+/// use cnet::network::BalancingTopology;
+/// use shmem::process::{ProcessCtx, ProcessId};
+///
+/// let network = CompiledBalancingNetwork::compile(&*CountingFamily::Bitonic.schedule(8));
+/// let mut ctx = ProcessCtx::new(ProcessId::new(0), 1);
+/// let exits: Vec<usize> = (0..8).map(|_| network.traverse(&mut ctx, 0)).collect();
+/// assert_eq!(exits, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+/// ```
+pub struct CompiledBalancingNetwork {
+    schedule: CompiledSchedule,
+    /// One balancer per comparator, indexed by the schedule's dense slot.
+    balancers: Vec<Balancer>,
+}
+
+impl CompiledBalancingNetwork {
+    /// Compiles any comparator schedule and attaches one balancer per
+    /// comparator slot.
+    pub fn compile<S: ComparatorSchedule + ?Sized>(schedule: &S) -> Self {
+        Self::from_schedule(CompiledSchedule::compile(schedule))
+    }
+
+    /// Reinterprets an already-compiled schedule as balancer wiring.
+    pub fn from_schedule(schedule: CompiledSchedule) -> Self {
+        let balancers = (0..schedule.size()).map(|_| Balancer::new()).collect();
+        CompiledBalancingNetwork {
+            schedule,
+            balancers,
+        }
+    }
+
+    /// The compiled schedule backing the wiring.
+    pub fn schedule(&self) -> &CompiledSchedule {
+        &self.schedule
+    }
+
+    /// The balancer at the given dense slot (harness/test inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.size()`.
+    pub fn balancer(&self, slot: usize) -> &Balancer {
+        &self.balancers[slot]
+    }
+
+    /// Total tokens that have passed each balancer, in dense order
+    /// (harness/test inspection; meaningful at quiescent points).
+    pub fn balancer_tokens(&self) -> Vec<u64> {
+        self.balancers.iter().map(Balancer::tokens).collect()
+    }
+}
+
+impl BalancingTopology for CompiledBalancingNetwork {
+    fn width(&self) -> usize {
+        self.schedule.width()
+    }
+
+    fn depth(&self) -> usize {
+        self.schedule.depth()
+    }
+
+    fn size(&self) -> usize {
+        self.balancers.len()
+    }
+
+    fn traverse(&self, ctx: &mut shmem::process::ProcessCtx, wire: usize) -> usize {
+        assert!(
+            wire < self.width(),
+            "entry wire {wire} is outside the network's {} wires",
+            self.width()
+        );
+        let mut wire = wire;
+        for stage in 0..self.schedule.depth() {
+            if let Some((comparator, slot)) = self.schedule.pair_at(stage, wire) {
+                wire = exit_wire(comparator, self.balancers[slot].toggle(ctx));
+            }
+        }
+        wire
+    }
+}
+
+impl fmt::Debug for CompiledBalancingNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledBalancingNetwork")
+            .field("width", &self.width())
+            .field("depth", &self.depth())
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::CountingFamily;
+    use crate::network::BalancingNetwork;
+    use shmem::process::{ProcessCtx, ProcessId};
+    use std::sync::Arc;
+
+    #[test]
+    fn compiled_and_interpreted_engines_route_identically() {
+        for family in CountingFamily::all() {
+            for width in [2usize, 4, 8, 16] {
+                let schedule = family.schedule(width);
+                let interpreted = BalancingNetwork::new(Arc::clone(&schedule));
+                let compiled = CompiledBalancingNetwork::compile(&*schedule);
+                assert_eq!(compiled.width(), interpreted.width());
+                assert_eq!(compiled.depth(), interpreted.depth());
+                assert_eq!(compiled.size(), interpreted.size());
+                let mut a = ProcessCtx::new(ProcessId::new(0), 9);
+                let mut b = ProcessCtx::new(ProcessId::new(0), 9);
+                // Identical token sequences produce identical exits: the
+                // engines are the same wiring over the same toggle states.
+                for token in 0..4 * width {
+                    let wire = token % width;
+                    assert_eq!(
+                        compiled.traverse(&mut a, wire),
+                        interpreted.traverse(&mut b, wire),
+                        "{family} width {width} token {token}"
+                    );
+                }
+                assert_eq!(a.stats(), b.stats(), "step accounting agrees");
+            }
+        }
+    }
+
+    #[test]
+    fn balancer_tokens_are_exposed_in_dense_order() {
+        let compiled = CompiledBalancingNetwork::compile(&*CountingFamily::Bitonic.schedule(4));
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 2);
+        compiled.traverse(&mut ctx, 0);
+        let tokens = compiled.balancer_tokens();
+        assert_eq!(tokens.len(), compiled.size());
+        // One token traversed depth balancers (bitonic-4 is fully busy).
+        assert_eq!(
+            tokens.iter().sum::<u64>(),
+            compiled.depth() as u64,
+            "one toggle per stage"
+        );
+        assert_eq!(compiled.balancer(0).tokens(), tokens[0]);
+        assert!(format!("{compiled:?}").contains("CompiledBalancingNetwork"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the network")]
+    fn out_of_range_entry_wires_are_rejected() {
+        let compiled = CompiledBalancingNetwork::compile(&*CountingFamily::Bitonic.schedule(4));
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 0);
+        compiled.traverse(&mut ctx, 9);
+    }
+}

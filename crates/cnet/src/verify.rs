@@ -1,0 +1,279 @@
+//! Step-property verification and sequential token simulation.
+//!
+//! The correctness notion of a counting network is the **step property**: in
+//! any quiescent state the output-wire token counts `y₀, …, y_{w−1}` satisfy
+//! `0 ≤ yᵢ − yⱼ ≤ 1` for every `i < j` — the counts look like a staircase
+//! filled from wire 0. This module makes the property executable:
+//!
+//! * [`step_property_violation`] / [`has_step_property`] check a quiescent
+//!   count vector directly (used on live [`NetworkCounter`] exit counts at
+//!   quiescent points).
+//! * [`simulate_tokens`] routes a sequence of tokens through a wiring
+//!   *purely* — no atomics, no step accounting — and
+//!   [`sequential_step_property`] additionally checks the property after
+//!   every token. Because every prefix of a sequential execution ends in a
+//!   quiescent state, this is the 0-1-principle-style exhaustive/randomized
+//!   test harness for candidate wirings, and is how the workspace pins that
+//!   odd-even merge and one-pass transposition wirings are *not* counting
+//!   networks.
+//!
+//! [`NetworkCounter`]: crate::counter::NetworkCounter
+
+use sortnet::schedule::ComparatorSchedule;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A concrete violation of the step property.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepViolation {
+    /// The lower-indexed wire.
+    pub wire_low: usize,
+    /// Tokens on the lower-indexed wire.
+    pub count_low: u64,
+    /// The higher-indexed wire.
+    pub wire_high: usize,
+    /// Tokens on the higher-indexed wire.
+    pub count_high: u64,
+    /// Tokens routed when the violation was detected (for the sequential
+    /// checker; the vector length for direct checks).
+    pub tokens: usize,
+}
+
+impl fmt::Display for StepViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step property violated after {} tokens: wire {} holds {} tokens but wire {} holds {}",
+            self.tokens, self.wire_low, self.count_low, self.wire_high, self.count_high
+        )
+    }
+}
+
+impl std::error::Error for StepViolation {}
+
+/// Returns the first step-property violation in a quiescent count vector, if
+/// any: a pair `i < j` with `yᵢ − yⱼ` outside `[0, 1]`.
+pub fn step_property_violation(counts: &[u64]) -> Option<StepViolation> {
+    // The pairwise property is equivalent to: counts are non-increasing and
+    // the first and last differ by at most 1 — checkable in one pass against
+    // the running first element.
+    for (low, window) in counts.windows(2).enumerate() {
+        let (a, b) = (window[0], window[1]);
+        if a < b || counts[0] > b + 1 {
+            let (wire_low, wire_high) = if a < b { (low, low + 1) } else { (0, low + 1) };
+            return Some(StepViolation {
+                wire_low,
+                count_low: counts[wire_low],
+                wire_high,
+                count_high: counts[wire_high],
+                tokens: counts.len(),
+            });
+        }
+    }
+    None
+}
+
+/// Whether a quiescent count vector satisfies the step property.
+pub fn has_step_property(counts: &[u64]) -> bool {
+    step_property_violation(counts).is_none()
+}
+
+/// Whether a quiescent count vector is *smooth*: all counts within 1 of each
+/// other (the weaker guarantee some balancing networks provide without
+/// counting).
+pub fn is_smooth(counts: &[u64]) -> bool {
+    match (counts.iter().max(), counts.iter().min()) {
+        (Some(max), Some(min)) => max - min <= 1,
+        _ => true,
+    }
+}
+
+/// Pure sequential token simulation: routes `entries` (input-wire indices)
+/// one token at a time through the wiring and returns the final output-wire
+/// counts. No atomics, no step accounting — this is the mathematical model,
+/// used to certify or refute candidate wirings.
+///
+/// # Panics
+///
+/// Panics if an entry wire is outside the schedule's width.
+pub fn simulate_tokens<S: ComparatorSchedule + ?Sized>(
+    schedule: &S,
+    entries: &[usize],
+) -> Vec<u64> {
+    run_simulation(schedule, entries, |_| {})
+}
+
+/// Sequential token simulation that checks the step property after every
+/// token (every prefix of a sequential run is quiescent).
+///
+/// # Errors
+///
+/// Returns the first [`StepViolation`] encountered.
+///
+/// # Panics
+///
+/// Panics if an entry wire is outside the schedule's width.
+pub fn sequential_step_property<S: ComparatorSchedule + ?Sized>(
+    schedule: &S,
+    entries: &[usize],
+) -> Result<Vec<u64>, StepViolation> {
+    let mut routed = 0usize;
+    let mut violation: Option<StepViolation> = None;
+    let counts = run_simulation(schedule, entries, |counts| {
+        routed += 1;
+        if violation.is_none() {
+            if let Some(found) = step_property_violation(counts) {
+                violation = Some(StepViolation {
+                    tokens: routed,
+                    ..found
+                });
+            }
+        }
+    });
+    match violation {
+        Some(found) => Err(found),
+        None => Ok(counts),
+    }
+}
+
+/// Shared simulation loop: `after_token` observes the counts after each
+/// token exits.
+fn run_simulation<S: ComparatorSchedule + ?Sized>(
+    schedule: &S,
+    entries: &[usize],
+    mut after_token: impl FnMut(&[u64]),
+) -> Vec<u64> {
+    let width = schedule.width();
+    let depth = schedule.depth();
+    let mut toggles: HashMap<(usize, usize), bool> = HashMap::new();
+    let mut counts = vec![0u64; width];
+    for &entry in entries {
+        assert!(
+            entry < width,
+            "entry wire {entry} is outside the wiring's {width} wires"
+        );
+        let mut wire = entry;
+        for stage in 0..depth {
+            if let Some(comparator) = schedule.comparator_at(stage, wire) {
+                let toggle = toggles.entry((stage, comparator.top)).or_insert(false);
+                wire = if *toggle {
+                    comparator.bottom
+                } else {
+                    comparator.top
+                };
+                *toggle = !*toggle;
+            }
+        }
+        counts[wire] += 1;
+        after_token(&counts);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::CountingFamily;
+    use sortnet::family::{NetworkFamily, SortingFamily};
+
+    #[test]
+    fn step_property_checks_staircases() {
+        assert!(has_step_property(&[]));
+        assert!(has_step_property(&[5]));
+        assert!(has_step_property(&[3, 3, 3, 3]));
+        assert!(has_step_property(&[4, 4, 3, 3]));
+        assert!(!has_step_property(&[3, 4, 3, 3]), "increasing pair");
+        assert!(!has_step_property(&[5, 4, 4, 3]), "first exceeds last by 2");
+        assert!(!has_step_property(&[2, 2, 0]), "gap of 2");
+    }
+
+    #[test]
+    fn violations_carry_the_offending_pair() {
+        let violation = step_property_violation(&[1, 2]).expect("violated");
+        assert_eq!((violation.wire_low, violation.wire_high), (0, 1));
+        assert_eq!((violation.count_low, violation.count_high), (1, 2));
+        assert!(violation.to_string().contains("step property violated"));
+
+        let gap = step_property_violation(&[3, 2, 1]).expect("violated");
+        assert_eq!((gap.wire_low, gap.wire_high), (0, 2));
+        assert_eq!((gap.count_low, gap.count_high), (3, 1));
+    }
+
+    #[test]
+    fn smoothness_is_weaker_than_the_step_property() {
+        assert!(is_smooth(&[]));
+        assert!(is_smooth(&[2, 3, 2, 3]), "smooth but not a staircase");
+        assert!(!has_step_property(&[2, 3, 2, 3]));
+        assert!(!is_smooth(&[3, 1]));
+    }
+
+    #[test]
+    fn simulation_matches_the_live_counter() {
+        use crate::counter::NetworkCounter;
+        use shmem::process::{ProcessCtx, ProcessId};
+
+        let width = 8usize;
+        let schedule = CountingFamily::Bitonic.schedule(width);
+        let entries: Vec<usize> = (0..3 * width).map(|t| (t * 5) % width).collect();
+
+        let counter = NetworkCounter::new(CountingFamily::Bitonic, width);
+        for &entry in &entries {
+            // A context whose identifier maps onto the simulated entry wire.
+            let mut ctx = ProcessCtx::new(ProcessId::new(entry), 1);
+            counter.increment(&mut ctx);
+        }
+        assert_eq!(simulate_tokens(&*schedule, &entries), counter.exit_counts());
+    }
+
+    #[test]
+    fn certified_wirings_pass_the_sequential_checker() {
+        for family in CountingFamily::all() {
+            for width in [2usize, 4, 8, 16] {
+                let schedule = family.schedule(width);
+                let entries: Vec<usize> = (0..4 * width).map(|t| (t * 7 + 3) % width).collect();
+                let counts = sequential_step_property(&*schedule, &entries)
+                    .unwrap_or_else(|violation| panic!("{family} width {width}: {violation}"));
+                assert_eq!(counts.iter().sum::<u64>(), entries.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn odd_even_merge_wiring_is_refuted() {
+        // Batcher's odd-even merge sorts but does not count — the textbook
+        // counterexample, reproduced mechanically: four tokens (three on
+        // wire 0, one on wire 2) leave the width-4 wiring with counts
+        // [2, 1, 1, 0], a staircase violation found by exhaustive search
+        // over short entry sequences.
+        let schedule = NetworkFamily::OddEven.schedule(4);
+        let violation =
+            sequential_step_property(&*schedule, &[0, 0, 0, 2]).expect_err("must miscount");
+        assert_eq!(violation.count_low - violation.count_high, 2);
+    }
+
+    #[test]
+    fn one_pass_transposition_wiring_is_refuted() {
+        // Three tokens entering on wire 0 of the width-4 brick wall exit
+        // with counts [2, 1, 0, 0]: wire 0 is two ahead of wire 2.
+        let schedule = NetworkFamily::Transposition.schedule(4);
+        let violation =
+            sequential_step_property(&*schedule, &[0, 0, 0]).expect_err("must miscount");
+        assert_eq!(violation.tokens, 3);
+    }
+
+    #[test]
+    fn truncated_bitonic_wiring_is_refuted() {
+        // Sorting survives truncation to non-power-of-two widths; counting
+        // does not — which is why CountingFamily insists on powers of two.
+        let schedule = NetworkFamily::Bitonic.schedule(6);
+        let entries = vec![0usize; 12];
+        assert!(sequential_step_property(&*schedule, &entries).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the wiring")]
+    fn out_of_range_entries_are_rejected() {
+        let schedule = CountingFamily::Bitonic.schedule(4);
+        let _ = simulate_tokens(&*schedule, &[4]);
+    }
+}

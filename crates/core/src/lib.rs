@@ -30,7 +30,10 @@
 //!   `Θ(k)`-step baseline the paper's introduction compares against.
 //! * [`MonotoneCounter`] — the §8.1
 //!   monotone-consistent counter (renaming + max register), plus a
-//!   compare-and-swap baseline counter.
+//!   compare-and-swap baseline counter and the `cnet` counting-network
+//!   counter behind one facade: `<dyn Counter>::builder()` selects among
+//!   [`CounterBackend::Monotone`], [`CounterBackend::FetchAdd`] and
+//!   [`CounterBackend::Network`].
 //! * [`BoundedTas`] and
 //!   [`BoundedFetchIncrement`] — the
 //!   §8.2 linearizable ℓ-test-and-set and m-valued fetch-and-increment.
@@ -92,7 +95,7 @@ pub use adaptive::AdaptiveRenaming;
 pub use bit_batching::BitBatchingRenaming;
 pub use builder::{Algorithm, ComparatorKind, EngineKind, RenamingBuilder};
 pub use comparator_slab::ComparatorSlab;
-pub use counter::{CasCounter, Counter, MonotoneCounter};
+pub use counter::{CasCounter, Counter, CounterBackend, CounterBuilder, MonotoneCounter};
 pub use error::RenamingError;
 pub use fetch_increment::BoundedFetchIncrement;
 pub use free_list::{FreeList, FreeListKind};

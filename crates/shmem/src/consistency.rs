@@ -9,8 +9,12 @@
 //! * **Monotone consistency** — the weaker guarantee the §8.1 counter
 //!   provides. [`check_monotone_consistent`] implements the three conditions
 //!   of Lemma 4 directly on a recorded history.
+//! * **Quiescent consistency** — the guarantee of counting-network counters
+//!   (the `cnet` crate): any read not overlapping an increment must see the
+//!   exact number of completed increments. [`check_quiescent_consistent`]
+//!   verifies it on a recorded history.
 //!
-//! Both checkers consume [`History`] values produced by a
+//! All checkers consume [`History`] values produced by a
 //! [`Recorder`](crate::history::Recorder).
 
 use crate::history::{History, OpRecord};
@@ -71,6 +75,14 @@ pub enum Violation {
         /// Number of increments started before the read's response.
         started: u64,
     },
+    /// A read performed at a quiescent point (no increment overlapping it)
+    /// did not return the exact number of completed increments.
+    QuiescentReadMismatch {
+        /// Value the read returned.
+        returned: u64,
+        /// Number of increments completed before the read's invocation.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -88,6 +100,10 @@ impl fmt::Display for Violation {
             Violation::ReadAboveStartedIncrements { returned, started } => write!(
                 f,
                 "a read returned {returned} but only {started} increments had started"
+            ),
+            Violation::QuiescentReadMismatch { returned, expected } => write!(
+                f,
+                "a quiescent read returned {returned} but exactly {expected} increments had completed"
             ),
         }
     }
@@ -295,6 +311,61 @@ pub fn check_monotone_consistent(
             return Err(Violation::ReadAboveStartedIncrements {
                 returned: read.result,
                 started,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks *quiescent consistency* of a counter history: every read performed
+/// at a quiescent point sees the exact number of completed increments.
+///
+/// A read is **quiescent** when no increment overlaps it: every recorded
+/// increment either responded before the read invoked or invoked after the
+/// read responded, and no pending increment (one that started but never
+/// completed) invoked before the read responded. Reads that do overlap an
+/// increment are unconstrained by this checker — that is precisely the
+/// guarantee counting networks provide (see the `cnet` crate), strictly
+/// weaker than linearizability but incomparable to monotone consistency
+/// (quiescent consistency says nothing about the order of concurrent reads).
+///
+/// Increment results are ignored; only their invocation/response times
+/// matter. `pending_increment_invokes` lists invocation timestamps of
+/// increments that started but never completed (crashed processes, or
+/// operations still in flight when recording stopped): a read they overlap
+/// is not quiescent.
+///
+/// # Errors
+///
+/// Returns [`Violation::QuiescentReadMismatch`] for the first quiescent read
+/// whose value is not exactly the completed-increment count.
+pub fn check_quiescent_consistent(
+    history: &History<CounterOp, u64>,
+    pending_increment_invokes: &[u64],
+) -> Result<(), Violation> {
+    let increments: Vec<&OpRecord<CounterOp, u64>> = history
+        .iter()
+        .filter(|r| r.op == CounterOp::Increment)
+        .collect();
+
+    for read in history.iter().filter(|r| r.op == CounterOp::Read) {
+        let overlaps_completed = increments
+            .iter()
+            .any(|inc| inc.invoke < read.response && inc.response > read.invoke);
+        let overlaps_pending = pending_increment_invokes
+            .iter()
+            .any(|&invoke| invoke < read.response);
+        if overlaps_completed || overlaps_pending {
+            continue; // not a quiescent point; the read is unconstrained
+        }
+        let completed = increments
+            .iter()
+            .filter(|inc| inc.response < read.invoke)
+            .count() as u64;
+        if read.result != completed {
+            return Err(Violation::QuiescentReadMismatch {
+                returned: read.result,
+                expected: completed,
             });
         }
     }
@@ -547,6 +618,118 @@ mod tests {
     }
 
     #[test]
+    fn quiescent_consistency_accepts_exact_quiescent_reads() {
+        // Two completed increments, then a read of 2, then another increment
+        // and a read of 3: every read is quiescent and exact.
+        let history = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(1, CounterOp::Increment, 0, 3, 4),
+            op(2, CounterOp::Read, 2, 5, 6),
+            op(0, CounterOp::Increment, 0, 7, 8),
+            op(2, CounterOp::Read, 3, 9, 10),
+        ]);
+        assert_eq!(check_quiescent_consistent(&history, &[]), Ok(()));
+    }
+
+    #[test]
+    fn quiescent_consistency_rejects_inexact_quiescent_reads() {
+        // The read starts after both increments completed but returns 1.
+        let history = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(1, CounterOp::Increment, 0, 3, 4),
+            op(2, CounterOp::Read, 1, 5, 6),
+        ]);
+        assert_eq!(
+            check_quiescent_consistent(&history, &[]),
+            Err(Violation::QuiescentReadMismatch {
+                returned: 1,
+                expected: 2
+            })
+        );
+        // Over-counting at a quiescent point is just as wrong.
+        let too_high = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(2, CounterOp::Read, 2, 3, 4),
+        ]);
+        assert!(matches!(
+            check_quiescent_consistent(&too_high, &[]),
+            Err(Violation::QuiescentReadMismatch {
+                returned: 2,
+                expected: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn reads_overlapping_increments_are_unconstrained() {
+        // The read overlaps the second increment, so returning 1 or 2 (or
+        // even 0 — quiescent consistency says nothing here) is accepted.
+        for observed in [0u64, 1, 2] {
+            let history = History::new(vec![
+                op(0, CounterOp::Increment, 0, 1, 2),
+                op(1, CounterOp::Increment, 0, 4, 7),
+                op(2, CounterOp::Read, observed, 5, 6),
+            ]);
+            assert_eq!(
+                check_quiescent_consistent(&history, &[]),
+                Ok(()),
+                "observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn pending_increments_make_overlapping_reads_non_quiescent() {
+        // A pending increment started at time 3 never completes: the read at
+        // [4, 5] overlaps it and is unconstrained...
+        let history = History::new(vec![
+            op(0, CounterOp::Increment, 0, 1, 2),
+            op(2, CounterOp::Read, 2, 4, 5),
+        ]);
+        assert_eq!(check_quiescent_consistent(&history, &[3]), Ok(()));
+        // ...but a pending increment started only after the read responded
+        // leaves the read quiescent, so the stale value is a violation.
+        assert!(matches!(
+            check_quiescent_consistent(&history, &[9]),
+            Err(Violation::QuiescentReadMismatch {
+                returned: 2,
+                expected: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn quiescent_consistency_of_empty_and_read_only_histories() {
+        let empty: History<CounterOp, u64> = History::new(vec![]);
+        assert_eq!(check_quiescent_consistent(&empty, &[]), Ok(()));
+
+        let reads_only = History::new(vec![op(0, CounterOp::Read, 0, 1, 2)]);
+        assert_eq!(check_quiescent_consistent(&reads_only, &[]), Ok(()));
+
+        let bad_read = History::new(vec![op(0, CounterOp::Read, 5, 1, 2)]);
+        assert!(check_quiescent_consistent(&bad_read, &[]).is_err());
+    }
+
+    #[test]
+    fn quiescent_consistency_is_weaker_than_linearizability_on_reads() {
+        // The §8.1-style history: non-linearizable (R1 and R2 both return 2
+        // around a completed increment) yet quiescently consistent, because
+        // both reads overlap the pending increment that started at time 1.
+        let history = History::new(vec![
+            op(2, CounterOp::Increment, 0, 2, 3),
+            op(9, CounterOp::Read, 2, 4, 5),
+            op(1, CounterOp::Increment, 0, 6, 7),
+            op(9, CounterOp::Read, 2, 8, 9),
+        ]);
+        let pending = [1u64];
+        assert_eq!(check_quiescent_consistent(&history, &pending), Ok(()));
+        assert_eq!(
+            check_linearizable(&CounterSpec, &history),
+            Err(Violation::NotLinearizable)
+        );
+    }
+
+    #[test]
     fn violation_display_is_informative() {
         let violations = vec![
             Violation::NotLinearizable,
@@ -561,6 +744,10 @@ mod tests {
             Violation::ReadAboveStartedIncrements {
                 returned: 5,
                 started: 2,
+            },
+            Violation::QuiescentReadMismatch {
+                returned: 4,
+                expected: 3,
             },
         ];
         for v in violations {

@@ -38,6 +38,13 @@ pub enum StepKind {
     /// one-shot, so this category only appears in long-lived executions; it
     /// is tracked separately so the one-shot cost measures stay comparable.
     Release,
+    /// A toggle of a balancer in a balancing (counting) network — one atomic
+    /// flip deciding whether a traversing token exits on the top or bottom
+    /// wire. Balancers are the counting-network analogue of the renaming
+    /// network's two-process test-and-sets, so their unit-cost measure is
+    /// tracked separately (like [`StepKind::TasInvocation`]) rather than
+    /// being folded into the generic read-modify-write bucket.
+    Balancer,
 }
 
 impl fmt::Display for StepKind {
@@ -49,6 +56,7 @@ impl fmt::Display for StepKind {
             StepKind::TasInvocation => "tas-invocation",
             StepKind::CoinFlip => "coin-flip",
             StepKind::Release => "release",
+            StepKind::Balancer => "balancer-toggle",
         };
         f.write_str(name)
     }
@@ -86,6 +94,10 @@ pub struct StepStats {
     pub coin_flips: u64,
     /// Number of name releases performed against long-lived renaming objects.
     pub releases: u64,
+    /// Number of balancer toggles performed while traversing balancing
+    /// (counting) networks — a unit-cost measure like
+    /// [`StepStats::tas_invocations`].
+    pub balancer_toggles: u64,
 }
 
 impl StepStats {
@@ -103,6 +115,7 @@ impl StepStats {
             StepKind::TasInvocation => self.tas_invocations += 1,
             StepKind::CoinFlip => self.coin_flips += 1,
             StepKind::Release => self.releases += 1,
+            StepKind::Balancer => self.balancer_toggles += 1,
         }
     }
 
@@ -126,10 +139,10 @@ impl StepStats {
     }
 
     /// Total shared-memory operations of any kind (register steps plus
-    /// test-and-set invocations plus releases). Useful as a conservative
-    /// upper bound.
+    /// test-and-set invocations, releases and balancer toggles). Useful as a
+    /// conservative upper bound.
     pub fn total_all(&self) -> u64 {
-        self.total() + self.tas_invocations + self.releases
+        self.total() + self.tas_invocations + self.releases + self.balancer_toggles
     }
 
     /// Returns `true` if no steps of any kind have been recorded.
@@ -149,6 +162,7 @@ impl Add for StepStats {
             tas_invocations: self.tas_invocations + rhs.tas_invocations,
             coin_flips: self.coin_flips + rhs.coin_flips,
             releases: self.releases + rhs.releases,
+            balancer_toggles: self.balancer_toggles + rhs.balancer_toggles,
         }
     }
 }
@@ -169,13 +183,14 @@ impl fmt::Display for StepStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reads={} writes={} rmws={} tas={} flips={} releases={} (register steps={})",
+            "reads={} writes={} rmws={} tas={} flips={} releases={} balancers={} (register steps={})",
             self.reads,
             self.writes,
             self.rmws,
             self.tas_invocations,
             self.coin_flips,
             self.releases,
+            self.balancer_toggles,
             self.total()
         )
     }
@@ -266,16 +281,18 @@ mod tests {
         stats.record(StepKind::TasInvocation);
         stats.record(StepKind::CoinFlip);
         stats.record(StepKind::Release);
+        stats.record(StepKind::Balancer);
         assert_eq!(stats.reads, 2);
         assert_eq!(stats.writes, 1);
         assert_eq!(stats.rmws, 1);
         assert_eq!(stats.tas_invocations, 1);
         assert_eq!(stats.coin_flips, 1);
         assert_eq!(stats.releases, 1);
+        assert_eq!(stats.balancer_toggles, 1);
     }
 
     #[test]
-    fn total_excludes_tas_invocations_and_releases() {
+    fn total_excludes_tas_invocations_releases_and_balancer_toggles() {
         let stats = StepStats {
             reads: 3,
             writes: 2,
@@ -283,10 +300,11 @@ mod tests {
             tas_invocations: 100,
             coin_flips: 4,
             releases: 7,
+            balancer_toggles: 9,
         };
         assert_eq!(stats.total(), 10);
         assert_eq!(stats.total_unit_tas(), 100);
-        assert_eq!(stats.total_all(), 117);
+        assert_eq!(stats.total_all(), 126);
     }
 
     #[test]
@@ -306,6 +324,7 @@ mod tests {
             tas_invocations: 4,
             coin_flips: 5,
             releases: 6,
+            balancer_toggles: 7,
         };
         let b = StepStats {
             reads: 10,
@@ -314,6 +333,7 @@ mod tests {
             tas_invocations: 40,
             coin_flips: 50,
             releases: 60,
+            balancer_toggles: 70,
         };
         let c = a + b;
         assert_eq!(c.reads, 11);
@@ -322,6 +342,7 @@ mod tests {
         assert_eq!(c.tas_invocations, 44);
         assert_eq!(c.coin_flips, 55);
         assert_eq!(c.releases, 66);
+        assert_eq!(c.balancer_toggles, 77);
 
         let summed: StepStats = vec![a, b, c].into_iter().sum();
         assert_eq!(summed.reads, 22);

@@ -10,6 +10,7 @@
 
 use crate::batcher::OddEvenSchedule;
 use crate::bitonic::bitonic_network;
+use crate::periodic::periodic_network;
 use crate::schedule::ComparatorSchedule;
 use crate::transposition::transposition_network;
 use std::fmt;
@@ -53,6 +54,12 @@ pub enum NetworkFamily {
     /// Batcher's bitonic sorter, ascending-comparator variant (materialized,
     /// `Θ(log² n)` depth).
     Bitonic,
+    /// The Dowd–Perl–Rudolph–Saks periodic balanced network (materialized,
+    /// `Θ(log² n)` depth, `log n` identical blocks). Together with
+    /// [`NetworkFamily::Bitonic`] it is one of the two wirings certified as a
+    /// *counting network* when its comparators are reinterpreted as balancers
+    /// (the `cnet` crate).
+    Periodic,
     /// Odd-even transposition (materialized, `Θ(n)` depth). Reference /
     /// worst-case baseline only.
     Transposition,
@@ -60,10 +67,11 @@ pub enum NetworkFamily {
 
 impl NetworkFamily {
     /// All built-in families, in the order experiments report them.
-    pub fn all() -> [NetworkFamily; 3] {
+    pub fn all() -> [NetworkFamily; 4] {
         [
             NetworkFamily::OddEven,
             NetworkFamily::Bitonic,
+            NetworkFamily::Periodic,
             NetworkFamily::Transposition,
         ]
     }
@@ -90,10 +98,11 @@ impl std::str::FromStr for NetworkFamily {
                 Ok(NetworkFamily::OddEven)
             }
             "bitonic" => Ok(NetworkFamily::Bitonic),
+            "periodic" | "dprs" | "balanced" => Ok(NetworkFamily::Periodic),
             "transposition" => Ok(NetworkFamily::Transposition),
             other => Err(format!(
                 "unknown sorting-network family {other:?} \
-                 (expected odd-even-merge, bitonic or transposition)"
+                 (expected odd-even-merge, bitonic, periodic or transposition)"
             )),
         }
     }
@@ -110,13 +119,14 @@ impl SortingFamily for NetworkFamily {
         match self {
             NetworkFamily::OddEven => "odd-even-merge",
             NetworkFamily::Bitonic => "bitonic",
+            NetworkFamily::Periodic => "periodic",
             NetworkFamily::Transposition => "transposition",
         }
     }
 
     fn depth_exponent(&self) -> u32 {
         match self {
-            NetworkFamily::OddEven | NetworkFamily::Bitonic => 2,
+            NetworkFamily::OddEven | NetworkFamily::Bitonic | NetworkFamily::Periodic => 2,
             NetworkFamily::Transposition => 0,
         }
     }
@@ -125,6 +135,7 @@ impl SortingFamily for NetworkFamily {
         match self {
             NetworkFamily::OddEven => Arc::new(OddEvenSchedule::new(width)),
             NetworkFamily::Bitonic => Arc::new(bitonic_network(width)),
+            NetworkFamily::Periodic => Arc::new(periodic_network(width)),
             NetworkFamily::Transposition => Arc::new(transposition_network(width)),
         }
     }
@@ -182,7 +193,9 @@ mod tests {
     fn depth_exponents_and_names_are_reported() {
         assert_eq!(NetworkFamily::OddEven.depth_exponent(), 2);
         assert_eq!(NetworkFamily::Bitonic.depth_exponent(), 2);
+        assert_eq!(NetworkFamily::Periodic.depth_exponent(), 2);
         assert_eq!(NetworkFamily::Transposition.depth_exponent(), 0);
+        assert_eq!(NetworkFamily::Periodic.to_string(), "periodic");
         assert_eq!(NetworkFamily::OddEven.to_string(), "odd-even-merge");
         assert_eq!(format!("{:?}", NetworkFamily::Bitonic), "Bitonic");
     }
@@ -230,9 +243,11 @@ mod tests {
         let width = 128;
         let odd_even = NetworkFamily::OddEven.depth(width);
         let bitonic = NetworkFamily::Bitonic.depth(width);
+        let periodic = NetworkFamily::Periodic.depth(width);
         let transposition = NetworkFamily::Transposition.depth(width);
         assert_eq!(odd_even, 28); // 7 * 8 / 2
         assert_eq!(bitonic, 28);
+        assert_eq!(periodic, 49); // 7 blocks of depth 7
         assert!(transposition >= width - 1);
     }
 

@@ -51,6 +51,7 @@ pub mod bitonic;
 pub mod compiled;
 pub mod family;
 pub mod network;
+pub mod periodic;
 pub mod schedule;
 pub mod transposition;
 pub mod verify;
@@ -61,5 +62,6 @@ pub use bitonic::bitonic_network;
 pub use compiled::CompiledSchedule;
 pub use family::{aks_depth_estimate, NetworkFamily, SortingFamily};
 pub use network::{Comparator, ComparatorNetwork};
+pub use periodic::periodic_network;
 pub use schedule::ComparatorSchedule;
 pub use transposition::transposition_network;

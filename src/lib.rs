@@ -9,6 +9,8 @@
 //! * [`shmem`] — the shared-memory substrate and execution harness.
 //! * [`tas`] — test-and-set objects.
 //! * [`sortnet`] — sorting networks, including the §6.1 adaptive construction.
+//! * [`cnet`] — counting networks: balancers, balancing networks and the
+//!   quiescently-consistent network counter.
 //! * [`maxreg`] — max registers.
 //!
 //! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub use adaptive_renaming;
+pub use cnet;
 pub use maxreg;
 pub use shmem;
 pub use sortnet;
@@ -31,7 +34,9 @@ pub mod prelude {
     pub use adaptive_renaming::bit_batching::BitBatchingRenaming;
     pub use adaptive_renaming::builder::{Algorithm, ComparatorKind, EngineKind, RenamingBuilder};
     pub use adaptive_renaming::comparator_slab::ComparatorSlab;
-    pub use adaptive_renaming::counter::{CasCounter, Counter, MonotoneCounter};
+    pub use adaptive_renaming::counter::{
+        CasCounter, Counter, CounterBackend, CounterBuilder, MonotoneCounter,
+    };
     pub use adaptive_renaming::fetch_increment::BoundedFetchIncrement;
     pub use adaptive_renaming::free_list::{FreeList, FreeListKind};
     pub use adaptive_renaming::lease::{
@@ -45,6 +50,10 @@ pub mod prelude {
     pub use adaptive_renaming::renaming_network::{LockedRenamingNetwork, RenamingNetwork};
     pub use adaptive_renaming::sharded::ShardedRecycler;
     pub use adaptive_renaming::traits::{assert_tight_namespace, assert_unique_names, Renaming};
+    pub use cnet::{
+        Balancer, BalancerSlot, BalancingNetwork, BalancingTopology, CompiledBalancingNetwork,
+        CountingFamily, NetworkCounter,
+    };
     pub use shmem::adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
     pub use shmem::executor::Executor;
     pub use shmem::process::{ProcessCtx, ProcessId};
@@ -68,5 +77,13 @@ mod tests {
         assert_eq!(long_lived.max_concurrent(), Some(4));
         assert!(assert_tight_namespace(&[1, 2]).is_ok());
         assert!(assert_tight_lease_namespace(&[]).is_ok());
+        let counter = <dyn Counter>::builder()
+            .backend(CounterBackend::Network)
+            .build()
+            .unwrap();
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 0);
+        counter.increment(&mut ctx);
+        assert_eq!(counter.read(&mut ctx), 1);
+        assert_eq!(NetworkCounter::default().width(), 8);
     }
 }

@@ -1,0 +1,338 @@
+//! Property-based tests of the counting-network subsystem (`cnet`).
+//!
+//! Three guarantees are pinned across randomized schedules, widths and both
+//! certified wirings:
+//!
+//! 1. **Step property** — at every quiescent point the output-wire counts
+//!    form a staircase, sequentially (checked after every token) and after
+//!    adversarial concurrent executions.
+//! 2. **Quiescent consistency** — recorded histories pass
+//!    `check_quiescent_consistent`: reads that overlap no increment are
+//!    exact.
+//! 3. **Non-linearizability** — the counter is *deliberately* weaker than
+//!    linearizable: a stalled token lets a later increment steal an earlier
+//!    ticket, mirroring the §8.1 non-linearizability argument for the
+//!    monotone counter. The counterexample is driven deterministically
+//!    through the real implementation for every certified wiring and width.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use shmem::consistency::{
+    check_linearizable, check_quiescent_consistent, CounterOp, SequentialSpec, Violation,
+};
+use shmem::history::Recorder;
+use std::sync::Arc;
+use std::time::Duration;
+use strong_renaming::prelude::*;
+
+/// Sequential specification of an exact fetch-and-increment counter:
+/// increments return the pre-increment count (their 0-indexed ticket), reads
+/// return the count. Used to show recorded ticket histories are *not*
+/// linearizable.
+#[derive(Clone, Copy, Debug)]
+struct FetchIncrementSpec;
+
+impl SequentialSpec for FetchIncrementSpec {
+    type Op = CounterOp;
+    type Ret = u64;
+    type State = u64;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, op: &CounterOp) -> (u64, u64) {
+        match op {
+            CounterOp::Increment => (*state + 1, *state),
+            CounterOp::Read => (*state, *state),
+        }
+    }
+}
+
+fn config(seed: u64, yield_percent: u8, arrival_choice: u8) -> ExecConfig {
+    let arrival = match arrival_choice % 3 {
+        0 => ArrivalSchedule::Simultaneous,
+        1 => ArrivalSchedule::Unsynchronized,
+        _ => ArrivalSchedule::RandomJitter {
+            max_delay: Duration::from_micros(200),
+        },
+    };
+    ExecConfig::new(seed)
+        .with_yield_policy(YieldPolicy::Probabilistic(
+            f64::from(yield_percent % 40) / 100.0,
+        ))
+        .with_arrival(arrival)
+}
+
+fn families() -> [CountingFamily; 2] {
+    CountingFamily::all()
+}
+
+fn width_from(raw: u8) -> usize {
+    1usize << (1 + raw % 3) // 2, 4 or 8
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        .. ProptestConfig::default()
+    })]
+
+    /// Sequentially, both certified wirings satisfy the step property after
+    /// every token, for arbitrary entry-wire sequences — and the live
+    /// compiled engine lands tokens exactly where the pure simulation says.
+    #[test]
+    fn certified_wirings_count_sequentially(
+        raw_width in 0u8..3,
+        entries in proptest::collection::vec(0usize..64, 1..48),
+    ) {
+        let width = width_from(raw_width);
+        for family in families() {
+            let schedule = family.schedule(width);
+            let entries: Vec<usize> = entries.iter().map(|e| e % width).collect();
+            let counts = cnet::sequential_step_property(&*schedule, &entries)
+                .map_err(|violation| {
+                    TestCaseError::fail(format!("{family} width {width}: {violation}"))
+                })?;
+            prop_assert_eq!(counts.iter().sum::<u64>(), entries.len() as u64);
+
+            // The live compiled engine agrees with the mathematical model.
+            let counter = NetworkCounter::new(family, width);
+            for &entry in &entries {
+                let mut ctx = ProcessCtx::new(ProcessId::new(entry), 0);
+                counter.increment(&mut ctx);
+            }
+            prop_assert_eq!(counter.exit_counts(), counts);
+        }
+    }
+
+    /// After any adversarial concurrent execution drains, the exit-wire
+    /// counts of both certified wirings form a staircase and sum to the
+    /// exact number of increments.
+    #[test]
+    fn step_property_holds_at_quiescence_under_contention(
+        threads in 2usize..9,
+        ops_per_worker in 1usize..12,
+        raw_width in 0u8..3,
+        seed in 0u64..1_000_000,
+        yield_percent in 0u8..40,
+        arrival_choice in 0u8..3,
+    ) {
+        let width = width_from(raw_width);
+        for family in families() {
+            let counter = Arc::new(NetworkCounter::new(family, width));
+            let outcome = Executor::new(config(seed, yield_percent, arrival_choice))
+                .run(threads, {
+                    let counter = Arc::clone(&counter);
+                    move |ctx| {
+                        for _ in 0..ops_per_worker {
+                            counter.increment(ctx);
+                        }
+                    }
+                });
+            prop_assert_eq!(outcome.crashed_count(), 0);
+            let counts = counter.exit_counts();
+            if let Some(violation) = cnet::step_property_violation(&counts) {
+                return Err(TestCaseError::fail(format!(
+                    "{family} width {width}: {violation}"
+                )));
+            }
+            prop_assert_eq!(
+                counter.peek(),
+                (threads * ops_per_worker) as u64,
+                "{} width {}: tokens conserved", family, width
+            );
+        }
+    }
+
+    /// Recorded mixed workloads are quiescently consistent: every read that
+    /// overlaps no increment returns the exact completed count. (The same
+    /// histories are *not* required to be linearizable — see the
+    /// counterexample tests below.)
+    #[test]
+    fn recorded_histories_are_quiescently_consistent(
+        threads in 2usize..7,
+        seed in 0u64..1_000_000,
+        yield_percent in 0u8..40,
+        raw_width in 0u8..3,
+    ) {
+        let width = width_from(raw_width);
+        for family in families() {
+            let counter = Arc::new(NetworkCounter::new(family, width));
+            let recorder: Arc<Recorder<CounterOp, u64>> = Arc::new(Recorder::new());
+            let outcome = Executor::new(config(seed, yield_percent, 0)).run(threads, {
+                let counter = Arc::clone(&counter);
+                let recorder = Arc::clone(&recorder);
+                move |ctx| {
+                    for round in 0..3 {
+                        if (ctx.id().as_usize() + round) % 2 == 0 {
+                            let invoke = recorder.invoke();
+                            counter.increment(ctx);
+                            recorder.record(ctx.id(), CounterOp::Increment, 0, invoke);
+                        } else {
+                            let invoke = recorder.invoke();
+                            let value = counter.read(ctx);
+                            recorder.record(ctx.id(), CounterOp::Read, value, invoke);
+                        }
+                    }
+                }
+            });
+            prop_assert_eq!(outcome.crashed_count(), 0);
+            // A final quiescent read must be exact by construction.
+            let mut quiescent = ProcessCtx::new(ProcessId::new(10_000), 0);
+            let invoke = recorder.invoke();
+            let value = counter.read(&mut quiescent);
+            recorder.record(quiescent.id(), CounterOp::Read, value, invoke);
+            prop_assert_eq!(value, counter.peek());
+
+            let history = recorder.take_history();
+            if let Err(violation) = check_quiescent_consistent(&history, &[]) {
+                return Err(TestCaseError::fail(format!(
+                    "{family} width {width}: {violation}"
+                )));
+            }
+        }
+    }
+
+    /// The non-linearizability counterexample, driven through the real
+    /// implementation for every certified wiring and width: the first token
+    /// stalls between its traversal and its deposit, the next `width`
+    /// increments wrap around the exit wires, and the wrapping increment
+    /// steals ticket 0 — after an increment that returned ticket 1 has
+    /// already completed. The recorded history is rejected by the
+    /// linearizability checker yet passes `check_quiescent_consistent`.
+    #[test]
+    fn stalled_tokens_pin_non_linearizability(
+        raw_width in 0u8..3,
+        stalled_entry in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let width = width_from(raw_width);
+        for family in families() {
+            let counter = NetworkCounter::new(family, width);
+            let recorder: Recorder<CounterOp, u64> = Recorder::new();
+
+            // The stalled process traverses the empty network (exiting on
+            // wire 0, as the first token must) and then pauses before its
+            // exit-wire deposit.
+            let mut stalled = ProcessCtx::new(ProcessId::new(100), seed);
+            let stalled_invoke = recorder.invoke();
+            let stalled_wire = counter.network().traverse(&mut stalled, stalled_entry % width);
+            prop_assert_eq!(stalled_wire, 0, "the first token exits wire 0");
+
+            // `width` full increments now run to completion. The step
+            // property routes them to wires 1, 2, …, width−1 and then wraps
+            // the last one onto wire 0, whose counter the stalled token has
+            // not bumped yet: the wrapper gets ticket 0.
+            let mut tickets = Vec::new();
+            for process in 0..width {
+                let mut ctx = ProcessCtx::new(ProcessId::new(process), seed);
+                let invoke = recorder.invoke();
+                let ticket = counter.fetch_increment(&mut ctx);
+                recorder.record(ctx.id(), CounterOp::Increment, ticket, invoke);
+                tickets.push(ticket);
+            }
+            let mut expected: Vec<u64> = (1..width as u64).collect();
+            expected.push(0);
+            prop_assert_eq!(&tickets, &expected, "{} width {}", family, width);
+
+            // The stalled token finally deposits and takes ticket `width`.
+            let ticket = counter.deposit(&mut stalled, stalled_wire);
+            recorder.record(stalled.id(), CounterOp::Increment, ticket, stalled_invoke);
+            prop_assert_eq!(ticket, width as u64);
+
+            // A quiescent read closes the history.
+            let mut reader = ProcessCtx::new(ProcessId::new(200), seed);
+            let invoke = recorder.invoke();
+            let value = counter.read(&mut reader);
+            recorder.record(reader.id(), CounterOp::Read, value, invoke);
+            prop_assert_eq!(value, width as u64 + 1);
+
+            let history = recorder.take_history();
+            // Ticket 1 completed strictly before ticket 0 was even invoked
+            // (when width > 2 the wrap makes it even more lopsided): no
+            // sequential fetch-and-increment order can reproduce this.
+            prop_assert_eq!(
+                check_linearizable(&FetchIncrementSpec, &history),
+                Err(Violation::NotLinearizable),
+                "{} width {}", family, width
+            );
+            // Yet the very same run is quiescently consistent.
+            prop_assert_eq!(
+                check_quiescent_consistent(&history, &[]),
+                Ok(()),
+                "{} width {}", family, width
+            );
+        }
+    }
+}
+
+/// The concrete §8.1-style counterexample, spelled out once with fixed
+/// timestamps so the failure mode is documented even if the proptest above
+/// ever shrinks away: width 2, single balancer.
+#[test]
+fn width_two_counterexample_is_pinned() {
+    let counter = NetworkCounter::new(CountingFamily::Bitonic, 2);
+    let recorder: Recorder<CounterOp, u64> = Recorder::new();
+
+    // p traverses (toggling the lone balancer towards wire 1) and stalls.
+    let mut p = ProcessCtx::new(ProcessId::new(100), 0);
+    let p_invoke = recorder.invoke();
+    let p_wire = counter.network().traverse(&mut p, 0);
+    assert_eq!(p_wire, 0);
+
+    // q completes: exits wire 1, ticket 0·2+1 = 1.
+    let mut q = ProcessCtx::new(ProcessId::new(0), 0);
+    let q_invoke = recorder.invoke();
+    let q_ticket = counter.fetch_increment(&mut q);
+    recorder.record(q.id(), CounterOp::Increment, q_ticket, q_invoke);
+    assert_eq!(q_ticket, 1);
+
+    // r starts after q responded and completes: exits wire 0, whose counter
+    // p has not bumped — ticket 0·2+0 = 0, an inversion against q.
+    let mut r = ProcessCtx::new(ProcessId::new(1), 0);
+    let r_invoke = recorder.invoke();
+    let r_ticket = counter.fetch_increment(&mut r);
+    recorder.record(r.id(), CounterOp::Increment, r_ticket, r_invoke);
+    assert_eq!(r_ticket, 0);
+
+    // p deposits last: ticket 1·2+0 = 2. All three tickets are distinct and
+    // complete {0, 1, 2} — counting is intact, order is not.
+    let p_ticket = counter.deposit(&mut p, p_wire);
+    recorder.record(p.id(), CounterOp::Increment, p_ticket, p_invoke);
+    assert_eq!(p_ticket, 2);
+
+    let history = recorder.take_history();
+    assert_eq!(
+        check_linearizable(&FetchIncrementSpec, &history),
+        Err(Violation::NotLinearizable),
+        "q's ticket 1 completed before r's ticket 0 was invoked"
+    );
+    assert_eq!(check_quiescent_consistent(&history, &[]), Ok(()));
+}
+
+/// The uncertified wirings really do miscount — the refutations that justify
+/// `CountingFamily` rejecting them, executed against the same simulator the
+/// certification tests use.
+#[test]
+fn uncertified_wirings_are_refuted_mechanically() {
+    use sortnet::family::SortingFamily;
+
+    // Batcher's odd-even merge: 4 tokens suffice at width 4.
+    let odd_even = NetworkFamily::OddEven.schedule(4);
+    assert!(cnet::sequential_step_property(&*odd_even, &[0, 0, 0, 2]).is_err());
+
+    // One-pass odd-even transposition: 3 tokens suffice at width 4.
+    let transposition = NetworkFamily::Transposition.schedule(4);
+    assert!(cnet::sequential_step_property(&*transposition, &[0, 0, 0]).is_err());
+
+    // Truncated bitonic (width 6): sorting survives truncation, counting
+    // does not.
+    let truncated = NetworkFamily::Bitonic.schedule(6);
+    assert!(cnet::sequential_step_property(&*truncated, &[0; 12]).is_err());
+
+    // All three remain perfectly good sorting networks.
+    for schedule in [odd_even, transposition, truncated] {
+        assert!(sortnet::verify::schedule_sorts_exhaustive(&schedule));
+    }
+}

@@ -167,6 +167,28 @@ pub mod collection {
             set
         }
     }
+
+    /// Strategy producing `Vec`s of elements drawn from `element`, with
+    /// lengths drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s with lengths in `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let length = self.size.clone().sample(rng);
+            (0..length).map(|_| self.element.sample(rng)).collect()
+        }
+    }
 }
 
 /// Configuration accepted by `#![proptest_config(...)]`.
