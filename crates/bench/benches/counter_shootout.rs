@@ -1,6 +1,7 @@
 //! Criterion bench for the counter-backend shootout: the paper's monotone
-//! counter vs the `cnet` counting-network counter vs the hardware
-//! fetch-and-add baseline, all behind the `<dyn Counter>::builder()` facade.
+//! counter vs the `cnet` counting-network counter vs the adaptive
+//! prism-fronted cascade vs the hardware fetch-and-add baseline, all behind
+//! the `<dyn Counter>::builder()` facade.
 
 use adaptive_renaming::counter::{Counter, CounterBackend};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -20,11 +21,13 @@ fn bench_backends(c: &mut Criterion) {
         for backend in [
             CounterBackend::Monotone,
             CounterBackend::Network,
+            CounterBackend::Adaptive,
             CounterBackend::FetchAdd,
         ] {
             let label = match backend {
                 CounterBackend::Monotone => "monotone",
                 CounterBackend::Network => "network",
+                CounterBackend::Adaptive => "adaptive",
                 CounterBackend::FetchAdd => "fetch_add",
             };
             group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {

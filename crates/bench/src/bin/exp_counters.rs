@@ -7,11 +7,18 @@
 //!   max register). Register-model-only and monotone-consistent, but every
 //!   increment runs a full renaming acquisition whose cost grows with the
 //!   number of increments.
-//! * **`network`** — the `cnet` counting-network counter (bitonic wiring,
-//!   width = thread count rounded up to a power of two). `Θ(log² w)`
-//!   balancer toggles plus one exit-wire fetch-add per increment, with the
-//!   toggles spread over the network's balancers instead of funnelling
-//!   through one word. Quiescently consistent.
+//! * **`network`** — the `cnet` counting-network counter at a **fixed
+//!   width of 16**: the classical provision-for-the-maximum design, sized
+//!   for the largest thread count of the sweep and paying its full
+//!   `Θ(log² 16)` toggle depth even when two threads use it. Quiescently
+//!   consistent.
+//! * **`adaptive`** — the elimination/diffraction front-end over a
+//!   width-2/4/8/16 cascade of counting networks: a contention sensor
+//!   routes each increment through a prism (colliding pairs cancel) into
+//!   the narrowest network covering *realized* contention, so the quiet
+//!   end of the sweep pays width-2 costs instead of width-16 ones.
+//!   Quiescently consistent; the cascade covers the same 16-thread maximum
+//!   the fixed network provisions for.
 //! * **`fetch_add`** — one hardware fetch-and-add per increment: the speed
 //!   of light for a single cache line, linearizable, and outside the
 //!   paper's register-only model.
@@ -20,18 +27,23 @@
 //! `shmem::adversary`: **bursty** (all workers released simultaneously —
 //! maximum contention) and **steady** (staggered arrivals). After each
 //! execution the harness verifies the final count is exact and, for the
-//! network backend, that the exit-wire counts satisfy the step property at
-//! quiescence.
+//! network and adaptive backends, that the exit-wire counts satisfy the
+//! step property at quiescence (per cascade layer for adaptive).
 //!
 //! The numbers are written to `BENCH_counters.json`. Run with
 //! `cargo run --release -p renaming-bench --bin exp_counters`; pass
-//! `--smoke` for a seconds-long CI-sized run that skips the JSON.
+//! `--smoke` for a seconds-long CI-sized run that skips the JSON, or
+//! `--gate` to replay the **full** sizing and fail (exit 1) when any
+//! backend's *best* replayed execution regresses more than 20% past the
+//! committed
+//! `BENCH_counters.json` baseline.
 
 use adaptive_renaming::counter::Counter;
+use cnet::adaptive::AdaptiveNetworkCounter;
 use cnet::counter::NetworkCounter;
 use cnet::family::CountingFamily;
 use cnet::verify::step_property_violation;
-use renaming_bench::{fmt1, Table};
+use renaming_bench::{fmt1, parse_baseline_rows, GateReport, Table};
 use shmem::adversary::{ArrivalSchedule, ExecConfig};
 use shmem::executor::Executor;
 use shmem::process::{ProcessCtx, ProcessId};
@@ -58,6 +70,17 @@ const SMOKE: Sizing = Sizing {
     ops_per_worker: 50,
     executions: 1,
     threads: &[2, 4],
+    write_json: false,
+};
+
+/// The gate replays the FULL per-execution workload (so cells are
+/// comparable to the committed baseline) with three times the executions:
+/// the gate compares the *best* replay per cell, and a larger best-of-N
+/// keeps the scheduler's worst moods out of the verdict.
+const GATE: Sizing = Sizing {
+    ops_per_worker: 500,
+    executions: 9,
+    threads: &[2, 4, 8, 16],
     write_json: false,
 };
 
@@ -107,22 +130,27 @@ struct Sample {
     toggles_per_op: f64,
 }
 
-/// The network width used at a given thread count: the thread count rounded
-/// up to a power of two (and at least 2).
-fn width_for(threads: usize) -> usize {
-    threads.next_power_of_two().max(2)
-}
+/// The width both network-based backends provision for: the largest thread
+/// count of the sweep. The fixed `network` backend pays this width at every
+/// thread count (the provision-for-the-maximum design the adaptive cascade
+/// is built to beat at the quiet end); the `adaptive` backend's cascade tops
+/// out at it.
+const PROVISIONED_WIDTH: usize = 16;
+
+/// A post-execution correctness check run at quiescence (step property,
+/// layer accounting); returns a violation description on failure.
+type PostCheck = Box<dyn Fn() -> Result<(), String>>;
 
 /// Times `executions` fresh counters under `threads` workers × the sizing's
-/// increments. `make` builds the counter and optionally returns the concrete
-/// network counter for the quiescent step-property check.
+/// increments. `make` builds the counter and optionally a quiescent
+/// correctness check to run after each execution.
 fn measure(
     sizing: &Sizing,
     backend: &'static str,
     threads: usize,
     arrivals: Arrivals,
     network_width: usize,
-    make: impl Fn() -> (Arc<dyn Counter>, Option<Arc<NetworkCounter>>),
+    make: impl Fn() -> (Arc<dyn Counter>, Option<PostCheck>),
 ) -> Sample {
     let ops_per_worker = sizing.ops_per_worker;
     let total_ops = (threads * ops_per_worker) as f64;
@@ -132,7 +160,7 @@ fn measure(
     let mut total_steps = 0u64;
     let mut total_toggles = 0u64;
     for execution in 0..sizing.executions {
-        let (counter, network) = make();
+        let (counter, post_check) = make();
         let config = ExecConfig::new(execution as u64).with_arrival(arrivals.schedule());
         let start = Instant::now();
         let outcome = Executor::new(config).run(threads, {
@@ -161,8 +189,8 @@ fn measure(
             "{backend} at {threads} threads ({}) lost increments",
             arrivals.name(),
         );
-        if let Some(network) = network {
-            if let Some(violation) = step_property_violation(&network.exit_counts()) {
+        if let Some(check) = post_check {
+            if let Err(violation) = check() {
                 panic!(
                     "{backend} at {threads} threads ({}): {violation}",
                     arrivals.name()
@@ -185,9 +213,9 @@ fn measure(
 }
 
 fn run_sweep(sizing: &Sizing) -> Vec<Sample> {
+    let width = PROVISIONED_WIDTH;
     let mut samples = Vec::new();
     for &threads in sizing.threads {
-        let width = width_for(threads);
         for arrivals in Arrivals::all() {
             samples.push(measure(sizing, "monotone", threads, arrivals, 0, || {
                 let counter = <dyn Counter>::builder().monotone().build().unwrap();
@@ -195,8 +223,38 @@ fn run_sweep(sizing: &Sizing) -> Vec<Sample> {
             }));
             samples.push(measure(sizing, "network", threads, arrivals, width, || {
                 let network = Arc::new(NetworkCounter::new(CountingFamily::Bitonic, width));
-                (Arc::clone(&network) as Arc<dyn Counter>, Some(network))
+                let check = Arc::clone(&network);
+                (
+                    Arc::clone(&network) as Arc<dyn Counter>,
+                    Some(Box::new(
+                        move || match step_property_violation(&check.exit_counts()) {
+                            Some(violation) => Err(violation.to_string()),
+                            None => Ok(()),
+                        },
+                    ) as PostCheck),
+                )
             }));
+            samples.push(measure(
+                sizing,
+                "adaptive",
+                threads,
+                arrivals,
+                width,
+                || {
+                    let adaptive =
+                        Arc::new(AdaptiveNetworkCounter::new(CountingFamily::Bitonic, width));
+                    let check = Arc::clone(&adaptive);
+                    (
+                        Arc::clone(&adaptive) as Arc<dyn Counter>,
+                        Some(Box::new(move || {
+                            // Every cascade layer must independently hold the
+                            // step property at quiescence, and the per-layer
+                            // token counts must conserve the deposited tokens.
+                            check.check_step_property().map_err(|v| v.to_string())
+                        }) as PostCheck),
+                    )
+                },
+            ));
             samples.push(measure(sizing, "fetch_add", threads, arrivals, 0, || {
                 let counter = <dyn Counter>::builder().fetch_add().build().unwrap();
                 (counter, None)
@@ -208,7 +266,8 @@ fn run_sweep(sizing: &Sizing) -> Vec<Sample> {
 
 fn print_table(samples: &[Sample]) {
     let mut table = Table::new(
-        "Counter shootout — increments/op: monotone (renaming + max register) vs network (cnet) vs fetch-and-add",
+        "Counter shootout — increments/op: monotone (renaming + max register) vs network \
+         (fixed width 16) vs adaptive (prism + cascade) vs fetch-and-add",
         &[
             "backend",
             "threads",
@@ -264,15 +323,83 @@ fn write_json(sizing: &Sizing, samples: &[Sample]) -> std::io::Result<()> {
     }
     let json = format!(
         "{{\n  \"experiment\": \"counters\",\n  \"family\": \"bitonic\",\n  \
-         \"ops_per_worker\": {},\n  \"executions\": {},\n  \"rows\": [\n{rows}\n  ]\n}}\n",
+         \"ops_per_worker\": {},\n  \"executions\": {},\n  \
+         \"padding_note\": \"{PADDING_NOTE}\",\n  \"rows\": [\n{rows}\n  ]\n}}\n",
         sizing.ops_per_worker, sizing.executions,
     );
     std::fs::write("BENCH_counters.json", json)
 }
 
+/// Before/after record for the cache-line-padding satellite, kept alongside
+/// the refreshed numbers: the pre-padding committed baseline for the fixed
+/// network backend at the widest, most contended configuration.
+const PADDING_NOTE: &str = "exit wires, balancer slabs and free-list summary words are \
+     cache-line padded (repr align 64); pre-padding committed baseline for network w=16, \
+     16 threads, bursty: mean 222.9 ns/op, max 282.5 ns/op";
+
+/// `--gate`: replay the full sizing and compare every (backend, threads,
+/// arrivals) best (minimum ns/op) execution against the committed `BENCH_counters.json`, failing when even
+/// the best replay sits >20% past the committed mean (or committed max for
+/// rows whose baseline was already noisy). Exits the process with status 1 on failure.
+fn run_gate(samples: &[Sample]) {
+    let committed = match std::fs::read_to_string("BENCH_counters.json") {
+        Ok(json) => parse_baseline_rows(&json),
+        Err(error) => {
+            eprintln!("perf gate: cannot read BENCH_counters.json: {error}");
+            std::process::exit(1);
+        }
+    };
+    let mut report = GateReport::new();
+    for sample in samples {
+        let label = format!(
+            "{} at {} threads ({})",
+            sample.backend,
+            sample.threads,
+            sample.arrivals.name()
+        );
+        let threads = sample.threads.to_string();
+        let row = committed.iter().find(|row| {
+            row.matches(&[
+                ("backend", sample.backend),
+                ("threads", &threads),
+                ("arrivals", sample.arrivals.name()),
+            ])
+        });
+        match row
+            .and_then(|row| Some((row.number("mean_ns_per_op")?, row.number("max_ns_per_op")?)))
+        {
+            Some((mean, max)) => report.check(&label, sample.min_ns_per_op, mean, max),
+            None => report.missing(&label),
+        }
+    }
+    if report.passed() {
+        println!(
+            "perf gate: {} configurations within tolerance of BENCH_counters.json",
+            report.checked()
+        );
+    } else {
+        eprintln!("perf gate FAILED against BENCH_counters.json:");
+        for failure in report.failures() {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let sizing = if smoke { &SMOKE } else { &FULL };
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|arg| arg == "--smoke");
+    let gate = args.iter().any(|arg| arg == "--gate");
+    // The gate replays the full per-execution workload (a smoke-sized run
+    // against the committed full-sized baseline would compare different
+    // workloads) with extra executions per cell — see GATE.
+    let sizing = if gate {
+        &GATE
+    } else if smoke {
+        &SMOKE
+    } else {
+        &FULL
+    };
     let samples = run_sweep(sizing);
     print_table(&samples);
     for &threads in sizing.threads {
@@ -285,16 +412,19 @@ fn main() {
                 .map(|s| s.mean_ns_per_op)
                 .unwrap_or(f64::NAN)
         };
-        let monotone = ns("monotone");
         let network = ns("network");
+        let adaptive = ns("adaptive");
         println!(
-            "{threads:>2} threads (bursty): monotone {monotone:.0} ns/op, network {network:.0} \
-             ns/op ({:.1}x faster), fetch_add {:.0} ns/op",
-            monotone / network,
+            "{threads:>2} threads (bursty): monotone {:.0} ns/op, network(w16) {network:.0} \
+             ns/op, adaptive {adaptive:.0} ns/op ({:.2}x vs fixed width), fetch_add {:.0} ns/op",
+            ns("monotone"),
+            network / adaptive,
             ns("fetch_add"),
         );
     }
-    if sizing.write_json {
+    if gate {
+        run_gate(&samples);
+    } else if sizing.write_json {
         match write_json(sizing, &samples) {
             Ok(()) => println!("wrote BENCH_counters.json"),
             Err(error) => eprintln!("failed to write BENCH_counters.json: {error}"),

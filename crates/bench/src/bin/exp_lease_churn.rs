@@ -15,6 +15,12 @@
 //!   Shard-local atomics take the coherence traffic out of the hot path at
 //!   the price of the documented *loose* bound
 //!   (`namespace ≤ shards × per-shard contention`, names ≤ shards × span).
+//! * **`BatchedRecycler` (the builder default)** — the hierarchical
+//!   recycler behind the builder's default release-batching stash:
+//!   single-lease churn whose releases park in striped stashes and flush to
+//!   the free list in batches of 8. One free-list operation per batch
+//!   instead of per release, at the price of the per-grant tight bound
+//!   (names stay unique and ≤ the concurrency bound).
 //! * **`CasCounter`-style ticket dispenser** — one `fetch_add` per acquire,
 //!   one per release. As fast as the hardware allows, but the namespace
 //!   grows without bound: after `10^9` operations names are 10 decimal
@@ -27,15 +33,20 @@
 //! the long-lived hot path is tracked across revisions.
 //!
 //! Run with `cargo run --release -p renaming-bench --bin exp_lease_churn`;
-//! pass `--smoke` for a seconds-long CI-sized run that skips the JSON.
+//! pass `--smoke` for a seconds-long CI-sized run that skips the JSON, or
+//! `--gate` to replay the **full** sizing and fail (exit 1) when any
+//! variant's *best* replayed execution regresses more than 20% past the
+//! committed
+//! `BENCH_lease_churn.json` baseline.
 
+use adaptive_renaming::batched::BatchedRecycler;
 use adaptive_renaming::builder::RenamingBuilder;
 use adaptive_renaming::free_list::FreeListKind;
 use adaptive_renaming::lease::LongLivedRenaming;
 use adaptive_renaming::recycler::Recycler;
 use adaptive_renaming::sharded::ShardedRecycler;
 use adaptive_renaming::traits::Renaming;
-use renaming_bench::{fmt1, Table};
+use renaming_bench::{fmt1, parse_baseline_rows, GateReport, Table};
 use shmem::adversary::ExecConfig;
 use shmem::executor::Executor;
 use shmem::register::AtomicU64Register;
@@ -71,6 +82,17 @@ const SMOKE: Sizing = Sizing {
     ops_per_worker: 200,
     executions: 2,
     threads: &[2, 4],
+    write_json: false,
+};
+
+/// The gate replays the FULL per-execution workload (so cells are
+/// comparable to the committed baseline) with three times the executions:
+/// the gate compares the *best* replay per cell, and a larger best-of-N
+/// keeps the scheduler's worst moods out of the verdict.
+const GATE: Sizing = Sizing {
+    ops_per_worker: 2_000,
+    executions: 15,
+    threads: &[2, 4, 8, 16],
     write_json: false,
 };
 
@@ -300,6 +322,52 @@ fn run_sweep(sizing: &Sizing) -> Vec<Sample> {
             },
         ));
 
+        // --- Builder-default stash: single leases, batched releases -------
+        // The same hierarchical recycler behind the BatchedRecycler wrapper
+        // the builder installs by default: plain lease/release per cycle
+        // (no caller-side batching), with the release cost amortized by the
+        // stripe stashes. Names stay within the concurrency bound but lose
+        // the per-grant tightness, so the row is labelled loose.
+        let stash_inner = Arc::new(Recycler::with_free_list(
+            network(WIDTH),
+            threads,
+            FreeListKind::Hierarchical,
+        ));
+        let stash = Arc::new(BatchedRecycler::new(
+            Arc::clone(&stash_inner) as Arc<dyn LongLivedRenaming>,
+            BATCH,
+        ));
+        samples.push(measure(
+            sizing,
+            VariantSpec {
+                variant: "builder_default_stash8",
+                threads,
+                bound: Bound::Loose(threads),
+                ops_per_call: 1,
+                inner_capacity: WIDTH,
+            },
+            {
+                let stash_inner = Arc::clone(&stash_inner);
+                move || (stash_inner.fresh_names(), stash_inner.recycled_names())
+            },
+            {
+                let stash = Arc::clone(&stash);
+                move |ctx, _| {
+                    // Stashed names hold admission slots until their batch
+                    // flushes, so a lease can spuriously collide with an
+                    // in-flight release; retry until the name lands (the
+                    // stash sweep finds it on the next pass).
+                    let name = loop {
+                        if let Ok(name) = stash.lease_raw(ctx) {
+                            break name;
+                        }
+                    };
+                    stash.release_with(ctx, name);
+                    name
+                }
+            },
+        ));
+
         // --- Sharded recycler: one home shard per worker ------------------
         let sharded = Arc::new(ShardedRecycler::new(
             (0..threads).map(|_| network(SHARD_SPAN)).collect(),
@@ -425,9 +493,61 @@ fn write_json(sizing: &Sizing, samples: &[Sample]) -> std::io::Result<()> {
     std::fs::write("BENCH_lease_churn.json", json)
 }
 
+/// `--gate`: replay the full sizing and compare every (variant, threads)
+/// cell's best (minimum ns/op) execution against the committed
+/// `BENCH_lease_churn.json`, failing when even the best replay sits >20%
+/// past the committed mean (or committed max for rows whose baseline was
+/// already noisy). Exits the process with status 1 on failure.
+fn run_gate(samples: &[Sample]) {
+    let committed = match std::fs::read_to_string("BENCH_lease_churn.json") {
+        Ok(json) => parse_baseline_rows(&json),
+        Err(error) => {
+            eprintln!("perf gate: cannot read BENCH_lease_churn.json: {error}");
+            std::process::exit(1);
+        }
+    };
+    let mut report = GateReport::new();
+    for sample in samples {
+        let label = format!("{} at {} threads", sample.variant, sample.threads);
+        let threads = sample.threads.to_string();
+        let row = committed
+            .iter()
+            .find(|row| row.matches(&[("variant", sample.variant), ("threads", &threads)]));
+        match row
+            .and_then(|row| Some((row.number("mean_ns_per_op")?, row.number("max_ns_per_op")?)))
+        {
+            Some((mean, max)) => report.check(&label, sample.min_ns_per_op, mean, max),
+            None => report.missing(&label),
+        }
+    }
+    if report.passed() {
+        println!(
+            "perf gate: {} configurations within tolerance of BENCH_lease_churn.json",
+            report.checked()
+        );
+    } else {
+        eprintln!("perf gate FAILED against BENCH_lease_churn.json:");
+        for failure in report.failures() {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let smoke = std::env::args().any(|arg| arg == "--smoke");
-    let sizing = if smoke { &SMOKE } else { &FULL };
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|arg| arg == "--smoke");
+    let gate = args.iter().any(|arg| arg == "--gate");
+    // The gate replays the full per-execution workload (a smoke-sized run
+    // against the committed full-sized baseline would compare different
+    // workloads) with extra executions per cell — see GATE.
+    let sizing = if gate {
+        &GATE
+    } else if smoke {
+        &SMOKE
+    } else {
+        &FULL
+    };
     let samples = run_sweep(sizing);
     print_table(&samples);
     for &threads in sizing.threads {
@@ -441,7 +561,8 @@ fn main() {
         let ticket = ns("cas_ticket_baseline");
         println!(
             "{threads:>2} threads: flat {:.0} ns/op ({:.1}x), hierarchical {:.0} ns/op \
-             ({:.1}x), batch8 {:.0} ns/op ({:.1}x), sharded {:.0} ns/op ({:.1}x) vs \
+             ({:.1}x), batch8 {:.0} ns/op ({:.1}x), stash8 {:.0} ns/op ({:.1}x), \
+             sharded {:.0} ns/op ({:.1}x) vs \
              ticket {ticket:.0} ns/op; tight namespace 1..={threads}, loose ≤ {}",
             ns("recycler_flat"),
             ns("recycler_flat") / ticket,
@@ -449,12 +570,16 @@ fn main() {
             ns("recycler_hierarchical") / ticket,
             ns("recycler_hierarchical_batch8"),
             ns("recycler_hierarchical_batch8") / ticket,
+            ns("builder_default_stash8"),
+            ns("builder_default_stash8") / ticket,
             ns("sharded_recycler"),
             ns("sharded_recycler") / ticket,
             threads * SHARD_SPAN,
         );
     }
-    if sizing.write_json {
+    if gate {
+        run_gate(&samples);
+    } else if sizing.write_json {
         match write_json(sizing, &samples) {
             Ok(()) => println!("wrote BENCH_lease_churn.json"),
             Err(error) => eprintln!("failed to write BENCH_lease_churn.json: {error}"),

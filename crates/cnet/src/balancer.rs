@@ -45,7 +45,13 @@ pub enum BalancerSlot {
 /// assert_eq!(balancer.tokens(), 3);
 /// assert_eq!(ctx.stats().balancer_toggles, 3);
 /// ```
+/// The struct is aligned to a 64-byte cache line so that the flat balancer
+/// slabs built by [`CompiledBalancingNetwork`](crate::CompiledBalancingNetwork)
+/// place every toggle word on its own line: neighbouring balancers in a slab
+/// are hit by different tokens concurrently, and letting them share a line
+/// serializes those independent toggles through coherence traffic.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct Balancer {
     /// Tokens that have passed through. The parity of the pre-increment
     /// value is the direction the token takes: even → top, odd → bottom.
@@ -180,6 +186,18 @@ mod tests {
         assert_eq!(top, total.div_ceil(2));
         assert_eq!(balancer.tokens_top(), top);
         assert_eq!(balancer.tokens_bottom(), total - top);
+    }
+
+    #[test]
+    fn balancers_occupy_distinct_cache_lines() {
+        assert_eq!(std::mem::align_of::<Balancer>(), 64);
+        assert_eq!(std::mem::size_of::<Balancer>(), 64);
+        // In a slab (as built by CompiledBalancingNetwork) adjacent toggle
+        // words therefore land on distinct lines.
+        let slab: Vec<Balancer> = (0..2).map(|_| Balancer::new()).collect();
+        let a = &slab[0] as *const Balancer as usize;
+        let b = &slab[1] as *const Balancer as usize;
+        assert!(b - a >= 64);
     }
 
     #[test]

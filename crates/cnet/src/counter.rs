@@ -25,6 +25,7 @@
 use crate::compiled::CompiledBalancingNetwork;
 use crate::family::CountingFamily;
 use crate::network::BalancingTopology;
+use shmem::pad::CachePadded;
 use shmem::process::ProcessCtx;
 use shmem::register::AtomicU64Register;
 use std::fmt;
@@ -47,8 +48,10 @@ use std::fmt;
 /// ```
 pub struct NetworkCounter<T: BalancingTopology = CompiledBalancingNetwork> {
     network: T,
-    /// One local counter per output wire.
-    exits: Vec<AtomicU64Register>,
+    /// One local counter per output wire, each on its own cache line: exit
+    /// wires are hit by different tokens concurrently, and the whole point of
+    /// the network is that those final fetch-adds do not contend.
+    exits: Vec<CachePadded<AtomicU64Register>>,
 }
 
 impl NetworkCounter<CompiledBalancingNetwork> {
@@ -84,7 +87,7 @@ impl<T: BalancingTopology> NetworkCounter<T> {
     /// collide or skip.
     pub fn with_network(network: T) -> Self {
         let exits = (0..network.width())
-            .map(|_| AtomicU64Register::new(0))
+            .map(|_| CachePadded::new(AtomicU64Register::new(0)))
             .collect();
         NetworkCounter { network, exits }
     }
@@ -152,7 +155,7 @@ impl<T: BalancingTopology> NetworkCounter<T> {
     /// (harness/test inspection; meaningful at quiescent points, where they
     /// must satisfy the step property).
     pub fn exit_counts(&self) -> Vec<u64> {
-        self.exits.iter().map(AtomicU64Register::peek).collect()
+        self.exits.iter().map(|exit| exit.peek()).collect()
     }
 
     /// The total token count, without charging steps (harness/test

@@ -26,6 +26,7 @@
 //! ```
 
 use crate::adaptive::AdaptiveRenaming;
+use crate::batched::BatchedRecycler;
 use crate::bit_batching::BitBatchingRenaming;
 use crate::error::RenamingError;
 use crate::free_list::FreeListKind;
@@ -98,6 +99,7 @@ pub struct RenamingBuilder {
     probe_multiplier: usize,
     shards: usize,
     free_list: FreeListKind,
+    lease_batch: usize,
     seed: u64,
 }
 
@@ -114,6 +116,7 @@ impl Default for RenamingBuilder {
             probe_multiplier: 3,
             shards: 1,
             free_list: FreeListKind::default(),
+            lease_batch: 8,
             seed: 0,
         }
     }
@@ -238,6 +241,24 @@ impl RenamingBuilder {
     /// baseline (`O(capacity / 64)`).
     pub fn free_list(mut self, kind: FreeListKind) -> Self {
         self.free_list = kind;
+        self
+    }
+
+    /// Sets the release-batching factor of the long-lived object produced
+    /// by [`RenamingBuilder::build_long_lived`]. The default (`8`) wraps
+    /// the recycler in a [`BatchedRecycler`]: releases park in striped
+    /// stashes and flush to the free list in batches of this size, paying
+    /// one free-list operation per batch instead of per release — the right
+    /// trade under churn, at the price of the *per-grant* tight namespace
+    /// bound (names stay unique and within `max_concurrent`, but a lease
+    /// may carry a name above its grant-time point contention; see the
+    /// [`batched`](crate::batched) module docs). `.lease_batch(1)` skips
+    /// the wrapper and restores the bare tight recycler.
+    ///
+    /// Ignored by [`RenamingBuilder::build`]; `0` is rejected at build
+    /// time.
+    pub fn lease_batch(mut self, batch: usize) -> Self {
+        self.lease_batch = batch;
         self
     }
 
@@ -377,7 +398,9 @@ impl RenamingBuilder {
     /// with [`RenamingBuilder::sharded`], builds one object per shard and
     /// wraps them in a [`ShardedRecycler`] — yielding a long-lived renaming
     /// object whose leases recycle released names through the configured
-    /// [`FreeListKind`].
+    /// [`FreeListKind`]. Unless [`RenamingBuilder::lease_batch`] is set to
+    /// 1, the result is additionally wrapped in a [`BatchedRecycler`] that
+    /// amortizes release traffic in batches (of 8 by default).
     ///
     /// The concurrency bound is [`RenamingBuilder::max_concurrent`] if set,
     /// otherwise the capacity; a sharded object splits it evenly, giving
@@ -394,6 +417,11 @@ impl RenamingBuilder {
         if self.shards == 0 {
             return Err(RenamingError::InvalidConfiguration {
                 reason: "a sharded recycler needs at least one shard",
+            });
+        }
+        if self.lease_batch == 0 {
+            return Err(RenamingError::InvalidConfiguration {
+                reason: "the lease batch must be at least 1 (1 disables batching)",
             });
         }
         let max_concurrent =
@@ -419,19 +447,24 @@ impl RenamingBuilder {
                 });
             }
         }
-        if self.shards == 1 {
+        let recycler: Arc<dyn LongLivedRenaming> = if self.shards == 1 {
             let inner = inners.into_iter().next().expect("one shard");
-            Ok(Arc::new(Recycler::with_free_list(
+            Arc::new(Recycler::with_free_list(
                 inner,
                 per_shard_max,
                 self.free_list,
-            )))
+            ))
         } else {
-            Ok(Arc::new(ShardedRecycler::with_free_list(
+            Arc::new(ShardedRecycler::with_free_list(
                 inners,
                 per_shard_max,
                 self.free_list,
-            )))
+            ))
+        };
+        if self.lease_batch > 1 {
+            Ok(Arc::new(BatchedRecycler::new(recycler, self.lease_batch)))
+        } else {
+            Ok(recycler)
         }
     }
 }
@@ -561,6 +594,46 @@ mod tests {
             .max_concurrent(12) // 6 per shard > the per-shard capacity of 4
             .build_long_lived();
         assert!(per_shard_excess.is_err());
+        let zero_batch = <dyn Renaming>::builder()
+            .network()
+            .capacity(8)
+            .lease_batch(0)
+            .build_long_lived();
+        assert!(zero_batch.is_err());
+    }
+
+    #[test]
+    fn lease_batching_is_the_long_lived_default_and_is_disableable() {
+        // The default long-lived object batches releases: after a
+        // lease/release round trip the name is parked, not yet flushed, and
+        // the next lease recycles it from the stash.
+        let batched = <dyn Renaming>::builder()
+            .network()
+            .capacity(32)
+            .max_concurrent(4)
+            .build_long_lived()
+            .unwrap();
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 13);
+        let name = batched.lease_raw(&mut ctx).unwrap();
+        batched.release_raw(name);
+        assert_eq!(batched.live_leases(), 0);
+        assert_eq!(batched.lease_raw(&mut ctx).unwrap(), name);
+        batched.release_raw(name);
+
+        // .lease_batch(1) restores the bare tight recycler: a release goes
+        // straight to the free list, so the free-list pop serves the next
+        // lease and live accounting matches the recycler's.
+        let tight = <dyn Renaming>::builder()
+            .network()
+            .capacity(32)
+            .max_concurrent(4)
+            .lease_batch(1)
+            .build_long_lived()
+            .unwrap();
+        let first = tight.lease_raw(&mut ctx).unwrap();
+        assert_eq!(first, 1);
+        tight.release_raw(first);
+        assert_eq!(tight.lease_raw(&mut ctx).unwrap(), 1);
     }
 
     #[test]

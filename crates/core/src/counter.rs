@@ -11,7 +11,7 @@
 //! deliberately *not* linearizable (§8.1 exhibits a counterexample, reproduced
 //! in this crate's tests and in experiment E9).
 //!
-//! Three backends hide behind the shared [`Counter`] trait and the
+//! Four backends hide behind the shared [`Counter`] trait and the
 //! [`CounterBuilder`] facade (`<dyn Counter>::builder()`):
 //!
 //! * [`CounterBackend::Monotone`] — the paper's renaming + max-register
@@ -19,12 +19,18 @@
 //! * [`CounterBackend::Network`] — the [`cnet`] counting-network counter:
 //!   quiescently consistent, spreads increment contention over a balancing
 //!   network's `Θ(w log² w)` words.
+//! * [`CounterBackend::Adaptive`] — the elimination/diffraction cascade
+//!   ([`AdaptiveNetworkCounter`]): quiescently consistent like the network
+//!   counter, but each increment is routed through the narrowest of a
+//!   width-2/4/…/w cascade that covers *realized* contention, so quiet
+//!   counters pay a fraction of the fixed network's depth.
 //! * [`CounterBackend::FetchAdd`] — the hardware fetch-and-add baseline:
 //!   linearizable, but every increment hits the same cache line (and the
 //!   paper's model does not assume read-modify-write).
 
 use crate::error::RenamingError;
 use crate::traits::Renaming;
+use cnet::adaptive::AdaptiveNetworkCounter;
 use cnet::counter::NetworkCounter;
 use cnet::family::CountingFamily;
 use cnet::network::BalancingTopology;
@@ -178,6 +184,20 @@ impl<T: BalancingTopology> Counter for NetworkCounter<T> {
     }
 }
 
+/// The adaptive cascade is the fourth [`Counter`] backend: an increment is
+/// routed by a contention sensor through an elimination prism into the
+/// narrowest counting network covering realized contention; a read sums all
+/// layers' exit wires (quiescently consistent, not linearizable).
+impl Counter for AdaptiveNetworkCounter {
+    fn increment(&self, ctx: &mut ProcessCtx) {
+        AdaptiveNetworkCounter::increment(self, ctx);
+    }
+
+    fn read(&self, ctx: &mut ProcessCtx) -> u64 {
+        AdaptiveNetworkCounter::read(self, ctx)
+    }
+}
+
 /// The counter implementation a [`CounterBuilder`] constructs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum CounterBackend {
@@ -192,6 +212,12 @@ pub enum CounterBackend {
     /// balancing-network engine): quiescently consistent, contention spread
     /// over the network's balancers and exit counters.
     Network,
+    /// The adaptive elimination/diffraction counter
+    /// ([`AdaptiveNetworkCounter`]): a contention sensor routes each
+    /// increment through an elimination prism into the narrowest of a
+    /// cascade of counting networks (widths 2, 4, …, the configured width)
+    /// that covers realized contention. Quiescently consistent.
+    Adaptive,
 }
 
 /// Fluent configuration for the workspace's counters, mirroring the
@@ -268,17 +294,24 @@ impl CounterBuilder {
         self.backend(CounterBackend::Network)
     }
 
+    /// Shorthand for [`CounterBackend::Adaptive`].
+    pub fn adaptive_network(self) -> Self {
+        self.backend(CounterBackend::Adaptive)
+    }
+
     /// Selects the balancing-network wiring of [`CounterBackend::Network`]
-    /// (ignored by the other backends). Only the counting-certified families
-    /// are accepted at build time: [`NetworkFamily::Bitonic`] (the default)
-    /// and [`NetworkFamily::Periodic`].
+    /// and [`CounterBackend::Adaptive`] (ignored by the other backends).
+    /// Only the counting-certified families are accepted at build time:
+    /// [`NetworkFamily::Bitonic`] (the default) and
+    /// [`NetworkFamily::Periodic`].
     pub fn family(mut self, family: NetworkFamily) -> Self {
         self.family = family;
         self
     }
 
     /// Sets the balancing network's width — the contention-spreading factor
-    /// of [`CounterBackend::Network`], ignored by the other backends. Must
+    /// of [`CounterBackend::Network`] and the *maximum* (widest-layer) width
+    /// of [`CounterBackend::Adaptive`]; ignored by the other backends. Must
     /// be a power of two of at least 2; a good default is the expected
     /// thread count rounded up.
     pub fn width(mut self, width: usize) -> Self {
@@ -310,29 +343,40 @@ impl CounterBuilder {
     /// # Errors
     ///
     /// Returns [`RenamingError::InvalidConfiguration`] when
-    /// [`CounterBackend::Network`] is combined with a width that is not a
-    /// power of two (or is below 2), or with a sorting-network family whose
-    /// balancer wiring is not a certified counting network (odd-even merge,
-    /// one-pass transposition).
+    /// [`CounterBackend::Network`] or [`CounterBackend::Adaptive`] is
+    /// combined with a width that is not a power of two (or is below 2), or
+    /// with a sorting-network family whose balancer wiring is not a
+    /// certified counting network (odd-even merge, one-pass transposition).
     pub fn build(&self) -> Result<Arc<dyn Counter>, RenamingError> {
         match self.backend {
             CounterBackend::Monotone => Ok(Arc::new(MonotoneCounter::new())),
             CounterBackend::FetchAdd => Ok(Arc::new(CasCounter::new())),
             CounterBackend::Network => {
-                let family = CountingFamily::try_from(self.family).map_err(|_| {
-                    RenamingError::InvalidConfiguration {
-                        reason: "the selected wiring is not a certified counting network: \
-                                 use the bitonic or periodic family",
-                    }
-                })?;
-                if self.width < 2 || !self.width.is_power_of_two() {
-                    return Err(RenamingError::InvalidConfiguration {
-                        reason: "counting networks need a power-of-two width of at least 2",
-                    });
-                }
-                Ok(Arc::new(NetworkCounter::new(family, self.width)))
+                let (family, width) = self.counting_network_config()?;
+                Ok(Arc::new(NetworkCounter::new(family, width)))
+            }
+            CounterBackend::Adaptive => {
+                let (family, width) = self.counting_network_config()?;
+                Ok(Arc::new(AdaptiveNetworkCounter::new(family, width)))
             }
         }
+    }
+
+    /// Validates the wiring family and width shared by the network-backed
+    /// backends.
+    fn counting_network_config(&self) -> Result<(CountingFamily, usize), RenamingError> {
+        let family = CountingFamily::try_from(self.family).map_err(|_| {
+            RenamingError::InvalidConfiguration {
+                reason: "the selected wiring is not a certified counting network: \
+                         use the bitonic or periodic family",
+            }
+        })?;
+        if self.width < 2 || !self.width.is_power_of_two() {
+            return Err(RenamingError::InvalidConfiguration {
+                reason: "counting networks need a power-of-two width of at least 2",
+            });
+        }
+        Ok((family, self.width))
     }
 }
 
@@ -474,6 +518,7 @@ mod tests {
             CounterBackend::Monotone,
             CounterBackend::FetchAdd,
             CounterBackend::Network,
+            CounterBackend::Adaptive,
         ] {
             let builder = <dyn Counter>::builder().backend(backend).seed(3);
             assert_eq!(builder.configured_backend(), backend);
@@ -510,6 +555,25 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_backend_routes_narrow_when_quiet() {
+        let counter = <dyn Counter>::builder()
+            .adaptive_network()
+            .width(16)
+            .build()
+            .unwrap();
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 6);
+        for expected in 1..=12u64 {
+            counter.increment(&mut ctx);
+            assert_eq!(counter.read(&mut ctx), expected);
+        }
+        // A lone process pays the narrow layer's single toggle per
+        // increment, not the width-16 network's ten.
+        let stats = ctx.stats();
+        assert_eq!(stats.balancer_toggles, 12, "one width-2 toggle each");
+        assert!(stats.eliminations > 0, "the prism was consulted");
+    }
+
+    #[test]
     fn counter_misconfigurations_are_reported() {
         let odd_width = <dyn Counter>::builder().network().width(12).build();
         assert!(matches!(
@@ -523,6 +587,17 @@ mod tests {
             .family(sortnet::family::NetworkFamily::OddEven)
             .build();
         assert!(uncertified.is_err());
+        // The adaptive backend shares the network validations.
+        assert!(<dyn Counter>::builder()
+            .adaptive_network()
+            .width(12)
+            .build()
+            .is_err());
+        assert!(<dyn Counter>::builder()
+            .adaptive_network()
+            .family(sortnet::family::NetworkFamily::OddEven)
+            .build()
+            .is_err());
         // The knobs are inert on the other backends: nothing to misconfigure.
         assert!(<dyn Counter>::builder()
             .monotone()

@@ -76,6 +76,7 @@
 //! `n / 64`, which wasted bit 0 of word 0 and allocated one entire extra
 //! word whenever `bound % 64 == 0` — e.g. 2 words for a 64-name list.)
 
+use shmem::pad::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -94,11 +95,20 @@ pub enum FreeListKind {
 /// bitmap (optionally two-level, see [`FreeListKind`] and the
 /// [module documentation](self)).
 pub struct FreeList {
+    /// The data words stay dense — the bitmap's density *is* the layout —
+    /// but the hot words around them are padded: the summary flags and the
+    /// seqlock are hit by every push from every thread, and letting them
+    /// share lines with each other (or with the data words' Box headers)
+    /// serializes otherwise-independent releases.
     words: Box<[AtomicU64]>,
     /// One bit per data word; present only for the hierarchical layout.
-    summary: Option<Box<[AtomicU64]>>,
-    /// Successful pushes so far (seqlock for coherent-miss detection).
-    pushes: AtomicUsize,
+    /// Each summary word is cache-padded: adjacent summary words cover
+    /// disjoint 4096-name regions and are flagged concurrently.
+    summary: Option<Box<[CachePadded<AtomicU64>]>>,
+    /// Successful pushes so far (seqlock for coherent-miss detection),
+    /// padded onto its own line — it is the single most contended word in
+    /// the structure.
+    pushes: CachePadded<AtomicUsize>,
     bound: usize,
 }
 
@@ -119,11 +129,11 @@ impl FreeList {
                 FreeListKind::Flat => None,
                 FreeListKind::Hierarchical => Some(
                     (0..word_count.div_ceil(64))
-                        .map(|_| AtomicU64::new(0))
+                        .map(|_| CachePadded::new(AtomicU64::new(0)))
                         .collect(),
                 ),
             },
-            pushes: AtomicUsize::new(0),
+            pushes: CachePadded::new(AtomicUsize::new(0)),
             bound,
         }
     }
@@ -224,7 +234,7 @@ impl FreeList {
         None
     }
 
-    fn pop_hierarchical(&self, summary: &[AtomicU64]) -> Option<usize> {
+    fn pop_hierarchical(&self, summary: &[CachePadded<AtomicU64>]) -> Option<usize> {
         for (summary_index, summary_word) in summary.iter().enumerate() {
             // One snapshot per summary word, visited lowest bit first. A
             // flag appearing behind the cursor belongs to a push that

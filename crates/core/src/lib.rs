@@ -47,7 +47,10 @@
 //! lock-free [`FreeList`] (flat or two-level hierarchical bitmap, see
 //! [`FreeListKind`]). For shard-local throughput under heavy churn,
 //! [`ShardedRecycler`] trades the tight namespace bound for a documented
-//! *loose* one (`.sharded(n)` on the builder).
+//! *loose* one (`.sharded(n)` on the builder), and [`BatchedRecycler`] —
+//! the builder's default under churn, `.lease_batch(n)` — parks releases in
+//! striped stashes that flush in batches, paying one free-list operation
+//! per batch instead of per release.
 //!
 //! # Quick start
 //!
@@ -74,6 +77,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adaptive;
+pub mod batched;
 pub mod bit_batching;
 pub mod builder;
 pub mod comparator_slab;
@@ -92,6 +96,7 @@ pub mod temp_name;
 pub mod traits;
 
 pub use adaptive::AdaptiveRenaming;
+pub use batched::BatchedRecycler;
 pub use bit_batching::BitBatchingRenaming;
 pub use builder::{Algorithm, ComparatorKind, EngineKind, RenamingBuilder};
 pub use comparator_slab::ComparatorSlab;

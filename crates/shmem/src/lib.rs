@@ -19,6 +19,8 @@
 //! * [`executor`] — a multi-threaded execution harness that runs `k` processes
 //!   against a shared object and collects results, step statistics and crash
 //!   outcomes.
+//! * [`pad`] — a 64-byte-aligned [`CachePadded`] wrapper used to keep
+//!   contended atomic words on distinct cache lines.
 //! * [`history`] — invoke/response history recording for concurrent objects.
 //! * [`consistency`] — a linearizability checker for small histories and the
 //!   monotone-consistency checker used for the paper's counter (§8.1).
@@ -55,6 +57,7 @@ pub mod adversary;
 pub mod consistency;
 pub mod executor;
 pub mod history;
+pub mod pad;
 pub mod process;
 pub mod register;
 pub mod steps;
@@ -62,6 +65,7 @@ pub mod steps;
 pub use adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
 pub use executor::{ExecutionOutcome, Executor, ProcessOutcome};
 pub use history::{History, OpRecord, Recorder};
+pub use pad::CachePadded;
 pub use process::{ProcessCtx, ProcessId};
 pub use register::{AtomicBoolRegister, AtomicU64Register, AtomicUsizeRegister, ValueRegister};
 pub use steps::{StepKind, StepStats};

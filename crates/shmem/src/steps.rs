@@ -45,6 +45,12 @@ pub enum StepKind {
     /// tracked separately (like [`StepKind::TasInvocation`]) rather than
     /// being folded into the generic read-modify-write bucket.
     Balancer,
+    /// An operation on an elimination/diffraction prism slot — the loads,
+    /// compare-and-swaps and resets by which two colliding increments pair
+    /// off *before* entering a counting network. Tracked as its own
+    /// unit-cost measure (like [`StepKind::Balancer`]) so experiments can
+    /// report how much of an adaptive counter's work the prism absorbs.
+    Elimination,
 }
 
 impl fmt::Display for StepKind {
@@ -57,6 +63,7 @@ impl fmt::Display for StepKind {
             StepKind::CoinFlip => "coin-flip",
             StepKind::Release => "release",
             StepKind::Balancer => "balancer-toggle",
+            StepKind::Elimination => "elimination",
         };
         f.write_str(name)
     }
@@ -98,6 +105,10 @@ pub struct StepStats {
     /// (counting) networks — a unit-cost measure like
     /// [`StepStats::tas_invocations`].
     pub balancer_toggles: u64,
+    /// Number of elimination-prism slot operations (install, capture,
+    /// timeout and reset) performed in front of counting networks — a
+    /// unit-cost measure like [`StepStats::balancer_toggles`].
+    pub eliminations: u64,
 }
 
 impl StepStats {
@@ -116,6 +127,7 @@ impl StepStats {
             StepKind::CoinFlip => self.coin_flips += 1,
             StepKind::Release => self.releases += 1,
             StepKind::Balancer => self.balancer_toggles += 1,
+            StepKind::Elimination => self.eliminations += 1,
         }
     }
 
@@ -139,10 +151,14 @@ impl StepStats {
     }
 
     /// Total shared-memory operations of any kind (register steps plus
-    /// test-and-set invocations, releases and balancer toggles). Useful as a
-    /// conservative upper bound.
+    /// test-and-set invocations, releases, balancer toggles and elimination
+    /// operations). Useful as a conservative upper bound.
     pub fn total_all(&self) -> u64 {
-        self.total() + self.tas_invocations + self.releases + self.balancer_toggles
+        self.total()
+            + self.tas_invocations
+            + self.releases
+            + self.balancer_toggles
+            + self.eliminations
     }
 
     /// Returns `true` if no steps of any kind have been recorded.
@@ -163,6 +179,7 @@ impl Add for StepStats {
             coin_flips: self.coin_flips + rhs.coin_flips,
             releases: self.releases + rhs.releases,
             balancer_toggles: self.balancer_toggles + rhs.balancer_toggles,
+            eliminations: self.eliminations + rhs.eliminations,
         }
     }
 }
@@ -183,7 +200,7 @@ impl fmt::Display for StepStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "reads={} writes={} rmws={} tas={} flips={} releases={} balancers={} (register steps={})",
+            "reads={} writes={} rmws={} tas={} flips={} releases={} balancers={} elims={} (register steps={})",
             self.reads,
             self.writes,
             self.rmws,
@@ -191,6 +208,7 @@ impl fmt::Display for StepStats {
             self.coin_flips,
             self.releases,
             self.balancer_toggles,
+            self.eliminations,
             self.total()
         )
     }
@@ -282,6 +300,7 @@ mod tests {
         stats.record(StepKind::CoinFlip);
         stats.record(StepKind::Release);
         stats.record(StepKind::Balancer);
+        stats.record(StepKind::Elimination);
         assert_eq!(stats.reads, 2);
         assert_eq!(stats.writes, 1);
         assert_eq!(stats.rmws, 1);
@@ -289,6 +308,7 @@ mod tests {
         assert_eq!(stats.coin_flips, 1);
         assert_eq!(stats.releases, 1);
         assert_eq!(stats.balancer_toggles, 1);
+        assert_eq!(stats.eliminations, 1);
     }
 
     #[test]
@@ -301,10 +321,11 @@ mod tests {
             coin_flips: 4,
             releases: 7,
             balancer_toggles: 9,
+            eliminations: 5,
         };
         assert_eq!(stats.total(), 10);
         assert_eq!(stats.total_unit_tas(), 100);
-        assert_eq!(stats.total_all(), 126);
+        assert_eq!(stats.total_all(), 131);
     }
 
     #[test]
@@ -325,6 +346,7 @@ mod tests {
             coin_flips: 5,
             releases: 6,
             balancer_toggles: 7,
+            eliminations: 8,
         };
         let b = StepStats {
             reads: 10,
@@ -334,6 +356,7 @@ mod tests {
             coin_flips: 50,
             releases: 60,
             balancer_toggles: 70,
+            eliminations: 80,
         };
         let c = a + b;
         assert_eq!(c.reads, 11);
@@ -343,6 +366,7 @@ mod tests {
         assert_eq!(c.coin_flips, 55);
         assert_eq!(c.releases, 66);
         assert_eq!(c.balancer_toggles, 77);
+        assert_eq!(c.eliminations, 88);
 
         let summed: StepStats = vec![a, b, c].into_iter().sum();
         assert_eq!(summed.reads, 22);

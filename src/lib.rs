@@ -31,6 +31,7 @@ pub use tas;
 /// long-lived lease surface.
 pub mod prelude {
     pub use adaptive_renaming::adaptive::AdaptiveRenaming;
+    pub use adaptive_renaming::batched::BatchedRecycler;
     pub use adaptive_renaming::bit_batching::BitBatchingRenaming;
     pub use adaptive_renaming::builder::{Algorithm, ComparatorKind, EngineKind, RenamingBuilder};
     pub use adaptive_renaming::comparator_slab::ComparatorSlab;
@@ -51,8 +52,9 @@ pub mod prelude {
     pub use adaptive_renaming::sharded::ShardedRecycler;
     pub use adaptive_renaming::traits::{assert_tight_namespace, assert_unique_names, Renaming};
     pub use cnet::{
-        Balancer, BalancerSlot, BalancingNetwork, BalancingTopology, CompiledBalancingNetwork,
-        CountingFamily, NetworkCounter,
+        AdaptiveNetworkCounter, Balancer, BalancerSlot, BalancingNetwork, BalancingTopology,
+        CompiledBalancingNetwork, ContentionSensor, CountingFamily, NetworkCounter, Prism,
+        PrismOutcome,
     };
     pub use shmem::adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
     pub use shmem::executor::Executor;

@@ -7,8 +7,10 @@
 //! are recorded with logical timestamps and checked offline by
 //! `assert_tight_lease_namespace`. The sharded variants run the same churn
 //! against a `ShardedRecycler` and check the relaxed guarantee with
-//! `assert_loose_lease_namespace`; the free-list properties pin the
-//! hierarchical bitmap to the flat baseline op for op.
+//! `assert_loose_lease_namespace`; the builder-default `BatchedRecycler`
+//! variant checks uniqueness and the `max_concurrent` bound (batching
+//! deliberately trades away per-grant tightness); the free-list properties
+//! pin the hierarchical bitmap to the flat baseline op for op.
 
 use parking_lot::Mutex;
 use proptest::prelude::*;
@@ -199,15 +201,70 @@ proptest! {
             _ => RenamingBuilder::new().linear_probe().capacity(32),
         };
         let kind = if hierarchical == 0 { FreeListKind::Flat } else { FreeListKind::Hierarchical };
+        // .lease_batch(1) bypasses the default release-batching stash: only
+        // the bare recycler guarantees per-grant tightness (the batched
+        // default is covered by the unique-and-bounded test below).
         let object = builder
             .max_concurrent(2 * k)
             .free_list(kind)
+            .lease_batch(1)
             .seed(seed)
             .build_long_lived()
             .unwrap();
         let records = churn(object, k, rounds, ExecConfig::new(seed));
         let check = assert_tight_lease_namespace(&records);
         prop_assert!(check.is_ok(), "{check:?}");
+    }
+
+    /// The builder's *default* long-lived object batches releases through a
+    /// `BatchedRecycler` stash, which deliberately gives up per-grant
+    /// tightness. What it must still guarantee, at every instant and under
+    /// random interleavings: no two simultaneously-held leases share a
+    /// name, every name stays within `1..=max_concurrent`, and the live
+    /// accounting returns to zero at quiescence.
+    #[test]
+    fn batched_default_leases_stay_unique_and_bounded(
+        k in 2usize..8,
+        rounds in 1usize..8,
+        seed in 0u64..1_000_000,
+        yield_percent in 0u8..40,
+    ) {
+        let object = RenamingBuilder::new()
+            .network()
+            .capacity(64)
+            .max_concurrent(2 * k)
+            .seed(seed)
+            .build_long_lived()
+            .unwrap();
+        let config = ExecConfig::new(seed)
+            .with_yield_policy(YieldPolicy::Probabilistic(f64::from(yield_percent) / 100.0))
+            .with_arrival(ArrivalSchedule::Simultaneous);
+        let records = churn(Arc::clone(&object), k, rounds, config);
+
+        prop_assert_eq!(records.len(), k * rounds);
+        for (i, a) in records.iter().enumerate() {
+            let (Some(name_a), Some(start_a)) = (a.name, a.granted_at) else { continue };
+            prop_assert!(
+                (1..=2 * k).contains(&name_a),
+                "name {} above max_concurrent {}", name_a, 2 * k
+            );
+            // A holder occupies its name from the grant until its release
+            // *starts* (the stash push lands inside the release window, so
+            // any later grant of the same name is stamped after it).
+            for b in &records[i + 1..] {
+                let (Some(name_b), Some(start_b)) = (b.name, b.granted_at) else { continue };
+                if name_a != name_b {
+                    continue;
+                }
+                let end_a = a.release_started_at.unwrap_or(u64::MAX);
+                let end_b = b.release_started_at.unwrap_or(u64::MAX);
+                prop_assert!(
+                    end_a <= start_b || end_b <= start_a,
+                    "name {} held twice at once", name_a
+                );
+            }
+        }
+        prop_assert_eq!(object.live_leases(), 0);
     }
 
     /// Sharded leases under random interleavings: per-shard localized names
