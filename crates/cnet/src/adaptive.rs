@@ -109,7 +109,7 @@ impl ContentionSensor {
         ctx.record(StepKind::ReadModifyWrite);
         let _ = self
             .estimate
-            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire);
+            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire); // lint: relaxed-ok(RMW success needs Acquire+Release: publishes the new tally, observes prior ones)
     }
 
     /// The narrowest level (0-indexed) among `levels` power-of-two layers
@@ -168,7 +168,7 @@ impl PrismLayer {
     /// one fetch-and-add on the packed word.
     fn deposit(&self, ctx: &mut ProcessCtx, wire: usize, weight: u64) {
         ctx.record(StepKind::ReadModifyWrite);
-        self.exits[wire].fetch_add((1 << 32) | weight, Ordering::AcqRel);
+        self.exits[wire].fetch_add((1 << 32) | weight, Ordering::AcqRel); // lint: relaxed-ok(exit tallies are published and read via this one RMW)
     }
 
     fn token_counts(&self) -> Vec<u64> {

@@ -17,6 +17,7 @@
 
 use shmem::process::ProcessCtx;
 use shmem::steps::StepKind;
+use shmem::Loc;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -50,12 +51,22 @@ pub enum BalancerSlot {
 /// place every toggle word on its own line: neighbouring balancers in a slab
 /// are hit by different tokens concurrently, and letting them share a line
 /// serializes those independent toggles through coherence traffic.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 #[repr(align(64))]
 pub struct Balancer {
     /// Tokens that have passed through. The parity of the pre-increment
     /// value is the direction the token takes: even → top, odd → bottom.
     passed: AtomicU64,
+    /// Identity of the toggle word for schedule exploration: two toggles on
+    /// the same balancer are RMW conflicts, toggles on distinct balancers
+    /// commute.
+    loc: Loc,
+}
+
+impl Default for Balancer {
+    fn default() -> Self {
+        Balancer::new()
+    }
 }
 
 impl Balancer {
@@ -63,14 +74,20 @@ impl Balancer {
     pub fn new() -> Self {
         Balancer {
             passed: AtomicU64::new(0),
+            loc: Loc::fresh(),
         }
+    }
+
+    /// The shared-memory location identity of this balancer's toggle word.
+    pub fn loc(&self) -> Loc {
+        self.loc
     }
 
     /// Passes one token through the balancer, charging one
     /// [`StepKind::Balancer`] step, and returns the wire the token exits on.
     #[inline]
     pub fn toggle(&self, ctx: &mut ProcessCtx) -> BalancerSlot {
-        ctx.record(StepKind::Balancer);
+        ctx.record_at(StepKind::Balancer, self.loc);
         if self.passed.fetch_add(1, Ordering::AcqRel).is_multiple_of(2) {
             BalancerSlot::Top
         } else {

@@ -160,7 +160,7 @@ impl Prism {
             EMPTY => {
                 ctx.record(StepKind::Elimination);
                 if slot
-                    .compare_exchange(EMPTY, WAITING, Ordering::AcqRel, Ordering::Acquire)
+                    .compare_exchange(EMPTY, WAITING, Ordering::AcqRel, Ordering::Acquire) // lint: relaxed-ok(slot handshake RMW both acquires the peer write and releases ours)
                     .is_err()
                 {
                     // Someone else took the slot between our load and CAS;
@@ -185,6 +185,7 @@ impl Prism {
                     }
                 }
                 ctx.record(StepKind::Elimination);
+                // lint: relaxed-ok(slot handshake RMW both acquires the peer write and releases ours)
                 match slot.compare_exchange(WAITING, EMPTY, Ordering::AcqRel, Ordering::Acquire) {
                     Ok(_) => PrismOutcome::FellThrough,
                     Err(_) => {
@@ -200,10 +201,10 @@ impl Prism {
             WAITING => {
                 ctx.record(StepKind::Elimination);
                 if slot
-                    .compare_exchange(WAITING, CAPTURED, Ordering::AcqRel, Ordering::Acquire)
+                    .compare_exchange(WAITING, CAPTURED, Ordering::AcqRel, Ordering::Acquire) // lint: relaxed-ok(slot handshake RMW both acquires the peer write and releases ours)
                     .is_ok()
                 {
-                    self.pairs.fetch_add(1, Ordering::AcqRel);
+                    self.pairs.fetch_add(1, Ordering::AcqRel); // lint: relaxed-ok(pair counter RMW orders capture before the exit-side read)
                     PrismOutcome::Eliminated
                 } else {
                     PrismOutcome::FellThrough

@@ -166,7 +166,7 @@ impl BatchedRecycler {
     /// at different mutexes. One relaxed load when every stripe is empty —
     /// the common case under light churn.
     fn pop_stashed(&self, start: usize) -> Option<usize> {
-        let mask = self.occupancy.load(Ordering::Relaxed);
+        let mask = self.occupancy.load(Ordering::Relaxed); // lint: relaxed-ok(occupancy is a hint bitmap; the TAS acquisition validates it)
         if mask == 0 {
             return None;
         }
@@ -202,7 +202,7 @@ impl BatchedRecycler {
         let mut stash = self.stashes[index].lock();
         let name = stash.pop();
         if stash.is_empty() {
-            self.occupancy.fetch_and(!(1 << index), Ordering::Relaxed);
+            self.occupancy.fetch_and(!(1 << index), Ordering::Relaxed); // lint: relaxed-ok(occupancy is a hint bitmap; the TAS acquisition validates it)
         }
         name
     }
@@ -215,7 +215,7 @@ impl BatchedRecycler {
         for (index, stripe) in self.stashes.iter().enumerate() {
             let drained = {
                 let mut stash = stripe.lock();
-                self.occupancy.fetch_and(!(1 << index), Ordering::Relaxed);
+                self.occupancy.fetch_and(!(1 << index), Ordering::Relaxed); // lint: relaxed-ok(occupancy is a hint bitmap; the TAS acquisition validates it)
                 std::mem::take(&mut *stash)
             };
             if !drained.is_empty() {
@@ -261,11 +261,11 @@ impl LongLivedRenaming for BatchedRecycler {
             let was_empty = stash.is_empty();
             stash.push(name);
             if stash.len() >= self.batch {
-                self.occupancy.fetch_and(!(1 << index), Ordering::Relaxed);
+                self.occupancy.fetch_and(!(1 << index), Ordering::Relaxed); // lint: relaxed-ok(occupancy is a hint bitmap; the TAS acquisition validates it)
                 std::mem::take(&mut *stash)
             } else {
                 if was_empty {
-                    self.occupancy.fetch_or(1 << index, Ordering::Relaxed);
+                    self.occupancy.fetch_or(1 << index, Ordering::Relaxed); // lint: relaxed-ok(occupancy is a hint bitmap; the TAS acquisition validates it)
                 }
                 Vec::new()
             }

@@ -140,10 +140,10 @@ mod tests {
         assert!(!slab.is_empty());
         assert_eq!(slab.allocated(), 0);
         assert!(slab.peek(3).is_none());
-        slab.get(3).0.fetch_add(1, Ordering::Relaxed);
-        slab.get(3).0.fetch_add(1, Ordering::Relaxed);
+        slab.get(3).0.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(test-only single-threaded counter)
+        slab.get(3).0.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(test-only single-threaded counter)
         assert_eq!(slab.allocated(), 1);
-        assert_eq!(slab.peek(3).unwrap().0.load(Ordering::Relaxed), 2);
+        assert_eq!(slab.peek(3).unwrap().0.load(Ordering::Relaxed), 2); // lint: relaxed-ok(test-only single-threaded counter)
         assert!(slab.peek(99).is_none(), "out-of-range peek is None");
     }
 
@@ -155,13 +155,14 @@ mod tests {
                 let slab = Arc::clone(&slab);
                 scope.spawn(move || {
                     for slot in 0..4 {
-                        slab.get(slot).0.fetch_add(1, Ordering::Relaxed);
+                        slab.get(slot).0.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(test-only counter; threads joined before the assert)
                     }
                 });
             }
         });
         assert_eq!(slab.allocated(), 4);
         for slot in 0..4 {
+            // lint: relaxed-ok(test-only counter; threads joined before the assert)
             assert_eq!(slab.get(slot).0.load(Ordering::Relaxed), 8, "slot {slot}");
         }
     }

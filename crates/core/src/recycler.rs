@@ -172,7 +172,7 @@ impl<R: Renaming> Recycler<R> {
 
     /// Names acquired fresh from the inner object so far.
     pub fn fresh_names(&self) -> usize {
-        self.tickets.load(Ordering::Relaxed)
+        self.tickets.load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
     }
 
     /// Leases served from the free list (recycled names) so far, derived as
@@ -184,13 +184,13 @@ impl<R: Renaming> Recycler<R> {
 
     /// Peak number of simultaneously live leases observed so far.
     pub fn peak_leases(&self) -> usize {
-        self.peak.load(Ordering::Relaxed)
+        self.peak.load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
     }
 
     /// Names lost to the recycling discipline (double releases or releases
     /// of out-of-range names). Zero in well-formed executions.
     pub fn leaked_names(&self) -> usize {
-        self.leaked.load(Ordering::Relaxed)
+        self.leaked.load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
     }
 
     /// Names currently waiting on the free list (O(capacity); diagnostics).
@@ -226,8 +226,9 @@ impl<R: Renaming> Recycler<R> {
                 capacity: self.max_concurrent,
             });
         }
+        // lint: relaxed-ok(peak watermark is advisory; fetch_max below is the RMW)
         if live > self.peak.load(Ordering::Relaxed) {
-            self.peak.fetch_max(live, Ordering::AcqRel);
+            self.peak.fetch_max(live, Ordering::AcqRel); // lint: relaxed-ok(monotone watermark RMW; AcqRel keeps concurrent maxes ordered)
         }
 
         // Fast path: recycle a released name. The coherent pop only reports
@@ -250,7 +251,7 @@ impl<R: Renaming> Recycler<R> {
     /// fresh one as a new virtual participant. The caller owns the
     /// admission reservation and unreserves it on failure.
     fn grant_fresh(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
-        let participant = self.tickets.fetch_add(1, Ordering::AcqRel);
+        let participant = self.tickets.fetch_add(1, Ordering::AcqRel); // lint: relaxed-ok(ticket RMW is the acquisition point for the participant slot)
         match self.inner.acquire_as(ctx, participant) {
             Ok(name) => Ok(name),
             Err(error) => {
@@ -264,7 +265,7 @@ impl<R: Renaming> Recycler<R> {
                 let _ = self.tickets.compare_exchange(
                     participant + 1,
                     participant,
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // lint: relaxed-ok(CAS success publishes the rollback; failure retries with a fresh load)
                     Ordering::Relaxed,
                 );
                 Err(error)
@@ -300,9 +301,10 @@ impl<R: Renaming> Recycler<R> {
         if admitted == 0 {
             return (0, None);
         }
+        // lint: relaxed-ok(peak watermark is advisory; fetch_max below is the RMW)
         if live_before + admitted > self.peak.load(Ordering::Relaxed) {
             self.peak
-                .fetch_max(live_before + admitted, Ordering::AcqRel);
+                .fetch_max(live_before + admitted, Ordering::AcqRel); // lint: relaxed-ok(monotone watermark RMW; AcqRel keeps concurrent maxes ordered)
         }
         let mut served = 0;
         while served < admitted {
@@ -385,7 +387,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for Recycler<R> {
             // not count as another release — count the misuse and otherwise
             // treat the call as a no-op. (A rejected push does not bump the
             // seqlock, so `live_leases` is untouched automatically.)
-            self.leaked.fetch_add(1, Ordering::Relaxed);
+            self.leaked.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
         }
         // No further bookkeeping: the successful push's seqlock bump *is*
         // the admission release, and it lands strictly after the name does —
@@ -399,7 +401,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for Recycler<R> {
         let pushed = self.free.push_many(names);
         if pushed < names.len() {
             self.leaked
-                .fetch_add(names.len() - pushed, Ordering::Relaxed);
+                .fetch_add(names.len() - pushed, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
         }
     }
 

@@ -162,7 +162,7 @@ impl<R: Renaming> ShardedRecycler<R> {
     /// Names lost to recycling misuse: double releases (counted by the
     /// owning shard) plus releases outside every shard's range.
     pub fn leaked_names(&self) -> usize {
-        self.leaked.load(Ordering::Relaxed)
+        self.leaked.load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
             + self
                 .shards
                 .iter()
@@ -200,7 +200,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for ShardedRecycler<R> {
                     // range. Contain it: count the leak (the admission slot
                     // stays burned, matching the per-shard recycler's
                     // leaked-name stance) and keep sweeping.
-                    self.leaked.fetch_add(1, Ordering::Relaxed);
+                    self.leaked.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
                 }
                 // The home shard is full: overflow to the next one.
                 Err(RenamingError::CapacityExceeded { .. }) => continue,
@@ -263,7 +263,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for ShardedRecycler<R> {
                     out[index] = self.globalize(shard, local);
                     index += 1;
                 } else {
-                    self.leaked.fetch_add(1, Ordering::Relaxed);
+                    self.leaked.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
                     out.swap_remove(index);
                 }
             }
@@ -286,7 +286,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for ShardedRecycler<R> {
         if name == 0 || name > self.shards.len() * self.span {
             // Unreachable through `NameLease`; count the misuse like the
             // per-shard recyclers do for their own ranges.
-            self.leaked.fetch_add(1, Ordering::Relaxed);
+            self.leaked.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
             return;
         }
         let shard = (name - 1) / self.span;

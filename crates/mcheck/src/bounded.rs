@@ -1,0 +1,267 @@
+//! Preemption-bounded exploration (CHESS-style).
+//!
+//! Empirically, most concurrency bugs need only a handful of *preemptions* —
+//! context switches taken while the running process could have continued.
+//! Bounding the preemption count makes the schedule space polynomial in the
+//! program length for a fixed bound, which covers a deep, bug-rich slice of
+//! behaviours that exhaustive DPOR reaches only on small instances.
+//!
+//! The DFS mirrors [`dpor`](crate::dpor): a stack of decisions, stateless
+//! re-execution under a forced prefix, and a sticky tail policy so
+//! the free-run suffix spends no preemptions. A node's candidate branches
+//! are: the previously running process (free, if still enabled), any other
+//! enabled process (costs one preemption, admitted only under the bound),
+//! and — when the previous process finished — every enabled process (a
+//! forced, free switch).
+
+use crate::classes::class_hash;
+use crate::dpor::Counterexample;
+use crate::driver::{ForcedChoice, Guide, TailPolicy};
+use crate::scenarios::ScenarioDef;
+use shmem::{
+    CrashPlan, ExecConfig, ExploreHandle, PendingOp, ProcessId, ScheduleSource, VirtualExecutor,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Knobs of one preemption-bounded search.
+#[derive(Clone, Debug)]
+pub struct BoundedConfig {
+    /// Maximum number of preemptions per execution.
+    pub bound: u32,
+    /// Hard cap on executed schedules.
+    pub max_executions: usize,
+    /// Per-execution step budget.
+    pub max_steps: u64,
+    /// Stop the search at the first oracle violation.
+    pub stop_on_violation: bool,
+}
+
+impl Default for BoundedConfig {
+    fn default() -> Self {
+        BoundedConfig {
+            bound: 2,
+            max_executions: 200_000,
+            max_steps: 100_000,
+            stop_on_violation: false,
+        }
+    }
+}
+
+/// What a preemption-bounded search did and found.
+#[derive(Clone, Debug, Default)]
+pub struct BoundedReport {
+    /// Executions launched.
+    pub executions: usize,
+    /// Executions that ran to completion and were oracle-checked.
+    pub complete: usize,
+    /// Executions cut off by the step budget.
+    pub truncated: usize,
+    /// Mazurkiewicz class hashes of the complete executions.
+    pub classes: BTreeSet<u64>,
+    /// Every oracle violation found.
+    pub violations: Vec<Counterexample>,
+    /// Whether `max_executions` cut the search short.
+    pub capped: bool,
+}
+
+impl BoundedReport {
+    /// Folds another report (e.g. one crash-sweep arm) into this one.
+    pub fn merge(&mut self, other: BoundedReport) {
+        self.executions += other.executions;
+        self.complete += other.complete;
+        self.truncated += other.truncated;
+        self.classes.extend(other.classes);
+        self.violations.extend(other.violations);
+        self.capped |= other.capped;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    enabled: Vec<(ProcessId, PendingOp)>,
+    /// The process that took the previous step (`None` at the root).
+    prev: Option<ProcessId>,
+    /// Preemptions spent strictly before this node.
+    preemptions: u32,
+    chosen: ProcessId,
+    done: BTreeSet<ProcessId>,
+}
+
+impl Entry {
+    /// Whether switching to `pid` at this node costs a preemption.
+    fn is_preemption(&self, pid: ProcessId) -> bool {
+        match self.prev {
+            Some(prev) => pid != prev && self.enabled.iter().any(|(p, _)| *p == prev),
+            None => false,
+        }
+    }
+
+    /// The unexplored branches admissible under `bound`, lowest pid first.
+    fn candidates(&self, bound: u32) -> Vec<ProcessId> {
+        self.enabled
+            .iter()
+            .map(|(p, _)| *p)
+            .filter(|p| !self.done.contains(p))
+            .filter(|p| !self.is_preemption(*p) || self.preemptions < bound)
+            .collect()
+    }
+}
+
+/// Explores every crash-plan arm of a scenario under the preemption bound.
+pub fn explore(def: &ScenarioDef, config: &BoundedConfig) -> BoundedReport {
+    let mut report = BoundedReport::default();
+    for plan in def.crash_plans() {
+        report.merge(explore_one(def, plan.as_ref(), config));
+        if config.stop_on_violation && !report.violations.is_empty() {
+            break;
+        }
+    }
+    report
+}
+
+/// Preemption-bounded DFS over one scenario under one (optional) crash plan.
+pub fn explore_one(
+    def: &ScenarioDef,
+    crash_plan: Option<&Vec<Option<u64>>>,
+    config: &BoundedConfig,
+) -> BoundedReport {
+    let mut report = BoundedReport::default();
+    let mut stack: Vec<Entry> = Vec::new();
+
+    loop {
+        if report.executions >= config.max_executions {
+            report.capped = true;
+            break;
+        }
+
+        let forced: Vec<ForcedChoice> = stack
+            .iter()
+            .map(|e| ForcedChoice {
+                pid: e.chosen,
+                sleep_add: Vec::new(),
+            })
+            .collect();
+        let built = (def.build)();
+        let guide = Guide::new(forced, TailPolicy::Sticky);
+        let mut cfg = ExecConfig::new(0).with_schedule(ScheduleSource::Explore(
+            ExploreHandle::new(guide.scheduler()),
+        ));
+        if let Some(plan) = crash_plan {
+            cfg = cfg.with_crash_plan(CrashPlan::Fixed(plan.clone()));
+        }
+        let body = Arc::clone(&built.body);
+        let run = VirtualExecutor::new(cfg)
+            .with_max_steps(config.max_steps)
+            .run(def.procs, move |ctx| body(ctx));
+        let (nodes, _) = guide.into_nodes();
+        report.executions += 1;
+
+        // Extend the stack, threading the preemption count forwards.
+        let mut prev = stack.last().map(|e| e.chosen);
+        let mut preemptions = stack
+            .last()
+            .map(|e| e.preemptions + u32::from(e.is_preemption(e.chosen)))
+            .unwrap_or(0);
+        for node in nodes.iter().skip(stack.len()) {
+            let entry = Entry {
+                enabled: node.enabled.clone(),
+                prev,
+                preemptions,
+                chosen: node.chosen,
+                done: BTreeSet::new(),
+            };
+            preemptions += u32::from(entry.is_preemption(node.chosen));
+            prev = Some(node.chosen);
+            stack.push(entry);
+        }
+
+        if run.trace.truncated {
+            report.truncated += 1;
+        } else {
+            report.complete += 1;
+            report.classes.insert(class_hash(&run.trace.events));
+            if let Err(message) = (built.check)(&run) {
+                report.violations.push(Counterexample {
+                    scenario: def.name.to_string(),
+                    crash_plan: crash_plan.cloned(),
+                    schedule: run.trace.schedule.clone(),
+                    message,
+                });
+                if config.stop_on_violation {
+                    break;
+                }
+            }
+        }
+
+        // Backtrack to the deepest node with an admissible unexplored branch.
+        let mut advanced = false;
+        while let Some(mut entry) = stack.pop() {
+            entry.done.insert(entry.chosen);
+            if let Some(pid) = entry.candidates(config.bound).first().copied() {
+                entry.chosen = pid;
+                stack.push(entry);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    fn cfg(bound: u32) -> BoundedConfig {
+        BoundedConfig {
+            bound,
+            max_executions: 100_000,
+            max_steps: 100_000,
+            stop_on_violation: false,
+        }
+    }
+
+    #[test]
+    fn bound_zero_is_non_preemptive_scheduling() {
+        // With no preemptions allowed, the only free choices are at process
+        // completion: a 2-process program admits exactly 2 executions.
+        let def = scenarios::find("toy_racy_pair").expect("registered");
+        let report = explore(&def, &cfg(0));
+        assert!(!report.capped);
+        assert_eq!(report.executions, 2);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn preemptions_buy_strictly_more_coverage() {
+        let def = scenarios::find("toy_racy_pair").expect("registered");
+        let b0 = explore(&def, &cfg(0));
+        let b2 = explore(&def, &cfg(2));
+        assert!(!b2.capped);
+        assert!(
+            b2.classes.len() > b0.classes.len(),
+            "bound 2 must reach classes bound 0 cannot: {} vs {}",
+            b2.classes.len(),
+            b0.classes.len()
+        );
+        assert!(
+            b2.classes.is_superset(&b0.classes),
+            "raising the bound only adds schedules"
+        );
+        assert!(b2.violations.is_empty(), "{:?}", b2.violations);
+    }
+
+    #[test]
+    fn bounded_search_keeps_tas_pair_green() {
+        let def = scenarios::find("tas_pair_2p").expect("registered");
+        let report = explore(&def, &cfg(2));
+        assert!(!report.capped, "bound 2 on a 2-process TAS is exhaustible");
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.complete >= 2);
+    }
+}

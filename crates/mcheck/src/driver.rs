@@ -1,0 +1,189 @@
+//! The guided scheduler shared by the systematic explorers.
+//!
+//! Stateless model checking re-executes the program from scratch for every
+//! schedule: a branch is described by a **forced prefix** of scheduling
+//! choices (replayed verbatim — execution under the virtual executor is
+//! deterministic, so the prefix always stays valid) followed by a **tail
+//! policy** that completes the execution deterministically. The DPOR explorer
+//! additionally threads **sleep sets** through the run: processes whose next
+//! operation was already explored in a sibling subtree are put to sleep at
+//! the node where the sibling branched off, woken only by a conflicting
+//! operation, and never scheduled while asleep. An execution whose every
+//! enabled process is asleep is redundant and is abandoned.
+//!
+//! The [`Guide`] records every decision it makes (the enabled snapshot, the
+//! chosen process, the sleep set at entry) so the explorer can extend its
+//! DFS stack with the free-run portion after the execution returns.
+
+use shmem::{Loc, PendingOp, ProcessId, Scheduler, SchedulerDecision};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One forced scheduling choice of a re-executed prefix.
+#[derive(Clone, Debug)]
+pub(crate) struct ForcedChoice {
+    /// The process granted this step.
+    pub pid: ProcessId,
+    /// Processes put to sleep at this node (explored siblings), with the
+    /// operation each announced there.
+    pub sleep_add: Vec<(ProcessId, PendingOp)>,
+}
+
+/// How the run continues past the forced prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TailPolicy {
+    /// Grant the lowest-index enabled process that is not asleep
+    /// (DPOR / brute-force exploration).
+    LowestAwake,
+    /// Keep granting the process that took the previous step while it stays
+    /// enabled, else fall to the lowest enabled process (preemption-bounded
+    /// exploration: the tail costs no preemptions).
+    Sticky,
+}
+
+/// One recorded scheduling decision.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeRecord {
+    /// The enabled set the decision chose from, in process order.
+    pub enabled: Vec<(ProcessId, PendingOp)>,
+    /// The process granted the step.
+    pub chosen: ProcessId,
+    /// The sleep set inherited at this node (before this node's own
+    /// sibling additions).
+    pub sleep_at_entry: Vec<(ProcessId, PendingOp)>,
+}
+
+#[derive(Debug)]
+pub(crate) struct GuideState {
+    forced: Vec<ForcedChoice>,
+    policy: TailPolicy,
+    sleep: Vec<(ProcessId, PendingOp)>,
+    last: Option<ProcessId>,
+    /// Run-local location renaming, keyed by raw [`Loc`] id. Raw ids are not
+    /// stable across re-executions (every run rebuilds its shared objects,
+    /// drawing fresh ids from a global counter), so every operation the guide
+    /// records or compares has its location renamed by first appearance in
+    /// the decision stream. Deterministic replay makes the renaming identical
+    /// across runs sharing a forced prefix — which is exactly the scope in
+    /// which sleep-set entries from an earlier run are compared against the
+    /// current run's operations.
+    names: BTreeMap<u64, u64>,
+    /// Every decision taken, forced and free.
+    pub nodes: Vec<NodeRecord>,
+    /// Whether the run was abandoned because every enabled process slept.
+    pub sleep_blocked: bool,
+}
+
+impl GuideState {
+    fn rename(&mut self, op: PendingOp) -> PendingOp {
+        if op.loc.is_anon() {
+            return op;
+        }
+        let next = self.names.len() as u64 + 1;
+        let id = *self.names.entry(op.loc.as_u64()).or_insert(next);
+        PendingOp {
+            loc: Loc::from_raw(id),
+            ..op
+        }
+    }
+}
+
+/// Shared handle over the guide's state: the scheduler side mutates it during
+/// the run, the explorer side reads it back afterwards.
+#[derive(Clone, Debug)]
+pub(crate) struct Guide {
+    state: Arc<Mutex<GuideState>>,
+}
+
+impl Guide {
+    pub(crate) fn new(forced: Vec<ForcedChoice>, policy: TailPolicy) -> Self {
+        Guide {
+            state: Arc::new(Mutex::new(GuideState {
+                forced,
+                policy,
+                sleep: Vec::new(),
+                last: None,
+                names: BTreeMap::new(),
+                nodes: Vec::new(),
+                sleep_blocked: false,
+            })),
+        }
+    }
+
+    /// The scheduler to hand to the virtual executor.
+    pub(crate) fn scheduler(&self) -> GuideScheduler {
+        GuideScheduler {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Consumes the run's recorded decisions.
+    pub(crate) fn into_nodes(self) -> (Vec<NodeRecord>, bool) {
+        let state = self.state.lock().expect("guide poisoned");
+        (state.nodes.clone(), state.sleep_blocked)
+    }
+}
+
+/// The [`Scheduler`] face of a [`Guide`].
+#[derive(Debug)]
+pub(crate) struct GuideScheduler {
+    state: Arc<Mutex<GuideState>>,
+}
+
+impl Scheduler for GuideScheduler {
+    fn choose(&mut self, _step: usize, enabled: &[(ProcessId, PendingOp)]) -> SchedulerDecision {
+        let mut st = self.state.lock().expect("guide poisoned");
+        let depth = st.nodes.len();
+        // Rename every announced location into the run-local namespace; all
+        // recorded and compared operations below use the renamed forms.
+        let enabled: Vec<(ProcessId, PendingOp)> =
+            enabled.iter().map(|&(p, op)| (p, st.rename(op))).collect();
+        let sleep_at_entry = st.sleep.clone();
+        let chosen = if depth < st.forced.len() {
+            let fc = st.forced[depth].clone();
+            for (p, op) in fc.sleep_add {
+                if !st.sleep.iter().any(|(q, _)| *q == p) {
+                    st.sleep.push((p, op));
+                }
+            }
+            debug_assert!(
+                enabled.iter().any(|(p, _)| *p == fc.pid),
+                "a forced choice must name an enabled process"
+            );
+            fc.pid
+        } else {
+            let awake = |st: &GuideState, p: &ProcessId| !st.sleep.iter().any(|(q, _)| q == p);
+            let pick = match st.policy {
+                TailPolicy::LowestAwake => enabled.iter().map(|(p, _)| *p).find(|p| awake(&st, p)),
+                TailPolicy::Sticky => st
+                    .last
+                    .filter(|p| enabled.iter().any(|(q, _)| q == p))
+                    .or_else(|| enabled.first().map(|(p, _)| *p)),
+            };
+            match pick {
+                Some(p) => p,
+                None => {
+                    st.sleep_blocked = true;
+                    return SchedulerDecision::Abort;
+                }
+            }
+        };
+        let op = enabled
+            .iter()
+            .find(|(p, _)| *p == chosen)
+            .expect("chosen process is enabled")
+            .1;
+        st.nodes.push(NodeRecord {
+            enabled: enabled.to_vec(),
+            chosen,
+            sleep_at_entry,
+        });
+        // A process that takes a step wakes every sleeper whose recorded
+        // operation conflicts with it (their commutation argument is void),
+        // and is never itself asleep.
+        st.sleep
+            .retain(|(p, o)| *p != chosen && !o.conflicts_with(&op));
+        st.last = Some(chosen);
+        SchedulerDecision::Pick(chosen)
+    }
+}

@@ -1,0 +1,725 @@
+//! The workload registry: small shared-memory programs with oracles.
+//!
+//! Every scenario is a *factory*: stateless re-execution rebuilds the shared
+//! objects before each run, so [`ScenarioDef::build`] returns a fresh
+//! [`BuiltScenario`] — a process body plus a one-shot oracle over the
+//! finished run. Oracles come in two polarities:
+//!
+//! * **Green oracles** (`expect_violations == false`) must hold on *every*
+//!   schedule: a counterexample is a bug in the workspace.
+//! * **Counterexample hunts** (`expect_violations == true`) encode a
+//!   violation the paper itself predicts — the §8.1 monotone-counter
+//!   non-linearizability and the counting-network stall-one-token
+//!   counterexample. The explorer is expected to *find* schedules failing
+//!   the oracle; the minimized witnesses are pinned under `tests/schedules/`.
+
+use adaptive_renaming::counter::MonotoneCounter;
+use adaptive_renaming::lease::{assert_tight_lease_namespace, LeaseRecord, LongLivedRenaming};
+use adaptive_renaming::linear_probe::LinearProbeRenaming;
+use adaptive_renaming::recycler::Recycler;
+use adaptive_renaming::traits::{assert_tight_namespace, Renaming};
+use cnet::counter::NetworkCounter;
+use cnet::family::CountingFamily;
+use cnet::network::BalancingTopology;
+use maxreg::unbounded::UnboundedMaxRegister;
+use maxreg::MaxRegister;
+use parking_lot::Mutex;
+use shmem::consistency::{
+    check_linearizable, check_monotone_consistent, check_quiescent_consistent, CounterOp,
+    CounterSpec, SequentialSpec,
+};
+use shmem::history::Recorder;
+use shmem::process::ProcessCtx;
+use shmem::register::AtomicU64Register;
+use shmem::vexec::VirtualRun;
+use std::ops::RangeInclusive;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tas::hardware::HardwareTas;
+use tas::two_process::TwoProcessTas;
+use tas::{Side, TwoPartyTas};
+
+/// The process body of a scenario. Every process returns a `u64` the oracle
+/// may inspect (a name, a ticket, a read value — scenario-specific).
+pub type ScenarioBody = Arc<dyn Fn(&mut ProcessCtx) -> u64 + Send + Sync>;
+
+/// The oracle of a scenario, consumed by one execution.
+pub type ScenarioCheck = Box<dyn FnOnce(&VirtualRun<u64>) -> Result<(), String> + Send>;
+
+/// One freshly built instance of a scenario: shared objects, body, oracle.
+pub struct BuiltScenario {
+    /// The closure every process runs.
+    pub body: ScenarioBody,
+    /// The oracle over the finished run.
+    pub check: ScenarioCheck,
+}
+
+impl std::fmt::Debug for BuiltScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltScenario").finish_non_exhaustive()
+    }
+}
+
+/// A registered scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioDef {
+    /// Registry name, as referenced from trace files and the CLI.
+    pub name: &'static str,
+    /// Number of processes.
+    pub procs: usize,
+    /// Builds a fresh instance (fresh shared objects) for one execution.
+    pub build: fn() -> BuiltScenario,
+    /// Crash sweep: `(pid, crash_at range)` — the explorer runs one search
+    /// per crash step of the range, crashing `pid` after that many steps.
+    pub crash_sweep: Option<(usize, RangeInclusive<u64>)>,
+    /// Whether the oracle is a counterexample hunt (see module docs).
+    pub expect_violations: bool,
+    /// Whether exhaustive DPOR is tractable on this scenario. Heavy
+    /// scenarios (randomized TAS with its coin-flip-dependent round counts)
+    /// belong to the bounded / coverage-guided tiers instead.
+    pub exhaustive: bool,
+    /// One-line description.
+    pub about: &'static str,
+}
+
+impl ScenarioDef {
+    /// The crash plans this scenario sweeps over: `None` entries mean "no
+    /// crash plan"; `Some(plan)` entries are `CrashPlan::Fixed` vectors.
+    pub fn crash_plans(&self) -> Vec<Option<Vec<Option<u64>>>> {
+        match &self.crash_sweep {
+            None => vec![None],
+            Some((pid, range)) => range
+                .clone()
+                .map(|at| {
+                    let mut plan: Vec<Option<u64>> = vec![None; self.procs];
+                    plan[*pid] = Some(at);
+                    Some(plan)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Every registered scenario.
+pub fn all() -> Vec<ScenarioDef> {
+    vec![
+        ScenarioDef {
+            name: "toy_rw_indep",
+            procs: 2,
+            build: build_toy_rw_indep,
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "two processes on disjoint registers: every interleaving equivalent",
+        },
+        ScenarioDef {
+            name: "toy_racy_pair",
+            procs: 2,
+            build: build_toy_racy_pair,
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "two writers and readers of one shared register",
+        },
+        ScenarioDef {
+            name: "toy_mp",
+            procs: 2,
+            build: build_toy_mp,
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "message passing: data register guarded by a flag register",
+        },
+        ScenarioDef {
+            name: "tas_pair_2p",
+            procs: 2,
+            build: build_tas_pair,
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "two processes race one hardware TAS: exactly one winner",
+        },
+        ScenarioDef {
+            name: "tas_chain_3p",
+            procs: 3,
+            build: build_tas_chain,
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "chain of two two-party TAS objects shared pairwise by three processes",
+        },
+        ScenarioDef {
+            name: "rand_tas_pair_2p",
+            procs: 2,
+            build: build_rand_tas_pair,
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: false,
+            about: "the paper's randomized two-process TAS (coin-flip round counts \
+                    blow up the exhaustive tier; bounded/coverage only)",
+        },
+        ScenarioDef {
+            name: "cnet_width2_2p",
+            procs: 2,
+            build: || build_cnet_counter(2, 2),
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "width-2 bitonic counting network: distinct tickets + step property",
+        },
+        ScenarioDef {
+            name: "cnet_width4_3p",
+            procs: 3,
+            build: || build_cnet_counter(4, 3),
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "width-4 bitonic counting network: distinct tickets + step property",
+        },
+        ScenarioDef {
+            name: "cnet_stall_one_token",
+            procs: 3,
+            build: build_cnet_stall,
+            crash_sweep: None,
+            expect_violations: true,
+            exhaustive: true,
+            about: "a token stalled mid-network makes ticket histories non-linearizable \
+                    while staying quiescently consistent",
+        },
+        ScenarioDef {
+            name: "mono_counter_3p",
+            procs: 3,
+            build: build_mono_counter,
+            crash_sweep: Some((0, 1..=24)),
+            expect_violations: true,
+            exhaustive: true,
+            about: "§8.1: a crashed incrementer makes the renaming+max-register counter \
+                    non-linearizable while staying monotone-consistent",
+        },
+        ScenarioDef {
+            name: "renaming_width4_3p",
+            procs: 3,
+            build: build_renaming_width4,
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "three acquirers on a strong adaptive renaming object: tight namespace",
+        },
+        ScenarioDef {
+            name: "recycler_churn_2p",
+            procs: 2,
+            build: || build_recycler_churn(2, 2),
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "lease/release churn through the recycler: tight lease namespace",
+        },
+        ScenarioDef {
+            name: "recycler_churn_3p",
+            procs: 3,
+            build: || build_recycler_churn(3, 1),
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "three-process lease/release churn: tightness + ticket accounting",
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<ScenarioDef> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+// ---------------------------------------------------------------------------
+// Toy scenarios (DPOR soundness baselines).
+// ---------------------------------------------------------------------------
+
+fn build_toy_rw_indep() -> BuiltScenario {
+    let regs: Arc<Vec<AtomicU64Register>> =
+        Arc::new((0..2).map(|_| AtomicU64Register::new(0)).collect());
+    let body: ScenarioBody = Arc::new({
+        let regs = Arc::clone(&regs);
+        move |ctx| {
+            let me = ctx.id().as_usize();
+            regs[me].write(ctx, ctx.id().as_u64() + 1);
+            regs[me].read(ctx)
+        }
+    });
+    let check: ScenarioCheck = Box::new(|run: &VirtualRun<u64>| {
+        for (pid, &value) in run.outcome.completed() {
+            if value != pid.as_u64() + 1 {
+                return Err(format!(
+                    "process {pid} read {value} from its private register, expected {}",
+                    pid.as_u64() + 1
+                ));
+            }
+        }
+        Ok(())
+    });
+    BuiltScenario { body, check }
+}
+
+fn build_toy_racy_pair() -> BuiltScenario {
+    let reg = Arc::new(AtomicU64Register::new(0));
+    let body: ScenarioBody = Arc::new({
+        let reg = Arc::clone(&reg);
+        move |ctx| {
+            reg.write(ctx, ctx.id().as_u64() + 1);
+            reg.read(ctx)
+        }
+    });
+    let check: ScenarioCheck = Box::new(|run: &VirtualRun<u64>| {
+        let mut own = false;
+        for (pid, &value) in run.outcome.completed() {
+            if !(1..=2).contains(&value) {
+                return Err(format!("process {pid} read impossible value {value}"));
+            }
+            own |= value == pid.as_u64() + 1;
+        }
+        if !own {
+            return Err("no process read its own write — impossible sequentially".into());
+        }
+        Ok(())
+    });
+    BuiltScenario { body, check }
+}
+
+fn build_toy_mp() -> BuiltScenario {
+    let data = Arc::new(AtomicU64Register::new(0));
+    let flag = Arc::new(AtomicU64Register::new(0));
+    let body: ScenarioBody = Arc::new({
+        let data = Arc::clone(&data);
+        let flag = Arc::clone(&flag);
+        move |ctx| {
+            if ctx.id().as_usize() == 0 {
+                data.write(ctx, 7);
+                flag.write(ctx, 1);
+                0
+            } else {
+                let f = flag.read(ctx);
+                let d = data.read(ctx);
+                f * 100 + d
+            }
+        }
+    });
+    let check: ScenarioCheck = Box::new(|run: &VirtualRun<u64>| {
+        for (pid, &value) in run.outcome.completed() {
+            if pid.as_usize() == 1 && value / 100 == 1 && value % 100 != 7 {
+                return Err(format!(
+                    "reader saw the flag set but stale data ({})",
+                    value % 100
+                ));
+            }
+        }
+        Ok(())
+    });
+    BuiltScenario { body, check }
+}
+
+// ---------------------------------------------------------------------------
+// Test-and-set scenarios.
+// ---------------------------------------------------------------------------
+
+fn build_tas_pair() -> BuiltScenario {
+    let tas = Arc::new(HardwareTas::new());
+    let body: ScenarioBody = Arc::new({
+        let tas = Arc::clone(&tas);
+        move |ctx| {
+            let side = if ctx.id().as_usize() == 0 {
+                Side::Top
+            } else {
+                Side::Bottom
+            };
+            u64::from(tas.play(ctx, side))
+        }
+    });
+    let check: ScenarioCheck = Box::new(|run: &VirtualRun<u64>| {
+        let wins: u64 = run.outcome.completed().map(|(_, &w)| w).sum();
+        if wins == 1 {
+            Ok(())
+        } else {
+            Err(format!("expected exactly one TAS winner, saw {wins}"))
+        }
+    });
+    BuiltScenario { body, check }
+}
+
+/// The paper's randomized two-process TAS. Its coin-flip-dependent round
+/// counts make the schedule space explode, so it is registered as a
+/// non-exhaustive (bounded / coverage) scenario.
+fn build_rand_tas_pair() -> BuiltScenario {
+    let tas = Arc::new(TwoProcessTas::new());
+    let body: ScenarioBody = Arc::new({
+        let tas = Arc::clone(&tas);
+        move |ctx| {
+            let side = if ctx.id().as_usize() == 0 {
+                Side::Top
+            } else {
+                Side::Bottom
+            };
+            u64::from(tas.play(ctx, side))
+        }
+    });
+    let check: ScenarioCheck = Box::new(|run: &VirtualRun<u64>| {
+        let wins: u64 = run.outcome.completed().map(|(_, &w)| w).sum();
+        if wins == 1 {
+            Ok(())
+        } else {
+            Err(format!("expected exactly one TAS winner, saw {wins}"))
+        }
+    });
+    BuiltScenario { body, check }
+}
+
+fn build_tas_chain() -> BuiltScenario {
+    let a = Arc::new(HardwareTas::new());
+    let b = Arc::new(HardwareTas::new());
+    let body: ScenarioBody = Arc::new({
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        move |ctx| match ctx.id().as_usize() {
+            0 => u64::from(a.play(ctx, Side::Top)),
+            1 => {
+                let wa = u64::from(a.play(ctx, Side::Bottom));
+                let wb = u64::from(b.play(ctx, Side::Top));
+                wa << 1 | wb
+            }
+            _ => u64::from(b.play(ctx, Side::Bottom)),
+        }
+    });
+    let check: ScenarioCheck = Box::new(|run: &VirtualRun<u64>| {
+        let mut result = [0u64; 3];
+        for (pid, &value) in run.outcome.completed() {
+            result[pid.as_usize()] = value;
+        }
+        let a_wins = result[0] + (result[1] >> 1);
+        let b_wins = (result[1] & 1) + result[2];
+        if a_wins != 1 || b_wins != 1 {
+            return Err(format!(
+                "each TAS object needs exactly one winner (A: {a_wins}, B: {b_wins})"
+            ));
+        }
+        Ok(())
+    });
+    BuiltScenario { body, check }
+}
+
+// ---------------------------------------------------------------------------
+// Counting-network scenarios.
+// ---------------------------------------------------------------------------
+
+/// Sequential specification of an exact fetch-and-increment: increments
+/// return their 0-indexed ticket, reads return the count.
+#[derive(Clone, Copy, Debug)]
+struct FetchIncrementSpec;
+
+impl SequentialSpec for FetchIncrementSpec {
+    type Op = CounterOp;
+    type Ret = u64;
+    type State = u64;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, op: &CounterOp) -> (u64, u64) {
+        match op {
+            CounterOp::Increment => (*state + 1, *state),
+            CounterOp::Read => (*state, *state),
+        }
+    }
+}
+
+fn step_property(counts: &[u64]) -> bool {
+    counts
+        .iter()
+        .zip(counts.iter().skip(1))
+        .all(|(&hi, &lo)| hi == lo || hi == lo + 1)
+}
+
+fn build_cnet_counter(width: usize, procs: usize) -> BuiltScenario {
+    let counter = Arc::new(NetworkCounter::new(CountingFamily::Bitonic, width));
+    let body: ScenarioBody = Arc::new({
+        let counter = Arc::clone(&counter);
+        move |ctx| counter.fetch_increment(ctx)
+    });
+    let check: ScenarioCheck = Box::new({
+        let counter = Arc::clone(&counter);
+        move |run: &VirtualRun<u64>| {
+            let mut tickets: Vec<u64> = run.outcome.completed().map(|(_, &t)| t).collect();
+            tickets.sort_unstable();
+            tickets.dedup();
+            let completed = run.outcome.completed().count();
+            if tickets.len() != completed {
+                return Err("duplicate tickets issued".into());
+            }
+            if counter.peek() != procs as u64 {
+                return Err(format!(
+                    "counter holds {} tokens after {procs} increments",
+                    counter.peek()
+                ));
+            }
+            if !step_property(&counter.exit_counts()) {
+                return Err(format!(
+                    "exit counts {:?} violate the step property at quiescence",
+                    counter.exit_counts()
+                ));
+            }
+            Ok(())
+        }
+    });
+    BuiltScenario { body, check }
+}
+
+fn build_cnet_stall() -> BuiltScenario {
+    let counter = Arc::new(NetworkCounter::new(CountingFamily::Bitonic, 2));
+    let recorder: Arc<Recorder<CounterOp, u64>> = Arc::new(Recorder::new());
+    let pending: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let body: ScenarioBody = Arc::new({
+        let counter = Arc::clone(&counter);
+        let recorder = Arc::clone(&recorder);
+        let pending = Arc::clone(&pending);
+        move |ctx| match ctx.id().as_usize() {
+            0 => {
+                // The stalled token: traverse the network but never deposit.
+                // Its increment is invoked and stays pending forever.
+                let invoke = recorder.invoke();
+                pending.lock().push(invoke);
+                let entry = counter.entry_wire(ctx);
+                counter.network().traverse(ctx, entry) as u64
+            }
+            1 => {
+                let invoke = recorder.invoke();
+                let ticket = counter.fetch_increment(ctx);
+                recorder.record(ctx.id(), CounterOp::Increment, ticket, invoke);
+                ticket
+            }
+            _ => {
+                let invoke = recorder.invoke();
+                let ticket = counter.fetch_increment(ctx);
+                recorder.record(ctx.id(), CounterOp::Increment, ticket, invoke);
+                let invoke = recorder.invoke();
+                let value = counter.read(ctx);
+                recorder.record(ctx.id(), CounterOp::Read, value, invoke);
+                value
+            }
+        }
+    });
+    let check: ScenarioCheck = Box::new({
+        let recorder = Arc::clone(&recorder);
+        let pending = Arc::clone(&pending);
+        move |_run: &VirtualRun<u64>| {
+            let history = recorder.take_history();
+            let pending = pending.lock().clone();
+            let not_linearizable = check_linearizable(&FetchIncrementSpec, &history).is_err();
+            if let Err(v) = check_quiescent_consistent(&history, &pending) {
+                return Err(format!("quiescent consistency violated: {v}"));
+            }
+            if not_linearizable {
+                return Err(
+                    "stall-one-token: ticket history is non-linearizable yet quiescently \
+                     consistent"
+                        .into(),
+                );
+            }
+            Ok(())
+        }
+    });
+    BuiltScenario { body, check }
+}
+
+// ---------------------------------------------------------------------------
+// §8.1 monotone counter.
+// ---------------------------------------------------------------------------
+
+fn linear_probe(slots: usize) -> LinearProbeRenaming<HardwareTas> {
+    LinearProbeRenaming::with_slots((0..slots).map(|_| HardwareTas::new()).collect())
+}
+
+fn build_mono_counter() -> BuiltScenario {
+    // Strong adaptive renaming (the linear-probe baseline over hardware TAS
+    // keeps the schedule space small) plus an unbounded max register: the
+    // paper's counter, §8.1.
+    let counter = Arc::new(MonotoneCounter::with_parts(
+        linear_probe(4),
+        UnboundedMaxRegister::new(),
+    ));
+    let recorder: Arc<Recorder<CounterOp, u64>> = Arc::new(Recorder::new());
+    let pending: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let body: ScenarioBody = Arc::new({
+        let counter = Arc::clone(&counter);
+        let recorder = Arc::clone(&recorder);
+        let pending = Arc::clone(&pending);
+        move |ctx| match ctx.id().as_usize() {
+            0 | 1 => {
+                let invoke = recorder.invoke();
+                pending.lock().push(invoke);
+                let name = counter
+                    .renaming()
+                    .acquire(ctx)
+                    .expect("capacity covers the participants");
+                counter.max_register().write_max(ctx, name as u64);
+                recorder.record(ctx.id(), CounterOp::Increment, 0, invoke);
+                pending.lock().retain(|&t| t != invoke);
+                name as u64
+            }
+            _ => {
+                let invoke = recorder.invoke();
+                let value = counter.max_register().read_max(ctx);
+                recorder.record(ctx.id(), CounterOp::Read, value, invoke);
+                value
+            }
+        }
+    });
+    let check: ScenarioCheck = Box::new({
+        let recorder = Arc::clone(&recorder);
+        let pending = Arc::clone(&pending);
+        move |_run: &VirtualRun<u64>| {
+            let history = recorder.take_history();
+            let pending = pending.lock().clone();
+            if let Err(v) = check_monotone_consistent(&history, &pending) {
+                return Err(format!("monotone consistency violated: {v}"));
+            }
+            if check_linearizable(&CounterSpec, &history).is_err() {
+                return Err(
+                    "§8.1: counter history is non-linearizable yet monotone-consistent".into(),
+                );
+            }
+            Ok(())
+        }
+    });
+    BuiltScenario { body, check }
+}
+
+// ---------------------------------------------------------------------------
+// Renaming and recycler scenarios.
+// ---------------------------------------------------------------------------
+
+fn build_renaming_width4() -> BuiltScenario {
+    let renaming = Arc::new(linear_probe(4));
+    let body: ScenarioBody = Arc::new({
+        let renaming = Arc::clone(&renaming);
+        move |ctx| {
+            renaming
+                .acquire(ctx)
+                .expect("capacity covers the participants") as u64
+        }
+    });
+    let check: ScenarioCheck = Box::new(|run: &VirtualRun<u64>| {
+        let names: Vec<usize> = run.outcome.completed().map(|(_, &n)| n as usize).collect();
+        assert_tight_namespace(&names)
+    });
+    BuiltScenario { body, check }
+}
+
+fn build_recycler_churn(procs: usize, cycles: usize) -> BuiltScenario {
+    let recycler = Arc::new(Recycler::new(linear_probe(procs + 1), procs));
+    let clock = Arc::new(AtomicU64::new(1));
+    let records: Arc<Mutex<Vec<LeaseRecord>>> = Arc::new(Mutex::new(Vec::new()));
+    let bump = move |clock: &AtomicU64| clock.fetch_add(1, Ordering::SeqCst);
+    let body: ScenarioBody = Arc::new({
+        let recycler = Arc::clone(&recycler);
+        let clock = Arc::clone(&clock);
+        let records = Arc::clone(&records);
+        move |ctx| {
+            let mut granted = 0u64;
+            for _ in 0..cycles {
+                let slot = {
+                    let mut all = records.lock();
+                    all.push(LeaseRecord {
+                        requested_at: bump(&clock),
+                        ..LeaseRecord::default()
+                    });
+                    all.len() - 1
+                };
+                if let Ok(name) = recycler.lease_raw(ctx) {
+                    {
+                        let mut all = records.lock();
+                        all[slot].name = Some(name);
+                        all[slot].granted_at = Some(bump(&clock));
+                    }
+                    granted += 1;
+                    records.lock()[slot].release_started_at = Some(bump(&clock));
+                    recycler.release_with(ctx, name);
+                    records.lock()[slot].release_finished_at = Some(bump(&clock));
+                }
+            }
+            granted
+        }
+    });
+    let check: ScenarioCheck = Box::new({
+        let recycler = Arc::clone(&recycler);
+        let records = Arc::clone(&records);
+        move |run: &VirtualRun<u64>| {
+            let records = records.lock().clone();
+            assert_tight_lease_namespace(&records)?;
+            if recycler.leaked_names() != 0 {
+                return Err(format!("{} names leaked", recycler.leaked_names()));
+            }
+            let granted: u64 = run.outcome.completed().map(|(_, &g)| g).sum();
+            let accounted = (recycler.fresh_names() + recycler.recycled_names()) as u64;
+            // The ticket-rollback regression (PR 3): a failed fresh
+            // acquisition must not burn a virtual participant, so grants
+            // and the fresh/recycled ledgers always reconcile.
+            if accounted != granted {
+                return Err(format!(
+                    "lease ledger mismatch: {accounted} accounted vs {granted} granted"
+                ));
+            }
+            if recycler.free_names() != recycler.fresh_names() {
+                return Err(format!(
+                    "{} fresh names but only {} returned to the free list",
+                    recycler.fresh_names(),
+                    recycler.free_names()
+                ));
+            }
+            Ok(())
+        }
+    });
+    BuiltScenario { body, check }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shmem::adversary::ExecConfig;
+    use shmem::vexec::VirtualExecutor;
+
+    /// Every scenario completes and passes (or, for counterexample hunts,
+    /// legitimately fails) under a handful of random schedules.
+    #[test]
+    fn scenarios_run_under_random_schedules() {
+        for def in all() {
+            for seed in 0..3u64 {
+                let built = (def.build)();
+                let body = Arc::clone(&built.body);
+                let run = VirtualExecutor::new(ExecConfig::new(seed))
+                    .run(def.procs, move |ctx| body(ctx));
+                assert_eq!(
+                    run.outcome.completed().count(),
+                    def.procs,
+                    "{}: all processes complete under seed {seed}",
+                    def.name
+                );
+                // Green oracles must hold on arbitrary schedules; hunts may
+                // fail (that is their purpose), but must not panic.
+                let verdict = (built.check)(&run);
+                if !def.expect_violations {
+                    assert_eq!(verdict, Ok(()), "{} under seed {seed}", def.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registry_lookup_is_by_name() {
+        assert!(find("mono_counter_3p").is_some());
+        assert!(find("no_such_scenario").is_none());
+        let names: Vec<&str> = all().iter().map(|s| s.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "scenario names are unique");
+    }
+}

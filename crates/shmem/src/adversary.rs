@@ -17,6 +17,7 @@
 //! [`ExecConfig`] bundles the three together with a global random seed so an
 //! execution is reproducible given its configuration.
 
+use crate::vexec::{ExploreHandle, Schedule};
 use rand::Rng;
 use std::time::Duration;
 
@@ -155,6 +156,37 @@ impl CrashPlan {
     }
 }
 
+/// Where the interleaving of a *virtual* (serialized) execution comes from.
+///
+/// The threaded [`Executor`](crate::executor::Executor) ignores this field —
+/// its interleavings come from the OS scheduler, perturbed by the other
+/// adversary knobs. The [`VirtualExecutor`](crate::vexec::VirtualExecutor)
+/// consults it at every step:
+///
+/// * [`ScheduleSource::Random`] — a seeded uniformly random scheduler, the
+///   deterministic analogue of the threaded executor's sampling.
+/// * [`ScheduleSource::Replay`] — replay a recorded [`Schedule`] verbatim
+///   (with deterministic fallback for shrunk or stale schedules), the
+///   substrate of `tests/schedules/*.trace` regression replays.
+/// * [`ScheduleSource::Explore`] — delegate every decision to a shared
+///   [`Scheduler`](crate::vexec::Scheduler), the hook the `mcheck` crate's
+///   DPOR / preemption-bounded / coverage-guided explorers drive.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScheduleSource {
+    /// Uniformly random scheduling decisions from the given seed.
+    Random(u64),
+    /// Replay of a recorded schedule.
+    Replay(Schedule),
+    /// Decisions delegated to an external exploration scheduler.
+    Explore(ExploreHandle),
+}
+
+impl Default for ScheduleSource {
+    fn default() -> Self {
+        ScheduleSource::Random(0)
+    }
+}
+
 /// Configuration for one adversarial execution: seed, arrival schedule, yield
 /// policy and crash plan.
 ///
@@ -181,6 +213,9 @@ pub struct ExecConfig {
     pub arrival: ArrivalSchedule,
     /// Crash-fault injection plan.
     pub crash_plan: CrashPlan,
+    /// Schedule source for virtual (serialized) executions; ignored by the
+    /// threaded executor.
+    pub schedule: ScheduleSource,
 }
 
 impl ExecConfig {
@@ -214,6 +249,13 @@ impl ExecConfig {
     /// Sets the crash plan.
     pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
         self.crash_plan = plan;
+        self
+    }
+
+    /// Sets the schedule source consulted by the
+    /// [`VirtualExecutor`](crate::vexec::VirtualExecutor).
+    pub fn with_schedule(mut self, schedule: ScheduleSource) -> Self {
+        self.schedule = schedule;
         self
     }
 }

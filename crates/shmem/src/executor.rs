@@ -62,6 +62,11 @@ pub struct ExecutionOutcome<R> {
 }
 
 impl<R> ExecutionOutcome<R> {
+    /// Assembles an outcome from per-process reports (used by the executors).
+    pub(crate) fn from_outcomes(outcomes: Vec<(ProcessId, ProcessOutcome<R>)>) -> Self {
+        ExecutionOutcome { outcomes }
+    }
+
     /// Number of processes that participated (completed or crashed).
     pub fn len(&self) -> usize {
         self.outcomes.len()

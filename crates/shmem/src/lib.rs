@@ -19,6 +19,11 @@
 //! * [`executor`] — a multi-threaded execution harness that runs `k` processes
 //!   against a shared object and collects results, step statistics and crash
 //!   outcomes.
+//! * [`vexec`] — a deterministic *virtual* executor that serializes process
+//!   threads at every shared-memory operation behind per-process gates, so a
+//!   [`vexec::Scheduler`] chooses the interleaving step by step:
+//!   the substrate for systematic schedule exploration (the `mcheck` crate),
+//!   schedule replay and DPOR model checking.
 //! * [`pad`] — a 64-byte-aligned [`CachePadded`] wrapper used to keep
 //!   contended atomic words on distinct cache lines.
 //! * [`history`] — invoke/response history recording for concurrent objects.
@@ -61,11 +66,16 @@ pub mod pad;
 pub mod process;
 pub mod register;
 pub mod steps;
+pub mod vexec;
 
-pub use adversary::{ArrivalSchedule, CrashPlan, ExecConfig, YieldPolicy};
+pub use adversary::{ArrivalSchedule, CrashPlan, ExecConfig, ScheduleSource, YieldPolicy};
 pub use executor::{ExecutionOutcome, Executor, ProcessOutcome};
 pub use history::{History, OpRecord, Recorder};
 pub use pad::CachePadded;
 pub use process::{ProcessCtx, ProcessId};
 pub use register::{AtomicBoolRegister, AtomicU64Register, AtomicUsizeRegister, ValueRegister};
 pub use steps::{StepKind, StepStats};
+pub use vexec::{
+    AccessClass, ExecTrace, ExploreHandle, Loc, OpEvent, PendingOp, Schedule, Scheduler,
+    SchedulerDecision, VirtualExecutor, VirtualRun,
+};

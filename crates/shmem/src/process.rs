@@ -8,9 +8,11 @@
 
 use crate::adversary::YieldPolicy;
 use crate::steps::{StepKind, StepStats};
+use crate::vexec::{Gate, Loc, PendingOp, ScheduleAbort};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::sync::Arc;
 
 /// A process identifier — the process's *initial name* drawn from the large
 /// namespace of size `M` (§2). Identifiers need not be consecutive; renaming
@@ -109,6 +111,7 @@ pub struct ProcessCtx {
     yield_policy: YieldPolicy,
     crash_at: Option<u64>,
     flipped_since_last_shared_op: bool,
+    gate: Option<Arc<Gate>>,
 }
 
 impl ProcessCtx {
@@ -139,7 +142,15 @@ impl ProcessCtx {
             yield_policy,
             crash_at,
             flipped_since_last_shared_op: false,
+            gate: None,
         }
+    }
+
+    /// Installs the virtual executor's per-process gate: every subsequent
+    /// non-local recorded step parks on it before the operation executes,
+    /// handing the scheduling decision to the coordinator.
+    pub(crate) fn install_gate(&mut self, gate: Arc<Gate>) {
+        self.gate = Some(gate);
     }
 
     /// The process identifier (initial name).
@@ -155,12 +166,37 @@ impl ProcessCtx {
     /// Records one shared-memory step of the given kind, then applies the
     /// adversary's yield policy and crash plan.
     ///
+    /// Equivalent to [`ProcessCtx::record_at`] with the anonymous location
+    /// [`Loc::ANON`], which the schedule explorer treats as conflicting with
+    /// every other operation. Registers pass their real location through
+    /// `record_at`; call sites without a meaningful location (accounting
+    /// markers) can keep using `record`.
+    ///
     /// # Panics
     ///
     /// Panics with an internal [`CrashSignal`] payload when the configured
     /// crash step is reached; the executor converts this into a
     /// [`ProcessOutcome::Crashed`](crate::executor::ProcessOutcome) report.
     pub fn record(&mut self, kind: StepKind) {
+        self.record_at(kind, Loc::ANON);
+    }
+
+    /// Records one shared-memory step of the given kind on the given
+    /// location, then applies the adversary's yield policy and crash plan.
+    ///
+    /// This is the instrumentation point of the virtual executor
+    /// ([`VirtualExecutor`](crate::vexec::VirtualExecutor)): when a gate is
+    /// installed, the process parks here — *before* the operation's atomic
+    /// access executes — announcing `(kind, loc)`, and proceeds only once the
+    /// scheduler grants it the step.
+    ///
+    /// # Panics
+    ///
+    /// Panics with an internal [`CrashSignal`] payload when the configured
+    /// crash step is reached, and with an internal
+    /// [`ScheduleAbort`] payload when the
+    /// virtual executor abandons the execution.
+    pub fn record_at(&mut self, kind: StepKind, loc: Loc) {
         self.stats.record(kind);
         if kind != StepKind::CoinFlip {
             self.flipped_since_last_shared_op = false;
@@ -172,6 +208,17 @@ impl ProcessCtx {
                     steps: self.stats,
                 });
             }
+        }
+        if let Some(gate) = &self.gate {
+            let op = PendingOp::step(kind, loc);
+            if op.access != crate::vexec::AccessClass::Local {
+                let gate = Arc::clone(gate);
+                if !gate.park(op) {
+                    std::panic::panic_any(ScheduleAbort);
+                }
+            }
+            // Yields are meaningless under cooperative serialization.
+            return;
         }
         if self
             .yield_policy

@@ -14,14 +14,22 @@
 
 use crate::process::ProcessCtx;
 use crate::steps::StepKind;
+use crate::vexec::Loc;
 use parking_lot::RwLock;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// A multi-writer multi-reader atomic register holding a `u64`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AtomicU64Register {
     cell: AtomicU64,
+    loc: Loc,
+}
+
+impl Default for AtomicU64Register {
+    fn default() -> Self {
+        AtomicU64Register::new(0)
+    }
 }
 
 impl AtomicU64Register {
@@ -29,25 +37,32 @@ impl AtomicU64Register {
     pub fn new(initial: u64) -> Self {
         AtomicU64Register {
             cell: AtomicU64::new(initial),
+            loc: Loc::fresh(),
         }
+    }
+
+    /// The register's location identifier, used by the schedule explorer to
+    /// key read/write dependencies.
+    pub fn loc(&self) -> Loc {
+        self.loc
     }
 
     /// Atomically reads the register, charging one read step.
     pub fn read(&self, ctx: &mut ProcessCtx) -> u64 {
-        ctx.record(StepKind::RegisterRead);
+        ctx.record_at(StepKind::RegisterRead, self.loc);
         self.cell.load(Ordering::SeqCst)
     }
 
     /// Atomically writes the register, charging one write step.
     pub fn write(&self, ctx: &mut ProcessCtx, value: u64) {
-        ctx.record(StepKind::RegisterWrite);
+        ctx.record_at(StepKind::RegisterWrite, self.loc);
         self.cell.store(value, Ordering::SeqCst);
     }
 
     /// Atomically replaces the value, returning the previous one and charging
     /// one read-modify-write step.
     pub fn swap(&self, ctx: &mut ProcessCtx, value: u64) -> u64 {
-        ctx.record(StepKind::ReadModifyWrite);
+        ctx.record_at(StepKind::ReadModifyWrite, self.loc);
         self.cell.swap(value, Ordering::SeqCst)
     }
 
@@ -59,7 +74,7 @@ impl AtomicU64Register {
         expected: u64,
         new: u64,
     ) -> Result<u64, u64> {
-        ctx.record(StepKind::ReadModifyWrite);
+        ctx.record_at(StepKind::ReadModifyWrite, self.loc);
         self.cell
             .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
     }
@@ -67,7 +82,7 @@ impl AtomicU64Register {
     /// Atomically adds `delta`, returning the previous value and charging one
     /// read-modify-write step.
     pub fn fetch_add(&self, ctx: &mut ProcessCtx, delta: u64) -> u64 {
-        ctx.record(StepKind::ReadModifyWrite);
+        ctx.record_at(StepKind::ReadModifyWrite, self.loc);
         self.cell.fetch_add(delta, Ordering::SeqCst)
     }
 
@@ -79,9 +94,16 @@ impl AtomicU64Register {
 }
 
 /// A multi-writer multi-reader atomic register holding a `usize`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AtomicUsizeRegister {
     cell: AtomicUsize,
+    loc: Loc,
+}
+
+impl Default for AtomicUsizeRegister {
+    fn default() -> Self {
+        AtomicUsizeRegister::new(0)
+    }
 }
 
 impl AtomicUsizeRegister {
@@ -89,25 +111,31 @@ impl AtomicUsizeRegister {
     pub fn new(initial: usize) -> Self {
         AtomicUsizeRegister {
             cell: AtomicUsize::new(initial),
+            loc: Loc::fresh(),
         }
+    }
+
+    /// The register's location identifier (see [`AtomicU64Register::loc`]).
+    pub fn loc(&self) -> Loc {
+        self.loc
     }
 
     /// Atomically reads the register, charging one read step.
     pub fn read(&self, ctx: &mut ProcessCtx) -> usize {
-        ctx.record(StepKind::RegisterRead);
+        ctx.record_at(StepKind::RegisterRead, self.loc);
         self.cell.load(Ordering::SeqCst)
     }
 
     /// Atomically writes the register, charging one write step.
     pub fn write(&self, ctx: &mut ProcessCtx, value: usize) {
-        ctx.record(StepKind::RegisterWrite);
+        ctx.record_at(StepKind::RegisterWrite, self.loc);
         self.cell.store(value, Ordering::SeqCst);
     }
 
     /// Atomically replaces the value, returning the previous one and charging
     /// one read-modify-write step.
     pub fn swap(&self, ctx: &mut ProcessCtx, value: usize) -> usize {
-        ctx.record(StepKind::ReadModifyWrite);
+        ctx.record_at(StepKind::ReadModifyWrite, self.loc);
         self.cell.swap(value, Ordering::SeqCst)
     }
 
@@ -119,7 +147,7 @@ impl AtomicUsizeRegister {
         expected: usize,
         new: usize,
     ) -> Result<usize, usize> {
-        ctx.record(StepKind::ReadModifyWrite);
+        ctx.record_at(StepKind::ReadModifyWrite, self.loc);
         self.cell
             .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
     }
@@ -127,7 +155,7 @@ impl AtomicUsizeRegister {
     /// Atomically adds `delta`, returning the previous value and charging one
     /// read-modify-write step.
     pub fn fetch_add(&self, ctx: &mut ProcessCtx, delta: usize) -> usize {
-        ctx.record(StepKind::ReadModifyWrite);
+        ctx.record_at(StepKind::ReadModifyWrite, self.loc);
         self.cell.fetch_add(delta, Ordering::SeqCst)
     }
 
@@ -138,9 +166,16 @@ impl AtomicUsizeRegister {
 }
 
 /// A multi-writer multi-reader atomic register holding a `bool`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AtomicBoolRegister {
     cell: AtomicBool,
+    loc: Loc,
+}
+
+impl Default for AtomicBoolRegister {
+    fn default() -> Self {
+        AtomicBoolRegister::new(false)
+    }
 }
 
 impl AtomicBoolRegister {
@@ -148,18 +183,24 @@ impl AtomicBoolRegister {
     pub fn new(initial: bool) -> Self {
         AtomicBoolRegister {
             cell: AtomicBool::new(initial),
+            loc: Loc::fresh(),
         }
+    }
+
+    /// The register's location identifier (see [`AtomicU64Register::loc`]).
+    pub fn loc(&self) -> Loc {
+        self.loc
     }
 
     /// Atomically reads the register, charging one read step.
     pub fn read(&self, ctx: &mut ProcessCtx) -> bool {
-        ctx.record(StepKind::RegisterRead);
+        ctx.record_at(StepKind::RegisterRead, self.loc);
         self.cell.load(Ordering::SeqCst)
     }
 
     /// Atomically writes the register, charging one write step.
     pub fn write(&self, ctx: &mut ProcessCtx, value: bool) {
-        ctx.record(StepKind::RegisterWrite);
+        ctx.record_at(StepKind::RegisterWrite, self.loc);
         self.cell.store(value, Ordering::SeqCst);
     }
 
@@ -167,7 +208,7 @@ impl AtomicBoolRegister {
     /// and charging one read-modify-write step. This is the hardware
     /// test-and-set instruction.
     pub fn test_and_set(&self, ctx: &mut ProcessCtx) -> bool {
-        ctx.record(StepKind::ReadModifyWrite);
+        ctx.record_at(StepKind::ReadModifyWrite, self.loc);
         self.cell.swap(true, Ordering::SeqCst)
     }
 
@@ -185,6 +226,7 @@ impl AtomicBoolRegister {
 /// exists for compound values such as splitter states or labelled names.
 pub struct ValueRegister<T: Copy> {
     cell: RwLock<T>,
+    loc: Loc,
 }
 
 impl<T: Copy> ValueRegister<T> {
@@ -192,18 +234,24 @@ impl<T: Copy> ValueRegister<T> {
     pub fn new(initial: T) -> Self {
         ValueRegister {
             cell: RwLock::new(initial),
+            loc: Loc::fresh(),
         }
+    }
+
+    /// The register's location identifier (see [`AtomicU64Register::loc`]).
+    pub fn loc(&self) -> Loc {
+        self.loc
     }
 
     /// Atomically reads the register, charging one read step.
     pub fn read(&self, ctx: &mut ProcessCtx) -> T {
-        ctx.record(StepKind::RegisterRead);
+        ctx.record_at(StepKind::RegisterRead, self.loc);
         *self.cell.read()
     }
 
     /// Atomically writes the register, charging one write step.
     pub fn write(&self, ctx: &mut ProcessCtx, value: T) {
-        ctx.record(StepKind::RegisterWrite);
+        ctx.record_at(StepKind::RegisterWrite, self.loc);
         *self.cell.write() = value;
     }
 
@@ -216,7 +264,7 @@ impl<T: Copy> ValueRegister<T> {
     where
         F: FnOnce(T) -> T,
     {
-        ctx.record(StepKind::ReadModifyWrite);
+        ctx.record_at(StepKind::ReadModifyWrite, self.loc);
         let mut guard = self.cell.write();
         *guard = f(*guard);
         *guard

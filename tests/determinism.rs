@@ -1,0 +1,171 @@
+//! Determinism audit for the seeded executors.
+//!
+//! Replayable traces (`tests/schedules/*.trace`) only work if a seeded
+//! execution reproduces byte-identically: same schedule, same per-process
+//! step statistics, same recorded histories. The audit found no
+//! order-sensitive `HashMap`/`HashSet` iteration in any hot path (balancer
+//! and comparator maps are keyed lookups; the only iterations are
+//! order-independent sums), so determinism rests on the seeded RNG streams —
+//! which these tests pin down.
+
+use shmem::adversary::{CrashPlan, ExecConfig};
+use shmem::executor::Executor;
+use shmem::history::Recorder;
+use shmem::process::ProcessId;
+use shmem::register::AtomicU64Register;
+use shmem::vexec::{VirtualExecutor, VirtualRun};
+use std::sync::Arc;
+
+/// Runs a contended increment workload under a fresh seeded virtual
+/// executor and returns everything observable about the run.
+fn contended_virtual_run(
+    seed: u64,
+) -> (VirtualRun<u64>, shmem::history::History<&'static str, u64>) {
+    let counter = Arc::new(AtomicU64Register::new(0));
+    let recorder: Arc<Recorder<&'static str, u64>> = Arc::new(Recorder::new());
+    let run = VirtualExecutor::with_seed(seed).run(3, {
+        let counter = Arc::clone(&counter);
+        let recorder = Arc::clone(&recorder);
+        move |ctx| {
+            let mut last = 0;
+            for _ in 0..4 {
+                let invoke = recorder.invoke();
+                last = counter.fetch_add(ctx, 1);
+                recorder.record(ctx.id(), "inc", last, invoke);
+            }
+            last
+        }
+    });
+    (run, recorder.take_history())
+}
+
+/// Raw location ids are drawn from a global counter, so they differ between
+/// two independent builds of the same workload. Renaming them by first
+/// appearance in the event stream yields a canonical, comparable form.
+fn canonical_events(run: &VirtualRun<u64>) -> Vec<(usize, String, u64)> {
+    let mut names: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    run.trace
+        .events
+        .iter()
+        .map(|event| {
+            let raw = event.op.loc.as_u64();
+            let renamed = if event.op.loc.is_anon() {
+                0
+            } else {
+                let next = names.len() as u64 + 1;
+                *names.entry(raw).or_insert(next)
+            };
+            (
+                event.pid.as_usize(),
+                format!("{:?}/{:?}", event.op.kind, event.op.access),
+                renamed,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn seeded_virtual_executions_replay_byte_identically() {
+    for seed in [0, 7, 0xDEAD_BEEF] {
+        let (first, first_history) = contended_virtual_run(seed);
+        let (second, second_history) = contended_virtual_run(seed);
+
+        assert_eq!(
+            first.trace.schedule, second.trace.schedule,
+            "seed {seed}: schedules must be identical"
+        );
+        assert_eq!(
+            canonical_events(&first),
+            canonical_events(&second),
+            "seed {seed}: event streams must be identical modulo location naming"
+        );
+        assert_eq!(
+            first.outcome.per_process_steps(),
+            second.outcome.per_process_steps(),
+            "seed {seed}: per-process StepStats must be byte-identical"
+        );
+        assert_eq!(
+            first.outcome.results_sorted(),
+            second.outcome.results_sorted(),
+            "seed {seed}: results must be identical"
+        );
+        assert_eq!(
+            first_history, second_history,
+            "seed {seed}: recorded histories must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn distinct_seeds_explore_distinct_schedules() {
+    let (a, _) = contended_virtual_run(1);
+    let (b, _) = contended_virtual_run(2);
+    // Not a hard guarantee for any seed pair, but these two differ — which
+    // shows the seed actually steers the schedule rather than being ignored.
+    assert_ne!(a.trace.schedule, b.trace.schedule);
+}
+
+#[test]
+fn threaded_executor_step_stats_are_deterministic_without_contention() {
+    // Under real threads the interleaving is up to the OS, so only
+    // contention-free workloads have schedule-independent step counts: each
+    // process touches its own register. Two runs must agree byte-for-byte.
+    let run = || {
+        let slots: Vec<Arc<AtomicU64Register>> = (0..4)
+            .map(|_| Arc::new(AtomicU64Register::new(0)))
+            .collect();
+        let outcome = Executor::with_seed(42).run(4, {
+            let slots = slots.clone();
+            move |ctx| {
+                let slot = &slots[ctx.id().as_usize()];
+                for step in 0..5 {
+                    slot.write(ctx, step);
+                }
+                slot.read(ctx)
+            }
+        });
+        (outcome.per_process_steps(), outcome.results_sorted())
+    };
+    let (first_steps, first_results) = run();
+    let (second_steps, second_results) = run();
+    assert_eq!(first_steps, second_steps);
+    assert_eq!(first_results, second_results);
+}
+
+#[test]
+fn threaded_executor_crash_plans_reproduce_from_the_seed() {
+    // The per-process crash plan is derived from the configuration seed, so
+    // the set of crashed processes must agree across runs (and with the
+    // plan), even though thread interleaving varies.
+    let crashed = || {
+        let config = ExecConfig::new(9).with_crash_plan(CrashPlan::Fixed(vec![
+            Some(2),
+            None,
+            Some(1),
+            None,
+        ]));
+        let slots: Vec<Arc<AtomicU64Register>> = (0..4)
+            .map(|_| Arc::new(AtomicU64Register::new(0)))
+            .collect();
+        let outcome = Executor::new(config).run(4, {
+            let slots = slots.clone();
+            move |ctx| {
+                let slot = &slots[ctx.id().as_usize()];
+                for step in 0..8 {
+                    slot.write(ctx, step);
+                }
+                slot.read(ctx)
+            }
+        });
+        let completed: Vec<ProcessId> = outcome.completed().map(|(pid, _)| pid).collect();
+        completed
+    };
+    let first = crashed();
+    let second = crashed();
+    assert_eq!(first, second);
+    assert_eq!(
+        first,
+        vec![ProcessId::new(1), ProcessId::new(3)],
+        "processes 0 and 2 crash per the fixed plan"
+    );
+}

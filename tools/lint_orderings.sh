@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Atomics-ordering lint: forbids `Ordering::Relaxed` and `Ordering::AcqRel`
+# outside a small allowlist of modules whose protocols have been audited
+# end-to-end. Everything else must either use Acquire/Release/SeqCst or carry
+# an explicit same-line (or preceding-line) escape comment:
+#
+#     // lint: relaxed-ok(<reason>)
+#
+# The reason is mandatory — an empty `relaxed-ok()` does not pass. Comment
+# lines (including doc examples) are ignored; they are not executable code.
+#
+# Usage: tools/lint_orderings.sh   (exits non-zero listing every violation)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Modules whose relaxed/acq-rel use is audited as a whole.
+ALLOWLIST=(
+  crates/shmem/src/pad.rs
+  crates/cnet/src/balancer.rs
+  crates/core/src/free_list.rs
+)
+
+is_allowed() {
+  local file=$1 entry
+  for entry in "${ALLOWLIST[@]}"; do
+    [[ "$file" == "$entry" ]] && return 0
+  done
+  return 1
+}
+
+fail=0
+while IFS= read -r file; do
+  if is_allowed "$file"; then
+    continue
+  fi
+  violations=$(awk '
+    {
+      has_marker = ($0 ~ /lint: relaxed-ok\([^)]+\)/)
+      is_comment = ($0 ~ /^[[:space:]]*\/\//)
+      if (!is_comment && !has_marker && !prev_marker \
+          && $0 ~ /Ordering::(Relaxed|AcqRel)/) {
+        printf "%s:%d: %s\n", FILENAME, FNR, $0
+      }
+      prev_marker = has_marker
+    }
+  ' "$file")
+  if [[ -n "$violations" ]]; then
+    printf '%s\n' "$violations"
+    fail=1
+  fi
+done < <(git ls-files 'crates/*/src/*.rs' 'crates/*/src/**/*.rs' 'src/*.rs' 'src/**/*.rs')
+
+if [[ "$fail" -ne 0 ]]; then
+  echo >&2
+  echo "lint_orderings: forbidden memory orderings found." >&2
+  echo "Use Acquire/Release/SeqCst, or justify with '// lint: relaxed-ok(reason)'." >&2
+  exit 1
+fi
+echo "lint_orderings: clean"
