@@ -22,6 +22,10 @@
 //! * **`fetch_add`** — one hardware fetch-and-add per increment: the speed
 //!   of light for a single cache line, linearizable, and outside the
 //!   paper's register-only model.
+//! * **`network_mmap_procs`** (unix only) — the fixed-width network again,
+//!   but arena-resident in a `MAP_SHARED` mapping and incremented by real
+//!   `fork(2)` child processes: the cross-process deployment of the
+//!   counting network, priced against the threaded rows.
 //!
 //! Every thread count runs under two arrival schedules from
 //! `shmem::adversary`: **bursty** (all workers released simultaneously —
@@ -212,10 +216,129 @@ fn measure(
     }
 }
 
+/// Measures the fixed-width network counter shared across **forked OS
+/// processes** over a `MAP_SHARED` arena — the cross-process deployment of
+/// the counting network (balancer slabs and exit wires all arena-resident,
+/// children inheriting the compiled wiring by value). Bursty by
+/// construction: children spin on a start word and are released together.
+/// Step counts are reported back through arena words, since each child's
+/// `ProcessCtx` lives in its own address space.
+#[cfg(all(unix, not(miri)))]
+fn measure_network_procs(sizing: &Sizing, processes: usize) -> Sample {
+    use cnet::verify::has_step_property;
+    use shmem::arena::Arena;
+    use shmem::procs::{fork_child, wait_for_clean_exit};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let (family, width) = (CountingFamily::Bitonic, PROVISIONED_WIDTH);
+    let ops_per_worker = sizing.ops_per_worker;
+    let total_ops = (processes * ops_per_worker) as f64;
+    let mut total_ns = 0.0;
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns: f64 = 0.0;
+    let mut total_steps = 0u64;
+    let mut total_toggles = 0u64;
+    for execution in 0..sizing.executions {
+        // A fresh counter per execution, as in the threaded measure().
+        let arena =
+            Arena::shared(NetworkCounter::footprint(family, width) + (2 * processes + 3) * 64)
+                .expect("anonymous MAP_SHARED arena");
+        let counter = Arc::new(NetworkCounter::new_in(family, width, &arena));
+        let ready = arena.alloc::<AtomicU64>().pin(&arena);
+        let start_gate = arena.alloc::<AtomicU64>().pin(&arena);
+        let done = arena.alloc::<AtomicU64>().pin(&arena);
+        let steps = arena.alloc_slice::<AtomicU64>(processes).pin(&arena);
+        let toggles = arena.alloc_slice::<AtomicU64>(processes).pin(&arena);
+        let pids: Vec<i32> = (0..processes)
+            .map(|worker| {
+                // Pre-fork context; children only touch the shared mapping.
+                let ctx = ProcessCtx::new(
+                    ProcessId::new(worker),
+                    (execution * processes + worker) as u64,
+                );
+                let counter = Arc::clone(&counter);
+                let (ready, start_gate, done, steps, toggles) = (
+                    ready.clone(),
+                    start_gate.clone(),
+                    done.clone(),
+                    steps.clone(),
+                    toggles.clone(),
+                );
+                fork_child(move || {
+                    let mut ctx = ctx;
+                    ready.fetch_add(1, Ordering::SeqCst);
+                    while start_gate.load(Ordering::SeqCst) == 0 {
+                        std::hint::spin_loop();
+                    }
+                    for _ in 0..ops_per_worker {
+                        counter.increment(&mut ctx);
+                    }
+                    let stats = ctx.stats();
+                    steps[worker].store(stats.total_all(), Ordering::SeqCst);
+                    toggles[worker].store(stats.balancer_toggles, Ordering::SeqCst);
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        while ready.load(Ordering::SeqCst) < processes as u64 {
+            std::thread::yield_now();
+        }
+        let timer = Instant::now();
+        start_gate.store(1, Ordering::SeqCst);
+        while done.load(Ordering::SeqCst) < processes as u64 {
+            std::thread::yield_now();
+        }
+        let elapsed = timer.elapsed().as_nanos() as f64 / total_ops;
+        total_ns += elapsed;
+        min_ns = min_ns.min(elapsed);
+        max_ns = max_ns.max(elapsed);
+        for pid in pids {
+            wait_for_clean_exit(pid);
+        }
+        total_steps += steps
+            .iter()
+            .map(|word| word.load(Ordering::SeqCst))
+            .sum::<u64>();
+        total_toggles += toggles
+            .iter()
+            .map(|word| word.load(Ordering::SeqCst))
+            .sum::<u64>();
+
+        // Correctness gates at quiescence, as in the threaded rows: the
+        // count is exact across address spaces, the exit wires staircase.
+        assert_eq!(
+            counter.peek(),
+            total_ops as u64,
+            "network_mmap_procs at {processes} processes lost increments"
+        );
+        assert!(
+            has_step_property(&counter.exit_counts()),
+            "network_mmap_procs at {processes} processes: exit counts {:?} \
+             violate the step property",
+            counter.exit_counts()
+        );
+    }
+    let ops_all_executions = total_ops * sizing.executions as f64;
+    Sample {
+        backend: "network_mmap_procs",
+        threads: processes,
+        arrivals: Arrivals::Bursty,
+        network_width: width,
+        mean_ns_per_op: total_ns / sizing.executions as f64,
+        min_ns_per_op: min_ns,
+        max_ns_per_op: max_ns,
+        steps_per_op: total_steps as f64 / ops_all_executions,
+        toggles_per_op: total_toggles as f64 / ops_all_executions,
+    }
+}
+
 fn run_sweep(sizing: &Sizing) -> Vec<Sample> {
     let width = PROVISIONED_WIDTH;
     let mut samples = Vec::new();
     for &threads in sizing.threads {
+        // Forked clients over a MAP_SHARED arena: the cross-process row.
+        #[cfg(all(unix, not(miri)))]
+        samples.push(measure_network_procs(sizing, threads));
         for arrivals in Arrivals::all() {
             samples.push(measure(sizing, "monotone", threads, arrivals, 0, || {
                 let counter = <dyn Counter>::builder().monotone().build().unwrap();

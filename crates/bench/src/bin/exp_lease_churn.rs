@@ -21,6 +21,11 @@
 //!   the free list in batches of 8. One free-list operation per batch
 //!   instead of per release, at the price of the per-grant tight bound
 //!   (names stay unique and ≤ the concurrency bound).
+//! * **`RobustLeaseTable` over forked processes** (unix only) — real
+//!   `fork(2)` children churning the crash-robust lease table through a
+//!   `MAP_SHARED` arena, each stamping its OS pid as the lease owner. The
+//!   cross-process deployment the arena subsystem exists for, priced
+//!   against the in-process rows.
 //! * **`CasCounter`-style ticket dispenser** — one `fetch_add` per acquire,
 //!   one per release. As fast as the hardware allows, but the namespace
 //!   grows without bound: after `10^9` operations names are 10 decimal
@@ -232,6 +237,126 @@ fn network(capacity: usize) -> Arc<dyn Renaming> {
         .expect("valid configuration")
 }
 
+/// Measures the crash-robust lease table shared across **forked OS
+/// processes** over a `MAP_SHARED` arena: the cross-process analogue of the
+/// thread rows. Each child acquires and releases through the
+/// generation-stamped slot protocol with its pid as the owner stamp, so the
+/// row prices the full robust protocol (scan + CAS acquire, CAS release,
+/// releases-seqlock bump) on real shared memory. Timing runs gate-to-done —
+/// children spin on a start word, bump a done word after their last release
+/// — so fork and waitpid overhead stay out of the measurement.
+#[cfg(all(unix, not(miri)))]
+fn measure_robust_procs(sizing: &Sizing, processes: usize) -> Sample {
+    use adaptive_renaming::robust::RobustLeaseTable;
+    use shmem::arena::{os_pid, Arena};
+    use shmem::process::{ProcessCtx, ProcessId};
+    use shmem::procs::{fork_child, wait_for_clean_exit};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let calls_per_worker = sizing.ops_per_worker;
+    let total_ops = (processes * calls_per_worker) as f64;
+    // Table slots + releases register + barrier words + per-child report
+    // words (each allocation is rounded to its own 64-byte line).
+    let arena = Arena::shared(RobustLeaseTable::footprint(processes) + (processes + 3) * 64)
+        .expect("anonymous MAP_SHARED arena");
+    let table = Arc::new(RobustLeaseTable::with_capacity_in(&arena, processes));
+    let ready = arena.alloc::<AtomicU64>().pin(&arena);
+    let start_gate = arena.alloc::<AtomicU64>().pin(&arena);
+    let done = arena.alloc::<AtomicU64>().pin(&arena);
+    let reports = arena.alloc_slice::<AtomicU64>(processes).pin(&arena);
+
+    let mut total_ns = 0.0;
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns: f64 = 0.0;
+    for execution in 0..sizing.executions {
+        ready.store(0, Ordering::SeqCst);
+        start_gate.store(0, Ordering::SeqCst);
+        done.store(0, Ordering::SeqCst);
+        let pids: Vec<i32> = (0..processes)
+            .map(|worker| {
+                // Pre-fork context (fork discipline: children only touch
+                // atomics on the shared mapping).
+                let ctx = ProcessCtx::new(
+                    ProcessId::new(worker),
+                    (execution * processes + worker) as u64,
+                );
+                let table = Arc::clone(&table);
+                let (ready, start_gate, done, reports) = (
+                    ready.clone(),
+                    start_gate.clone(),
+                    done.clone(),
+                    reports.clone(),
+                );
+                fork_child(move || {
+                    let mut ctx = ctx;
+                    ready.fetch_add(1, Ordering::SeqCst);
+                    while start_gate.load(Ordering::SeqCst) == 0 {
+                        std::hint::spin_loop();
+                    }
+                    let mut worst = 0usize;
+                    for _ in 0..calls_per_worker {
+                        let name = table
+                            .acquire(&mut ctx, os_pid())
+                            .expect("table capacity equals the process count");
+                        worst = worst.max(name);
+                        table.release(&mut ctx, name);
+                    }
+                    reports[worker].fetch_max(worst as u64, Ordering::SeqCst);
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        // Wait until every child is spinning on the gate, so fork and child
+        // startup latency never lands inside the timed window.
+        while ready.load(Ordering::SeqCst) < processes as u64 {
+            std::thread::yield_now();
+        }
+        let timer = Instant::now();
+        start_gate.store(1, Ordering::SeqCst);
+        // Yield, don't spin: the parent must not steal a core from the
+        // children it is timing.
+        while done.load(Ordering::SeqCst) < processes as u64 {
+            std::thread::yield_now();
+        }
+        let elapsed = timer.elapsed().as_nanos() as f64 / total_ops;
+        total_ns += elapsed;
+        min_ns = min_ns.min(elapsed);
+        max_ns = max_ns.max(elapsed);
+        for pid in pids {
+            wait_for_clean_exit(pid);
+        }
+        assert_eq!(
+            table.live_leases(),
+            0,
+            "every lease must be released once the children are done"
+        );
+    }
+    let max_name = reports
+        .iter()
+        .map(|report| report.load(Ordering::SeqCst) as usize)
+        .max()
+        .unwrap_or(0);
+    let bound = Bound::Tight(processes);
+    assert!(
+        bound.admits(max_name),
+        "robust_mmap_procs at {processes} processes leaked name {max_name} \
+         past its tight bound of {processes}"
+    );
+    Sample {
+        variant: "robust_mmap_procs",
+        threads: processes,
+        mean_ns_per_op: total_ns / sizing.executions as f64,
+        min_ns_per_op: min_ns,
+        max_ns_per_op: max_ns,
+        max_name,
+        fresh_names: 0,
+        // Every completed HELD→FREE transition is a recycle of its slot.
+        recycled_names: table.transitions(),
+        bound,
+        inner_capacity: processes,
+    }
+}
+
 /// Measures a single recycler with the given free-list layout.
 fn measure_recycler(
     sizing: &Sizing,
@@ -397,6 +522,12 @@ fn run_sweep(sizing: &Sizing) -> Vec<Sample> {
                 }
             },
         ));
+
+        // --- Crash-robust lease table across forked OS processes ----------
+        // Real fork(2) children over a MAP_SHARED arena: the only row whose
+        // contenders are processes, not threads. Unix only.
+        #[cfg(all(unix, not(miri)))]
+        samples.push(measure_robust_procs(sizing, threads));
 
         // --- Ticket baseline: fetch-and-add acquire + release -------------
         let tickets = Arc::new(AtomicU64Register::new(0));

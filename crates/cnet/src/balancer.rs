@@ -15,11 +15,13 @@
 //! process's context, keeping the cost model centralized exactly like the
 //! register and test-and-set substrate in `shmem`.
 
+use shmem::arena::{Arena, ArenaCell};
 use shmem::process::ProcessCtx;
 use shmem::steps::StepKind;
 use shmem::Loc;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Direction a token leaves a balancer on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -51,12 +53,17 @@ pub enum BalancerSlot {
 /// place every toggle word on its own line: neighbouring balancers in a slab
 /// are hit by different tokens concurrently, and letting them share a line
 /// serializes those independent toggles through coherence traffic.
+/// A balancer built with [`Balancer::new_in`] instead stores its toggle word
+/// in a shared [`Arena`], so a slab of handle structs can stay process-local
+/// (copied freely across `fork`) while every process toggles the *same*
+/// arena-resident word.
 #[derive(Debug)]
 #[repr(align(64))]
 pub struct Balancer {
     /// Tokens that have passed through. The parity of the pre-increment
     /// value is the direction the token takes: even → top, odd → bottom.
-    passed: AtomicU64,
+    /// Inline by default; arena-resident for cross-process networks.
+    passed: ArenaCell<AtomicU64>,
     /// Identity of the toggle word for schedule exploration: two toggles on
     /// the same balancer are RMW conflicts, toggles on distinct balancers
     /// commute.
@@ -73,9 +80,19 @@ impl Balancer {
     /// Creates a balancer pointing at its top wire.
     pub fn new() -> Self {
         Balancer {
-            passed: AtomicU64::new(0),
+            passed: ArenaCell::inline(AtomicU64::new(0)),
             loc: Loc::fresh(),
         }
+    }
+
+    /// Creates a balancer whose toggle word lives in `arena` (on its own
+    /// 64-byte line, like every arena allocation), pointing at its top wire.
+    /// Its [`Loc`] is derived from the arena offset, so identical network
+    /// constructions produce identical location identities on every backend.
+    pub fn new_in(arena: &Arc<Arena>) -> Self {
+        let passed = ArenaCell::new_in(arena, AtomicU64::new(0));
+        let loc = passed.loc().expect("arena cells have derived locs");
+        Balancer { passed, loc }
     }
 
     /// The shared-memory location identity of this balancer's toggle word.
@@ -88,7 +105,12 @@ impl Balancer {
     #[inline]
     pub fn toggle(&self, ctx: &mut ProcessCtx) -> BalancerSlot {
         ctx.record_at(StepKind::Balancer, self.loc);
-        if self.passed.fetch_add(1, Ordering::AcqRel).is_multiple_of(2) {
+        if self
+            .passed
+            .get()
+            .fetch_add(1, Ordering::AcqRel)
+            .is_multiple_of(2)
+        {
             BalancerSlot::Top
         } else {
             BalancerSlot::Bottom
@@ -98,7 +120,7 @@ impl Balancer {
     /// Total tokens that have passed through, without charging a step
     /// (harness/test inspection only, never from algorithm code).
     pub fn tokens(&self) -> u64 {
-        self.passed.load(Ordering::Acquire)
+        self.passed.get().load(Ordering::Acquire)
     }
 
     /// Tokens sent to the top wire so far: `⌈tokens / 2⌉` in any quiescent
@@ -215,6 +237,30 @@ mod tests {
         let a = &slab[0] as *const Balancer as usize;
         let b = &slab[1] as *const Balancer as usize;
         assert!(b - a >= 64);
+    }
+
+    #[test]
+    fn arena_backed_balancers_toggle_the_shared_word() {
+        use shmem::arena::Arena;
+
+        let arena = Arena::heap(1 << 12);
+        let balancer = Balancer::new_in(&arena);
+        let twin = Balancer {
+            // A second handle over the same arena word (as a forked process
+            // would hold): toggles interleave through the shared state.
+            passed: ArenaCell::new_in(&arena, AtomicU64::new(0)),
+            loc: Loc::fresh(),
+        };
+        let mut ctx = ctx();
+        assert_eq!(balancer.toggle(&mut ctx), BalancerSlot::Top);
+        assert_ne!(
+            balancer.loc(),
+            twin.loc,
+            "distinct arena words have distinct locs"
+        );
+        assert_eq!(balancer.tokens(), 1);
+        // Arena-derived locs are stable offsets, not global-counter draws.
+        assert!(balancer.loc() != Loc::fresh());
     }
 
     #[test]

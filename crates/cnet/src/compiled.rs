@@ -12,9 +12,11 @@
 
 use crate::balancer::Balancer;
 use crate::network::{exit_wire, BalancingTopology};
+use shmem::arena::Arena;
 use sortnet::compiled::CompiledSchedule;
 use sortnet::schedule::ComparatorSchedule;
 use std::fmt;
+use std::sync::Arc;
 
 /// A balancing network lowered onto [`CompiledSchedule`]'s flat arrays.
 ///
@@ -51,6 +53,36 @@ impl CompiledBalancingNetwork {
             schedule,
             balancers,
         }
+    }
+
+    /// Like [`CompiledBalancingNetwork::compile`], but places every
+    /// balancer's toggle word in `arena` — the cross-process constructor.
+    /// The handle structs (wire map, slab of [`Balancer`] handles) stay
+    /// process-local and are inherited by value across `fork`; only the
+    /// toggle words they point at are shared. Allocates
+    /// [`CompiledBalancingNetwork::footprint`] arena bytes.
+    pub fn compile_in<S: ComparatorSchedule + ?Sized>(schedule: &S, arena: &Arc<Arena>) -> Self {
+        Self::from_schedule_in(CompiledSchedule::compile(schedule), arena)
+    }
+
+    /// Reinterprets an already-compiled schedule as balancer wiring with
+    /// arena-resident toggle words (see
+    /// [`CompiledBalancingNetwork::compile_in`]).
+    pub fn from_schedule_in(schedule: CompiledSchedule, arena: &Arc<Arena>) -> Self {
+        let balancers = (0..schedule.size())
+            .map(|_| Balancer::new_in(arena))
+            .collect();
+        CompiledBalancingNetwork {
+            schedule,
+            balancers,
+        }
+    }
+
+    /// The number of arena bytes [`CompiledBalancingNetwork::compile_in`]
+    /// allocates for a schedule of `size` comparators: one 64-byte line per
+    /// balancer toggle word.
+    pub fn footprint(size: usize) -> usize {
+        size * 64
     }
 
     /// The compiled schedule backing the wiring.
@@ -163,6 +195,33 @@ mod tests {
         );
         assert_eq!(compiled.balancer(0).tokens(), tokens[0]);
         assert!(format!("{compiled:?}").contains("CompiledBalancingNetwork"));
+    }
+
+    #[test]
+    fn arena_backed_network_routes_identically_to_the_private_one() {
+        use shmem::arena::Arena;
+
+        let schedule = CountingFamily::Bitonic.schedule(8);
+        let arena = Arena::heap(CompiledBalancingNetwork::footprint(
+            CompiledSchedule::compile(&*schedule).size(),
+        ));
+        let private = CompiledBalancingNetwork::compile(&*schedule);
+        let shared = CompiledBalancingNetwork::compile_in(&*schedule, &arena);
+        assert_eq!(
+            arena.used(),
+            CompiledBalancingNetwork::footprint(shared.size())
+        );
+        let mut a = ProcessCtx::new(ProcessId::new(0), 5);
+        let mut b = ProcessCtx::new(ProcessId::new(0), 5);
+        for token in 0..32 {
+            let wire = token % 8;
+            assert_eq!(
+                private.traverse(&mut a, wire),
+                shared.traverse(&mut b, wire),
+                "token {token}"
+            );
+        }
+        assert_eq!(private.balancer_tokens(), shared.balancer_tokens());
     }
 
     #[test]

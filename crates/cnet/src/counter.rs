@@ -25,10 +25,12 @@
 use crate::compiled::CompiledBalancingNetwork;
 use crate::family::CountingFamily;
 use crate::network::BalancingTopology;
+use shmem::arena::Arena;
 use shmem::pad::CachePadded;
 use shmem::process::ProcessCtx;
 use shmem::register::AtomicU64Register;
 use std::fmt;
+use std::sync::Arc;
 
 /// A quiescently-consistent counter over a balancing network.
 ///
@@ -65,6 +67,27 @@ impl NetworkCounter<CompiledBalancingNetwork> {
     pub fn new(family: CountingFamily, width: usize) -> Self {
         Self::with_network(CompiledBalancingNetwork::compile(&*family.schedule(width)))
     }
+
+    /// Like [`NetworkCounter::new`], but places every balancer toggle word
+    /// and every exit counter in `arena` — the cross-process constructor.
+    ///
+    /// # Panics
+    ///
+    /// As [`NetworkCounter::new`]; additionally panics if the arena runs out
+    /// of space (size it with [`NetworkCounter::footprint`]).
+    pub fn new_in(family: CountingFamily, width: usize, arena: &Arc<Arena>) -> Self {
+        Self::with_network_in(
+            CompiledBalancingNetwork::compile_in(&*family.schedule(width), arena),
+            arena,
+        )
+    }
+
+    /// The number of arena bytes [`NetworkCounter::new_in`] allocates: one
+    /// 64-byte line per balancer plus one per exit wire.
+    pub fn footprint(family: CountingFamily, width: usize) -> usize {
+        let size = CompiledBalancingNetwork::compile(&*family.schedule(width)).size();
+        CompiledBalancingNetwork::footprint(size) + width * 64
+    }
 }
 
 impl Default for NetworkCounter<CompiledBalancingNetwork> {
@@ -88,6 +111,17 @@ impl<T: BalancingTopology> NetworkCounter<T> {
     pub fn with_network(network: T) -> Self {
         let exits = (0..network.width())
             .map(|_| CachePadded::new(AtomicU64Register::new(0)))
+            .collect();
+        NetworkCounter { network, exits }
+    }
+
+    /// Like [`NetworkCounter::with_network`], but backs every exit counter
+    /// with an arena-resident word (each already on its own line, so the
+    /// [`CachePadded`] wrapper only keeps the handle struct's inline layout
+    /// uniform with the private build).
+    pub fn with_network_in(network: T, arena: &Arc<Arena>) -> Self {
+        let exits = (0..network.width())
+            .map(|_| CachePadded::new(AtomicU64Register::new_in(arena, 0)))
             .collect();
         NetworkCounter { network, exits }
     }
@@ -258,6 +292,21 @@ mod tests {
         let rendered = format!("{counter:?}");
         assert!(rendered.contains("NetworkCounter"));
         assert!(rendered.contains("tokens"));
+    }
+
+    #[test]
+    fn arena_backed_counter_counts_identically() {
+        use shmem::arena::Arena;
+
+        let arena = Arena::heap(NetworkCounter::footprint(CountingFamily::Bitonic, 4));
+        let counter = NetworkCounter::new_in(CountingFamily::Bitonic, 4, &arena);
+        assert_eq!(arena.remaining(), 0, "footprint is exact");
+        let mut ctx = ctx(0);
+        for expected in 0..12u64 {
+            assert_eq!(counter.fetch_increment(&mut ctx), expected);
+        }
+        assert_eq!(counter.read(&mut ctx), 12);
+        assert!(has_step_property(&counter.exit_counts()));
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::renaming_network::{LockedRenamingNetwork, RenamingNetwork};
 use crate::sharded::ShardedRecycler;
 use crate::traits::Renaming;
 use shmem::adversary::ExecConfig;
+use shmem::arena::Arena;
 use sortnet::family::{NetworkFamily, SortingFamily};
 use std::sync::Arc;
 use tas::hardware::HardwareTas;
@@ -100,6 +101,7 @@ pub struct RenamingBuilder {
     shards: usize,
     free_list: FreeListKind,
     lease_batch: usize,
+    arena: Option<Arc<Arena>>,
     seed: u64,
 }
 
@@ -117,6 +119,7 @@ impl Default for RenamingBuilder {
             shards: 1,
             free_list: FreeListKind::default(),
             lease_batch: 8,
+            arena: None,
             seed: 0,
         }
     }
@@ -259,6 +262,20 @@ impl RenamingBuilder {
     /// time.
     pub fn lease_batch(mut self, batch: usize) -> Self {
         self.lease_batch = batch;
+        self
+    }
+
+    /// Places the long-lived object's shared mutable state — free-list
+    /// words, admission counters, misuse diagnostics — in the given
+    /// [`Arena`] instead of private heap allocations, making the object
+    /// deployable across processes when the arena uses the
+    /// [`shared`](shmem::arena::ArenaBackend::Shared) backend. Size the
+    /// arena generously (the recycler layers report exact footprints via
+    /// [`Recycler::footprint`] / [`ShardedRecycler::footprint`]); the build
+    /// panics if the arena runs out of space. Ignored by the one-shot
+    /// [`RenamingBuilder::build`].
+    pub fn arena(mut self, arena: &Arc<Arena>) -> Self {
+        self.arena = Some(Arc::clone(arena));
         self
     }
 
@@ -447,19 +464,35 @@ impl RenamingBuilder {
                 });
             }
         }
-        let recycler: Arc<dyn LongLivedRenaming> = if self.shards == 1 {
-            let inner = inners.into_iter().next().expect("one shard");
-            Arc::new(Recycler::with_free_list(
-                inner,
-                per_shard_max,
-                self.free_list,
-            ))
-        } else {
-            Arc::new(ShardedRecycler::with_free_list(
+        let recycler: Arc<dyn LongLivedRenaming> = match (self.shards, &self.arena) {
+            (1, None) => {
+                let inner = inners.into_iter().next().expect("one shard");
+                Arc::new(Recycler::with_free_list(
+                    inner,
+                    per_shard_max,
+                    self.free_list,
+                ))
+            }
+            (1, Some(arena)) => {
+                let inner = inners.into_iter().next().expect("one shard");
+                Arc::new(Recycler::with_free_list_in(
+                    inner,
+                    per_shard_max,
+                    self.free_list,
+                    arena,
+                ))
+            }
+            (_, None) => Arc::new(ShardedRecycler::with_free_list(
                 inners,
                 per_shard_max,
                 self.free_list,
-            ))
+            )),
+            (_, Some(arena)) => Arc::new(ShardedRecycler::with_free_list_in(
+                inners,
+                per_shard_max,
+                self.free_list,
+                arena,
+            )),
         };
         if self.lease_batch > 1 {
             Ok(Arc::new(BatchedRecycler::new(recycler, self.lease_batch)))
@@ -716,6 +749,34 @@ mod tests {
         assert_eq!(sharded.live_leases(), 3);
         drop(batch);
         assert_eq!(sharded.live_leases(), 0);
+    }
+
+    #[test]
+    fn arena_backed_long_lived_objects_share_one_backing_store() {
+        // A builder pointed at an arena places every layer's hot words
+        // there; the object behaves identically to the heap build.
+        let arena = Arena::heap(1 << 16);
+        for shards in [1usize, 2] {
+            let before = arena.used();
+            let object = <dyn Renaming>::builder()
+                .network()
+                .capacity(8)
+                .sharded(shards)
+                .max_concurrent(4)
+                .arena(&arena)
+                .build_long_lived()
+                .unwrap();
+            assert!(
+                arena.used() > before,
+                "the build must consume arena space ({shards} shards)"
+            );
+            let mut ctx = ProcessCtx::new(ProcessId::new(0), 21);
+            for _ in 0..6 {
+                let lease = Arc::clone(&object).lease(&mut ctx).unwrap();
+                assert_eq!(lease.name(), 1, "{shards} shards");
+            }
+            assert_eq!(object.live_leases(), 0);
+        }
     }
 
     #[test]

@@ -76,9 +76,11 @@
 //! `n / 64`, which wasted bit 0 of word 0 and allocated one entire extra
 //! word whenever `bound % 64 == 0` — e.g. 2 words for a 64-name list.)
 
+use shmem::arena::{Arena, ArenaRef, ArenaSliceRef};
 use shmem::pad::CachePadded;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The layout of a [`FreeList`]'s bitmap.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -95,47 +97,96 @@ pub enum FreeListKind {
 /// bitmap (optionally two-level, see [`FreeListKind`] and the
 /// [module documentation](self)).
 pub struct FreeList {
+    /// The arena holding every mutable word below. Defaults to a private
+    /// heap arena sized by [`FreeList::footprint`]; pass a `MAP_SHARED`
+    /// arena to [`FreeList::with_kind_in`] to share the list across
+    /// processes.
+    arena: Arc<Arena>,
     /// The data words stay dense — the bitmap's density *is* the layout —
-    /// but the hot words around them are padded: the summary flags and the
-    /// seqlock are hit by every push from every thread, and letting them
-    /// share lines with each other (or with the data words' Box headers)
-    /// serializes otherwise-independent releases.
-    words: Box<[AtomicU64]>,
+    /// and the allocation starts on its own 64-byte line, so no data word
+    /// ever shares a line with foreign state (the old `Box<[AtomicU64]>`
+    /// layout let word 0 share its line with whatever the allocator placed
+    /// before it — the false-sharing hazard the arena placement retires).
+    /// Pinned (resolved once) so every scan is a plain slice walk.
+    words: ArenaSliceRef<AtomicU64>,
     /// One bit per data word; present only for the hierarchical layout.
     /// Each summary word is cache-padded: adjacent summary words cover
     /// disjoint 4096-name regions and are flagged concurrently.
-    summary: Option<Box<[CachePadded<AtomicU64>]>>,
-    /// Successful pushes so far (seqlock for coherent-miss detection),
-    /// padded onto its own line — it is the single most contended word in
-    /// the structure.
-    pushes: CachePadded<AtomicUsize>,
+    summary: Option<ArenaSliceRef<CachePadded<AtomicU64>>>,
+    /// Successful pushes so far (seqlock for coherent-miss detection). An
+    /// arena allocation owns its 64-byte line outright — it is the single
+    /// most contended word in the structure.
+    pushes: ArenaRef<AtomicUsize>,
     bound: usize,
 }
 
 impl FreeList {
     /// Creates an empty free list accepting names `1..=bound`, with the
-    /// default (hierarchical) layout.
+    /// default (hierarchical) layout, in a private heap arena.
     pub fn new(bound: usize) -> Self {
         Self::with_kind(bound, FreeListKind::default())
     }
 
     /// Creates an empty free list accepting names `1..=bound` with the given
-    /// layout.
+    /// layout, in a private heap arena (identical layout to the shared
+    /// backend; see [`FreeList::with_kind_in`]).
     pub fn with_kind(bound: usize, kind: FreeListKind) -> Self {
+        Self::with_kind_in(&Arena::heap(Self::footprint(bound, kind)), bound, kind)
+    }
+
+    /// Creates an empty free list whose words live in `arena` — the
+    /// cross-process constructor. The caller must reserve at least
+    /// [`FreeList::footprint`] bytes for it.
+    pub fn with_kind_in(arena: &Arc<Arena>, bound: usize, kind: FreeListKind) -> Self {
         let word_count = bound.div_ceil(64).max(1);
         FreeList {
-            words: (0..word_count).map(|_| AtomicU64::new(0)).collect(),
+            words: arena.alloc_slice::<AtomicU64>(word_count).pin(arena),
             summary: match kind {
                 FreeListKind::Flat => None,
                 FreeListKind::Hierarchical => Some(
-                    (0..word_count.div_ceil(64))
-                        .map(|_| CachePadded::new(AtomicU64::new(0)))
-                        .collect(),
+                    arena
+                        .alloc_slice::<CachePadded<AtomicU64>>(word_count.div_ceil(64))
+                        .pin(arena),
                 ),
             },
-            pushes: CachePadded::new(AtomicUsize::new(0)),
+            pushes: arena.alloc::<AtomicUsize>().pin(arena),
             bound,
+            arena: Arc::clone(arena),
         }
+    }
+
+    /// The number of arena bytes a `FreeList` of this shape allocates
+    /// (data words, summary words and the seqlock, each rounded to the
+    /// arena's 64-byte allocation grain).
+    pub fn footprint(bound: usize, kind: FreeListKind) -> usize {
+        let word_count = bound.div_ceil(64).max(1);
+        let round = |bytes: usize| bytes.div_ceil(64).max(1) * 64;
+        let data = round(word_count * 8);
+        let summary = match kind {
+            FreeListKind::Flat => 0,
+            FreeListKind::Hierarchical => word_count.div_ceil(64) * 64,
+        };
+        data + summary + 64
+    }
+
+    /// The arena backing this list.
+    pub fn arena(&self) -> &Arc<Arena> {
+        &self.arena
+    }
+
+    #[inline]
+    fn data(&self) -> &[AtomicU64] {
+        &self.words
+    }
+
+    #[inline]
+    fn flags(&self) -> Option<&[CachePadded<AtomicU64>]> {
+        self.summary.as_deref()
+    }
+
+    #[inline]
+    fn push_counter(&self) -> &AtomicUsize {
+        &self.pushes
     }
 
     /// The largest name the list can hold.
@@ -154,7 +205,7 @@ impl FreeList {
     /// Successful pushes so far. Together with [`FreeList::len`] this yields
     /// the number of successful pops: `pushes() - len()`.
     pub fn pushes(&self) -> usize {
-        self.pushes.load(Ordering::SeqCst)
+        self.push_counter().load(Ordering::SeqCst)
     }
 
     /// Marks `name` free; returns `false` (rejecting the push) if the name
@@ -163,7 +214,7 @@ impl FreeList {
         if !self.set_bit(name) {
             return false;
         }
-        self.pushes.fetch_add(1, Ordering::SeqCst);
+        self.push_counter().fetch_add(1, Ordering::SeqCst);
         true
     }
 
@@ -180,7 +231,7 @@ impl FreeList {
     pub fn push_many(&self, names: &[usize]) -> usize {
         let pushed = names.iter().filter(|&&name| self.set_bit(name)).count();
         if pushed > 0 {
-            self.pushes.fetch_add(pushed, Ordering::SeqCst);
+            self.push_counter().fetch_add(pushed, Ordering::SeqCst);
         }
         pushed
     }
@@ -193,11 +244,11 @@ impl FreeList {
             return false;
         }
         let (word, bit) = ((name - 1) / 64, 1u64 << ((name - 1) % 64));
-        let previous = self.words[word].fetch_or(bit, Ordering::SeqCst);
+        let previous = self.data()[word].fetch_or(bit, Ordering::SeqCst);
         if previous & bit != 0 {
             return false;
         }
-        if let Some(summary) = &self.summary {
+        if let Some(summary) = self.flags() {
             // Ensure the summary flag before this push can complete. The
             // bits are monotone (never cleared), so an observed-set flag is
             // set forever and the common case is one plain load. Skipping
@@ -219,14 +270,14 @@ impl FreeList {
     /// [`FreeList::pop_coherent`] when a miss must mean "observably empty at
     /// one instant".
     pub fn pop(&self) -> Option<usize> {
-        match &self.summary {
+        match self.flags() {
             None => self.pop_flat(),
             Some(summary) => self.pop_hierarchical(summary),
         }
     }
 
     fn pop_flat(&self) -> Option<usize> {
-        for (index, word) in self.words.iter().enumerate() {
+        for (index, word) in self.data().iter().enumerate() {
             if let Some(bit) = Self::claim_lowest(word) {
                 return Some(index * 64 + bit + 1);
             }
@@ -247,7 +298,7 @@ impl FreeList {
                 let summary_bit = flags.trailing_zeros() as usize;
                 flags &= !(1u64 << summary_bit);
                 let word_index = summary_index * 64 + summary_bit;
-                if let Some(bit) = Self::claim_lowest(&self.words[word_index]) {
+                if let Some(bit) = Self::claim_lowest(&self.data()[word_index]) {
                     return Some(word_index * 64 + bit + 1);
                 }
             }
@@ -279,11 +330,11 @@ impl FreeList {
     /// thread's completed release.
     pub fn pop_coherent(&self) -> Option<usize> {
         loop {
-            let before = self.pushes.load(Ordering::SeqCst);
+            let before = self.push_counter().load(Ordering::SeqCst);
             if let Some(name) = self.pop() {
                 return Some(name);
             }
-            if self.pushes.load(Ordering::SeqCst) == before {
+            if self.push_counter().load(Ordering::SeqCst) == before {
                 return None;
             }
         }
@@ -291,7 +342,7 @@ impl FreeList {
 
     /// The number of names currently free (`O(bound / 64)`; diagnostics).
     pub fn len(&self) -> usize {
-        self.words
+        self.data()
             .iter()
             .map(|word| word.load(Ordering::Relaxed).count_ones() as usize)
             .sum()
@@ -306,6 +357,17 @@ impl FreeList {
     /// that a zero-bound list still allocates one word).
     pub fn word_count(&self) -> usize {
         self.words.len()
+    }
+
+    /// The byte offsets (within the arena) of the data words, the summary
+    /// words and the seqlock — exposed so tests can assert the layout
+    /// (64-byte alignment, no line sharing between hot words).
+    pub fn layout_offsets(&self) -> (usize, Option<usize>, usize) {
+        (
+            self.words.offset(),
+            self.summary.as_ref().map(|s| s.offset()),
+            self.pushes.offset(),
+        )
     }
 }
 
@@ -493,6 +555,55 @@ mod tests {
             assert_eq!(list.pop_coherent(), None, "{kind:?}");
             assert_eq!(list.push_many(&[]), 0, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn hot_words_are_cache_line_aligned_and_disjoint() {
+        // The false-sharing hazard the arena placement retires: every hot
+        // region (data words, each summary word, the pushes seqlock) starts
+        // on its own 64-byte line, and no two of them share a line.
+        for kind in BOTH {
+            let list = FreeList::with_kind(8192, kind);
+            let (words_off, summary_off, pushes_off) = list.layout_offsets();
+            assert_eq!(words_off % 64, 0, "{kind:?}: data words line-aligned");
+            assert_eq!(pushes_off % 64, 0, "{kind:?}: seqlock line-aligned");
+            let data_bytes = list.word_count() * 8;
+            assert!(
+                pushes_off >= words_off + data_bytes.next_multiple_of(64)
+                    || words_off >= pushes_off + 64,
+                "{kind:?}: seqlock shares no line with data words"
+            );
+            if let Some(summary_off) = summary_off {
+                assert_eq!(summary_off % 64, 0, "{kind:?}: summary line-aligned");
+                assert_eq!(
+                    std::mem::size_of::<CachePadded<AtomicU64>>(),
+                    64,
+                    "each summary word owns a full line"
+                );
+            }
+            // The footprint helper really covers the allocation.
+            assert!(list.arena().used() <= FreeList::footprint(8192, kind));
+        }
+    }
+
+    #[test]
+    fn arena_backed_list_behaves_identically_to_private() {
+        use shmem::arena::Arena;
+
+        let arena = Arena::heap(FreeList::footprint(300, FreeListKind::Hierarchical));
+        let shared = FreeList::with_kind_in(&arena, 300, FreeListKind::Hierarchical);
+        let private = FreeList::new(300);
+        for name in [7usize, 1, 299, 64, 65] {
+            assert_eq!(shared.push(name), private.push(name));
+        }
+        loop {
+            let (a, b) = (shared.pop_coherent(), private.pop_coherent());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(shared.pushes(), private.pushes());
     }
 
     #[test]

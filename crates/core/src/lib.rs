@@ -91,6 +91,7 @@ pub mod loose;
 pub mod ltas;
 pub mod recycler;
 pub mod renaming_network;
+pub mod robust;
 pub mod sharded;
 pub mod temp_name;
 pub mod traits;
@@ -113,6 +114,7 @@ pub use loose::LooseRenaming;
 pub use ltas::BoundedTas;
 pub use recycler::Recycler;
 pub use renaming_network::{LockedRenamingNetwork, RenamingNetwork};
+pub use robust::RobustLeaseTable;
 pub use sharded::ShardedRecycler;
 pub use temp_name::TempName;
 pub use traits::Renaming;

@@ -45,6 +45,7 @@ use crate::error::RenamingError;
 use crate::free_list::{FreeList, FreeListKind};
 use crate::lease::{LongLivedRenaming, NameLease};
 use crate::traits::Renaming;
+use shmem::arena::{Arena, ArenaRef};
 use shmem::process::ProcessCtx;
 use shmem::steps::StepKind;
 use std::fmt;
@@ -91,8 +92,15 @@ const UNBOUNDED_FREELIST_HEADROOM: usize = 4;
 pub struct Recycler<R: Renaming> {
     inner: R,
     free: FreeList,
-    /// Next virtual participant index for fresh acquisitions.
-    tickets: AtomicUsize,
+    /// The arena holding the header counters below (shared with `free`).
+    /// The inner one-shot object stays process-local: fresh acquisitions
+    /// are served by whichever process runs them, while the recycling fast
+    /// path — the free list plus these counters — is fully shared.
+    arena: Arc<Arena>,
+    /// Next virtual participant index for fresh acquisitions. The header
+    /// counters are pinned ([`ArenaRef`]) so the admission fast path never
+    /// pays a per-access offset resolution.
+    tickets: ArenaRef<AtomicUsize>,
     max_concurrent: usize,
     /// Admission reservations that led to a grant (or crashed trying);
     /// rejected reservations unreserve themselves, completed releases never
@@ -101,9 +109,9 @@ pub struct Recycler<R: Renaming> {
     /// its name lands on the list — doubles as the admission release, saving
     /// an atomic read-modify-write per release and making it impossible for
     /// an in-flight release to stop counting as live too early.
-    granted: AtomicUsize,
-    peak: AtomicUsize,
-    leaked: AtomicUsize,
+    granted: ArenaRef<AtomicUsize>,
+    peak: ArenaRef<AtomicUsize>,
+    leaked: ArenaRef<AtomicUsize>,
 }
 
 impl<R: Renaming> Recycler<R> {
@@ -127,11 +135,41 @@ impl<R: Renaming> Recycler<R> {
     ///
     /// As [`Recycler::new`].
     pub fn with_free_list(inner: R, max_concurrent: usize, kind: FreeListKind) -> Self {
+        let bound = Self::checked_bound(&inner, max_concurrent);
+        let arena = Arena::heap(Self::footprint_for(bound, kind));
+        Self::build(inner, max_concurrent, kind, bound, arena)
+    }
+
+    /// Like [`Recycler::with_free_list`], but places the free list and the
+    /// header counters in the caller's `arena` — the cross-process
+    /// constructor. The caller must reserve at least
+    /// [`Recycler::footprint`] bytes for this recycler.
+    pub fn with_free_list_in(
+        inner: R,
+        max_concurrent: usize,
+        kind: FreeListKind,
+        arena: &Arc<Arena>,
+    ) -> Self {
+        let bound = Self::checked_bound(&inner, max_concurrent);
+        Self::build(inner, max_concurrent, kind, bound, Arc::clone(arena))
+    }
+
+    /// The number of arena bytes a recycler of this shape allocates: the
+    /// free list plus four header counter lines.
+    pub fn footprint(inner: &R, max_concurrent: usize, kind: FreeListKind) -> usize {
+        Self::footprint_for(Self::checked_bound(inner, max_concurrent), kind)
+    }
+
+    fn footprint_for(bound: usize, kind: FreeListKind) -> usize {
+        FreeList::footprint(bound, kind) + 4 * 64
+    }
+
+    fn checked_bound(inner: &R, max_concurrent: usize) -> usize {
         assert!(
             max_concurrent >= 1,
             "a recycler needs at least one concurrent lease"
         );
-        let bound = match inner.capacity() {
+        match inner.capacity() {
             Some(capacity) => {
                 assert!(
                     max_concurrent <= capacity,
@@ -141,16 +179,53 @@ impl<R: Renaming> Recycler<R> {
                 capacity
             }
             None => max_concurrent.saturating_mul(UNBOUNDED_FREELIST_HEADROOM),
-        };
+        }
+    }
+
+    fn build(
+        inner: R,
+        max_concurrent: usize,
+        kind: FreeListKind,
+        bound: usize,
+        arena: Arc<Arena>,
+    ) -> Self {
         Recycler {
             inner,
-            free: FreeList::with_kind(bound, kind),
-            tickets: AtomicUsize::new(0),
+            free: FreeList::with_kind_in(&arena, bound, kind),
+            tickets: arena.alloc::<AtomicUsize>().pin(&arena),
             max_concurrent,
-            granted: AtomicUsize::new(0),
-            peak: AtomicUsize::new(0),
-            leaked: AtomicUsize::new(0),
+            granted: arena.alloc::<AtomicUsize>().pin(&arena),
+            peak: arena.alloc::<AtomicUsize>().pin(&arena),
+            leaked: arena.alloc::<AtomicUsize>().pin(&arena),
+            arena,
         }
+    }
+
+    #[inline]
+    fn tickets(&self) -> &AtomicUsize {
+        &self.tickets
+    }
+
+    #[inline]
+    fn granted(&self) -> &AtomicUsize {
+        &self.granted
+    }
+
+    #[inline]
+    fn peak(&self) -> &AtomicUsize {
+        &self.peak
+    }
+
+    #[inline]
+    fn leaked(&self) -> &AtomicUsize {
+        &self.leaked
+    }
+
+    /// The arena holding the free list and the header counters (a private
+    /// heap arena unless the recycler was built with
+    /// [`Recycler::with_free_list_in`]).
+    pub fn arena(&self) -> &Arc<Arena> {
+        &self.arena
     }
 
     /// The wrapped one-shot object.
@@ -172,7 +247,7 @@ impl<R: Renaming> Recycler<R> {
 
     /// Names acquired fresh from the inner object so far.
     pub fn fresh_names(&self) -> usize {
-        self.tickets.load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
+        self.tickets().load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
     }
 
     /// Leases served from the free list (recycled names) so far, derived as
@@ -184,13 +259,13 @@ impl<R: Renaming> Recycler<R> {
 
     /// Peak number of simultaneously live leases observed so far.
     pub fn peak_leases(&self) -> usize {
-        self.peak.load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
+        self.peak().load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
     }
 
     /// Names lost to the recycling discipline (double releases or releases
     /// of out-of-range names). Zero in well-formed executions.
     pub fn leaked_names(&self) -> usize {
-        self.leaked.load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
+        self.leaked().load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
     }
 
     /// Names currently waiting on the free list (O(capacity); diagnostics).
@@ -201,7 +276,7 @@ impl<R: Renaming> Recycler<R> {
     /// Leases currently live (including in-flight releases and crashed
     /// attempts): total reservations granted minus completed releases.
     fn live_count(&self) -> usize {
-        self.granted
+        self.granted()
             .load(Ordering::SeqCst)
             .saturating_sub(self.free.pushes())
     }
@@ -218,17 +293,17 @@ impl<R: Renaming> Recycler<R> {
         // in-flight reservations are all counted, completed releases may
         // lag), so admission can spuriously reject under a race but can
         // never over-admit past `max_concurrent`.
-        let reserved = self.granted.fetch_add(1, Ordering::SeqCst) + 1;
+        let reserved = self.granted().fetch_add(1, Ordering::SeqCst) + 1;
         let live = reserved.saturating_sub(self.free.pushes());
         if live > self.max_concurrent {
-            self.granted.fetch_sub(1, Ordering::SeqCst);
+            self.granted().fetch_sub(1, Ordering::SeqCst);
             return Err(RenamingError::CapacityExceeded {
                 capacity: self.max_concurrent,
             });
         }
         // lint: relaxed-ok(peak watermark is advisory; fetch_max below is the RMW)
-        if live > self.peak.load(Ordering::Relaxed) {
-            self.peak.fetch_max(live, Ordering::AcqRel); // lint: relaxed-ok(monotone watermark RMW; AcqRel keeps concurrent maxes ordered)
+        if live > self.peak().load(Ordering::Relaxed) {
+            self.peak().fetch_max(live, Ordering::AcqRel); // lint: relaxed-ok(monotone watermark RMW; AcqRel keeps concurrent maxes ordered)
         }
 
         // Fast path: recycle a released name. The coherent pop only reports
@@ -241,7 +316,7 @@ impl<R: Renaming> Recycler<R> {
         match self.grant_fresh(ctx) {
             Ok(name) => Ok(name),
             Err(error) => {
-                self.granted.fetch_sub(1, Ordering::SeqCst);
+                self.granted().fetch_sub(1, Ordering::SeqCst);
                 Err(error)
             }
         }
@@ -251,7 +326,7 @@ impl<R: Renaming> Recycler<R> {
     /// fresh one as a new virtual participant. The caller owns the
     /// admission reservation and unreserves it on failure.
     fn grant_fresh(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
-        let participant = self.tickets.fetch_add(1, Ordering::AcqRel); // lint: relaxed-ok(ticket RMW is the acquisition point for the participant slot)
+        let participant = self.tickets().fetch_add(1, Ordering::AcqRel); // lint: relaxed-ok(ticket RMW is the acquisition point for the participant slot)
         match self.inner.acquire_as(ctx, participant) {
             Ok(name) => Ok(name),
             Err(error) => {
@@ -262,7 +337,7 @@ impl<R: Renaming> Recycler<R> {
                 // the counter when no later fresh acquisition raced past us;
                 // in that rare case the index stays burned — acceptable,
                 // since concurrent freshers are bounded by admission.
-                let _ = self.tickets.compare_exchange(
+                let _ = self.tickets().compare_exchange(
                     participant + 1,
                     participant,
                     Ordering::AcqRel, // lint: relaxed-ok(CAS success publishes the rollback; failure retries with a fresh load)
@@ -292,18 +367,18 @@ impl<R: Renaming> Recycler<R> {
         // One fetch_add reserves the whole batch; excess reservations are
         // returned immediately, so transient over-reservation never rejects
         // others spuriously for longer than this window.
-        let before = self.granted.fetch_add(count, Ordering::SeqCst);
+        let before = self.granted().fetch_add(count, Ordering::SeqCst);
         let live_before = before.saturating_sub(self.free.pushes());
         let admitted = self.max_concurrent.saturating_sub(live_before).min(count);
         if admitted < count {
-            self.granted.fetch_sub(count - admitted, Ordering::SeqCst);
+            self.granted().fetch_sub(count - admitted, Ordering::SeqCst);
         }
         if admitted == 0 {
             return (0, None);
         }
         // lint: relaxed-ok(peak watermark is advisory; fetch_max below is the RMW)
-        if live_before + admitted > self.peak.load(Ordering::Relaxed) {
-            self.peak
+        if live_before + admitted > self.peak().load(Ordering::Relaxed) {
+            self.peak()
                 .fetch_max(live_before + admitted, Ordering::AcqRel); // lint: relaxed-ok(monotone watermark RMW; AcqRel keeps concurrent maxes ordered)
         }
         let mut served = 0;
@@ -321,7 +396,8 @@ impl<R: Renaming> Recycler<R> {
                 Err(error) => {
                     // Unreserve the failing slot plus the not-yet-attempted
                     // remainder of the batch.
-                    self.granted.fetch_sub(admitted - served, Ordering::SeqCst);
+                    self.granted()
+                        .fetch_sub(admitted - served, Ordering::SeqCst);
                     return (served, Some(error));
                 }
             }
@@ -387,7 +463,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for Recycler<R> {
             // not count as another release — count the misuse and otherwise
             // treat the call as a no-op. (A rejected push does not bump the
             // seqlock, so `live_leases` is untouched automatically.)
-            self.leaked.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
+            self.leaked().fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
         }
         // No further bookkeeping: the successful push's seqlock bump *is*
         // the admission release, and it lands strictly after the name does —
@@ -400,7 +476,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for Recycler<R> {
     fn release_many_raw(&self, names: &[usize]) {
         let pushed = self.free.push_many(names);
         if pushed < names.len() {
-            self.leaked
+            self.leaked()
                 .fetch_add(names.len() - pushed, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
         }
     }

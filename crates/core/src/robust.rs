@@ -1,0 +1,531 @@
+//! Crash-robust long-lived renaming: generation-stamped lease slots with a
+//! liveness sweep.
+//!
+//! The recycling layers of this crate ([`Recycler`](crate::recycler::Recycler)
+//! and friends) assume every granted name is eventually released by its
+//! holder. Across OS processes over a shared-memory
+//! [`shmem::arena::Arena`] that assumption fails: a process that
+//! crashes mid-lease takes its names with it, permanently shrinking the
+//! namespace. [`RobustLeaseTable`] closes that hole with the classical
+//! slot-per-name lease protocol:
+//!
+//! * Name `n` is represented by one 64-bit slot word packing an **owner**
+//!   (32 bits, an OS pid in cross-process deployments), a **generation**
+//!   (31 bits, bumped once per grant) and a **held** flag.
+//! * `acquire` scans the slots from name 1 upward and claims the first free
+//!   one with a single CAS `FREE(g) → HELD(g+1, owner)`.
+//! * `release` performs the single CAS `HELD(g, owner) → FREE(g)`.
+//! * `sweep` re-reads every slot and performs the *same* CAS on slots whose
+//!   owner a liveness predicate declares dead.
+//!
+//! Because release and sweep compare against the exact word they observed,
+//! the `HELD(g) → FREE(g)` transition of every grant happens **exactly
+//! once**, no matter how a tardy releaser races a sweeper that presumed it
+//! dead — the losing CAS fails harmlessly, and a re-grant bumps the
+//! generation so stale CASes can never resurrect an old lease. That race is
+//! exhaustively model-checked in the `mcheck` crate's `robust_sweep_2p`
+//! scenario.
+//!
+//! **Namespace tightness.** `acquire` claims the lowest free slot, so a
+//! process granted name `m` observed slots `1..m` occupied during its
+//! winning scan: under point contention `k` the names stay in `1..=k` up to
+//! the transient reuse races every scan-based long-lived object has (the
+//! same loose bound as [`ShardedRecycler`](crate::sharded::ShardedRecycler),
+//! tight in the sequential and quiescent cases exercised by the tests).
+//!
+//! **ABA.** A generation wraps after `2³¹` grants of the same name; a CAS
+//! delayed across a full wrap of one slot could misfire. At one grant per
+//! microsecond that is a half-hour-long stall on one slot — accepted, like
+//! every bounded-tag scheme.
+//!
+//! All shared state lives in an [`Arena`], one cache line per slot, so the
+//! table works unchanged over the process-private heap backend (tests,
+//! model checking) and the `MAP_SHARED` mmap backend (the fork-based crash
+//! test in `tests/crash_reclaim.rs`).
+
+use crate::error::RenamingError;
+use crate::lease::{LongLivedRenaming, NameLease};
+use shmem::arena::Arena;
+use shmem::process::{ProcessCtx, ProcessId};
+use shmem::register::{AtomicU64Register, AtomicUsizeRegister};
+use std::fmt;
+use std::sync::Arc;
+
+/// Number of low bits holding the owner tag.
+const OWNER_BITS: u32 = 32;
+/// Mask extracting the owner tag.
+const OWNER_MASK: u64 = (1 << OWNER_BITS) - 1;
+/// Bit position of the generation field.
+const GEN_SHIFT: u32 = OWNER_BITS;
+/// Width of the generation field (bit 63 is the held flag).
+const GEN_BITS: u32 = 31;
+/// Mask for a generation value (applied before shifting).
+const GEN_MASK: u64 = (1 << GEN_BITS) - 1;
+/// The held flag: set while the slot's name is leased out.
+const HELD_BIT: u64 = 1 << 63;
+
+/// Packs a free slot word carrying the given generation.
+fn pack_free(generation: u64) -> u64 {
+    (generation & GEN_MASK) << GEN_SHIFT
+}
+
+/// Packs a held slot word carrying the given generation and owner.
+fn pack_held(generation: u64, owner: u32) -> u64 {
+    HELD_BIT | ((generation & GEN_MASK) << GEN_SHIFT) | owner as u64
+}
+
+/// Whether the slot word is currently held.
+fn is_held(word: u64) -> bool {
+    word & HELD_BIT != 0
+}
+
+/// The generation stamped in the slot word.
+fn generation(word: u64) -> u64 {
+    (word >> GEN_SHIFT) & GEN_MASK
+}
+
+/// The owner tag stamped in the slot word (meaningful while held).
+fn owner(word: u64) -> u32 {
+    (word & OWNER_MASK) as u32
+}
+
+/// The successor generation, wrapping within the 31-bit field.
+fn next_generation(generation: u64) -> u64 {
+    generation.wrapping_add(1) & GEN_MASK
+}
+
+/// A crash-robust lease table over arena-resident slot words.
+///
+/// # Example
+///
+/// ```
+/// use adaptive_renaming::robust::RobustLeaseTable;
+/// use shmem::process::{ProcessCtx, ProcessId};
+///
+/// let table = RobustLeaseTable::with_capacity(4);
+/// let mut ctx = ProcessCtx::new(ProcessId::new(0), 1);
+/// let name = table.acquire(&mut ctx, 71).unwrap();
+/// assert_eq!(name, 1);
+/// assert_eq!(table.holder(name), Some(71));
+/// // The owner crashes; a sweep with a liveness predicate reclaims it.
+/// assert_eq!(table.sweep(&mut ctx, |owner| owner == 71), 1);
+/// assert_eq!(table.holder(name), None);
+/// ```
+pub struct RobustLeaseTable {
+    arena: Arc<Arena>,
+    /// Slot `i` governs name `i + 1`; each register word is on its own
+    /// arena cache line.
+    slots: Vec<AtomicU64Register>,
+    /// Count of completed `HELD → FREE` transitions (by releasers *or*
+    /// sweepers). Doubles as the seqlock stamp that keeps exhaustion
+    /// reports coherent: an acquire whose scan found nothing re-checks this
+    /// counter and rescans if a release landed mid-scan.
+    releases: AtomicUsizeRegister,
+    capacity: usize,
+}
+
+impl RobustLeaseTable {
+    /// Creates a table of `capacity` names over a fresh process-private
+    /// arena sized exactly [`RobustLeaseTable::footprint`] bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_in(&Arena::heap(Self::footprint(capacity)), capacity)
+    }
+
+    /// Creates a table of `capacity` names whose slots live in the caller's
+    /// `arena` — the cross-process constructor. Allocates
+    /// [`RobustLeaseTable::footprint`] arena bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or the arena runs out of space.
+    pub fn with_capacity_in(arena: &Arc<Arena>, capacity: usize) -> Self {
+        assert!(capacity > 0, "a lease table needs at least one name");
+        let slots = (0..capacity)
+            .map(|_| AtomicU64Register::new_in(arena, pack_free(0)))
+            .collect();
+        RobustLeaseTable {
+            arena: Arc::clone(arena),
+            slots,
+            releases: AtomicUsizeRegister::new_in(arena, 0),
+            capacity,
+        }
+    }
+
+    /// The number of arena bytes the table allocates: one 64-byte line per
+    /// slot plus one for the release stamp.
+    pub fn footprint(capacity: usize) -> usize {
+        capacity * 64 + 64
+    }
+
+    /// The arena holding the table's shared state.
+    pub fn arena(&self) -> &Arc<Arena> {
+        &self.arena
+    }
+
+    /// The number of names the table governs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Acquires the lowest free name for `owner`, stamping the slot with a
+    /// fresh generation. In cross-process deployments the owner should be
+    /// the caller's OS pid ([`shmem::arena::os_pid`]) so
+    /// [`RobustLeaseTable::sweep_dead_processes`] can reclaim after a crash.
+    ///
+    /// Costs one read per scanned slot plus one CAS per claim attempt
+    /// (`O(capacity)` reads per scan; a scan repeats only when a concurrent
+    /// release or grant moved the table under it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenamingError::CapacityExceeded`] when every slot is held —
+    /// coherently: the failing scan is revalidated against the release
+    /// stamp, so a release that landed mid-scan triggers a rescan instead of
+    /// a spurious failure.
+    pub fn acquire(&self, ctx: &mut ProcessCtx, owner_tag: u32) -> Result<usize, RenamingError> {
+        loop {
+            let stamp = self.releases.read(ctx);
+            let mut progress = false;
+            for (index, slot) in self.slots.iter().enumerate() {
+                let mut word = slot.read(ctx);
+                while !is_held(word) {
+                    let claimed = pack_held(next_generation(generation(word)), owner_tag);
+                    match slot.compare_and_swap(ctx, word, claimed) {
+                        Ok(_) => return Ok(index + 1),
+                        Err(actual) => {
+                            // Lost the race for this slot; it may have been
+                            // re-freed with a newer generation, so re-read
+                            // rather than skipping ahead (skipping would
+                            // loosen the lowest-free-name discipline).
+                            word = actual;
+                            progress = true;
+                        }
+                    }
+                }
+            }
+            // Every slot was held at its read point. Report exhaustion only
+            // if no release landed while we scanned; otherwise the miss may
+            // be incoherent — rescan.
+            if !progress && self.releases.read(ctx) == stamp {
+                return Err(RenamingError::CapacityExceeded {
+                    capacity: self.capacity,
+                });
+            }
+        }
+    }
+
+    /// Releases a held name: the single CAS `HELD(g, owner) → FREE(g)`.
+    /// Returns whether **this call** performed the transition — `false`
+    /// means a sweeper (or an erroneous double release) got there first, in
+    /// which case the call changes nothing; the transition still happened
+    /// exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is outside `1..=capacity`.
+    pub fn release(&self, ctx: &mut ProcessCtx, name: usize) -> bool {
+        let slot = self.slot(name);
+        let word = slot.read(ctx);
+        if !is_held(word) {
+            return false;
+        }
+        if slot
+            .compare_and_swap(ctx, word, pack_free(generation(word)))
+            .is_ok()
+        {
+            self.releases.fetch_add(ctx, 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reclaims the names of dead owners: for every held slot whose owner
+    /// `is_dead` declares gone, performs the same `HELD(g) → FREE(g)` CAS a
+    /// release would, so a presumed-dead owner racing its own release
+    /// resolves to exactly one transition. Returns the number of names
+    /// reclaimed by this call.
+    ///
+    /// Correctness of the *namespace* (no two live holders of one name)
+    /// relies on the predicate never declaring a live owner dead; the
+    /// exactly-once transition holds regardless.
+    pub fn sweep(&self, ctx: &mut ProcessCtx, mut is_dead: impl FnMut(u32) -> bool) -> usize {
+        let mut reclaimed = 0;
+        for slot in &self.slots {
+            let word = slot.read(ctx);
+            if is_held(word)
+                && is_dead(owner(word))
+                && slot
+                    .compare_and_swap(ctx, word, pack_free(generation(word)))
+                    .is_ok()
+            {
+                self.releases.fetch_add(ctx, 1);
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Sweeps with the operating system as the liveness oracle: a held
+    /// slot's owner tag is interpreted as an OS pid and probed with
+    /// [`shmem::arena::os_process_alive`]. The sweep every surviving
+    /// process runs after a peer crashes mid-lease over a `MAP_SHARED`
+    /// arena (`tests/crash_reclaim.rs`).
+    #[cfg(all(unix, not(miri)))]
+    pub fn sweep_dead_processes(&self, ctx: &mut ProcessCtx) -> usize {
+        self.sweep(ctx, |pid| !shmem::arena::os_process_alive(pid))
+    }
+
+    /// The owner of a held name, or `None` if the name is free
+    /// (harness/test inspection only, never from algorithm code).
+    pub fn holder(&self, name: usize) -> Option<u32> {
+        let word = self.slot(name).peek();
+        is_held(word).then(|| owner(word))
+    }
+
+    /// The generation stamped on a name's slot (harness/test inspection).
+    pub fn generation_of(&self, name: usize) -> u64 {
+        generation(self.slot(name).peek())
+    }
+
+    /// The number of completed `HELD → FREE` transitions, by releasers and
+    /// sweepers combined (harness/test inspection). Exactly-once means this
+    /// equals the number of completed grants at any quiescent point.
+    pub fn transitions(&self) -> usize {
+        self.releases.peek()
+    }
+
+    fn slot(&self, name: usize) -> &AtomicU64Register {
+        assert!(
+            (1..=self.capacity).contains(&name),
+            "name {name} outside the table's 1..={} namespace",
+            self.capacity
+        );
+        &self.slots[name - 1]
+    }
+}
+
+impl LongLivedRenaming for RobustLeaseTable {
+    fn lease(self: Arc<Self>, ctx: &mut ProcessCtx) -> Result<NameLease, RenamingError> {
+        let name = self.lease_raw(ctx)?;
+        Ok(NameLease::new(name, self))
+    }
+
+    /// The trait path stamps ownership with the simulated process identity
+    /// (`ctx.id() + 1`, kept nonzero); cross-process callers use
+    /// [`RobustLeaseTable::acquire`] directly with their OS pid.
+    fn lease_raw(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+        let owner_tag = (ctx.id().as_u64() as u32).wrapping_add(1);
+        self.acquire(ctx, owner_tag)
+    }
+
+    fn release_raw(&self, name: usize) {
+        // The raw path has no caller context to charge; release through an
+        // ephemeral one (step accounting lands nowhere, exactly like the
+        // other recyclers' unaccounted release paths).
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), 0);
+        self.release(&mut ctx, name);
+    }
+
+    fn max_concurrent(&self) -> Option<usize> {
+        Some(self.capacity)
+    }
+
+    fn live_leases(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| is_held(slot.peek()))
+            .count()
+    }
+}
+
+impl fmt::Debug for RobustLeaseTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RobustLeaseTable")
+            .field("capacity", &self.capacity)
+            .field("live", &self.live_leases())
+            .field("transitions", &self.transitions())
+            .field("backend", &self.arena.backend())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(id: usize) -> ProcessCtx {
+        ProcessCtx::new(ProcessId::new(id), 17)
+    }
+
+    #[test]
+    fn slot_words_pack_and_unpack() {
+        for (g, o) in [(0u64, 0u32), (1, 71), (GEN_MASK, u32::MAX)] {
+            let free = pack_free(g);
+            assert!(!is_held(free));
+            assert_eq!(generation(free), g);
+            let held = pack_held(g, o);
+            assert!(is_held(held));
+            assert_eq!(generation(held), g);
+            assert_eq!(owner(held), o);
+        }
+        assert_eq!(next_generation(GEN_MASK), 0, "generations wrap in-field");
+        assert_eq!(
+            pack_free(GEN_MASK) & HELD_BIT,
+            0,
+            "gen never leaks into the flag"
+        );
+    }
+
+    #[test]
+    fn acquire_grants_lowest_free_names_and_bumps_generations() {
+        let table = RobustLeaseTable::with_capacity(3);
+        let mut ctx = ctx(0);
+        assert_eq!(table.acquire(&mut ctx, 7).unwrap(), 1);
+        assert_eq!(table.acquire(&mut ctx, 7).unwrap(), 2);
+        assert_eq!(table.holder(1), Some(7));
+        assert_eq!(table.generation_of(1), 1);
+        assert!(table.release(&mut ctx, 1));
+        assert_eq!(table.holder(1), None);
+        // The freed minimum is reused, with a bumped generation.
+        assert_eq!(table.acquire(&mut ctx, 9).unwrap(), 1);
+        assert_eq!(table.generation_of(1), 2);
+        assert_eq!(table.holder(1), Some(9));
+    }
+
+    #[test]
+    fn exhaustion_is_reported_and_recovers() {
+        let table = RobustLeaseTable::with_capacity(2);
+        let mut ctx = ctx(0);
+        table.acquire(&mut ctx, 1).unwrap();
+        table.acquire(&mut ctx, 1).unwrap();
+        assert!(matches!(
+            table.acquire(&mut ctx, 1),
+            Err(RenamingError::CapacityExceeded { capacity: 2 })
+        ));
+        assert!(table.release(&mut ctx, 2));
+        assert_eq!(table.acquire(&mut ctx, 1).unwrap(), 2);
+    }
+
+    #[test]
+    fn release_is_exactly_once() {
+        let table = RobustLeaseTable::with_capacity(2);
+        let mut ctx = ctx(0);
+        let name = table.acquire(&mut ctx, 3).unwrap();
+        assert!(table.release(&mut ctx, name));
+        assert!(!table.release(&mut ctx, name), "double release is a no-op");
+        assert_eq!(table.transitions(), 1);
+    }
+
+    #[test]
+    fn sweep_reclaims_dead_owners_only() {
+        let table = RobustLeaseTable::with_capacity(4);
+        let mut ctx = ctx(0);
+        let dead = table.acquire(&mut ctx, 100).unwrap();
+        let live = table.acquire(&mut ctx, 200).unwrap();
+        assert_eq!(table.sweep(&mut ctx, |o| o == 100), 1);
+        assert_eq!(table.holder(dead), None);
+        assert_eq!(table.holder(live), Some(200));
+        // The reclaimed minimum is immediately grantable again.
+        assert_eq!(table.acquire(&mut ctx, 300).unwrap(), dead);
+        // A second sweep for the same owner finds nothing.
+        assert_eq!(table.sweep(&mut ctx, |o| o == 100), 0);
+        assert_eq!(table.transitions(), 1);
+    }
+
+    #[test]
+    fn tardy_release_after_a_sweep_cannot_free_the_regrant() {
+        // The ABA guard: sweep frees HELD(g), a new grant takes the slot at
+        // g+1; the tardy owner's release must fail against the regrant.
+        let table = RobustLeaseTable::with_capacity(1);
+        let mut ctx = ctx(0);
+        let name = table.acquire(&mut ctx, 1).unwrap();
+        assert_eq!(table.sweep(&mut ctx, |_| true), 1);
+        assert_eq!(table.acquire(&mut ctx, 2).unwrap(), name);
+        // A release targeting the regrant *would* free it (release checks
+        // the held flag, not the caller's identity) — but the slot the
+        // tardy releaser observed carried generation 1, and a CAS against
+        // that stale word fails. Simulate it at the packing level:
+        assert_ne!(
+            pack_held(1, 1),
+            table.slot(name).peek(),
+            "the regrant's word differs, so the stale CAS cannot apply"
+        );
+        assert_eq!(table.generation_of(name), 2);
+    }
+
+    #[test]
+    fn arena_backed_table_has_an_exact_footprint() {
+        let arena = Arena::heap(RobustLeaseTable::footprint(8));
+        let table = RobustLeaseTable::with_capacity_in(&arena, 8);
+        assert_eq!(arena.remaining(), 0, "footprint is exact");
+        let mut ctx = ctx(0);
+        assert_eq!(table.acquire(&mut ctx, 5).unwrap(), 1);
+        assert_eq!(table.live_leases(), 1);
+    }
+
+    #[test]
+    fn the_long_lived_trait_surface_works() {
+        let table: Arc<dyn LongLivedRenaming> = Arc::new(RobustLeaseTable::with_capacity(4));
+        assert_eq!(table.max_concurrent(), Some(4));
+        let mut ctx = ctx(6);
+        let lease = Arc::clone(&table).lease(&mut ctx).unwrap();
+        assert_eq!(lease.name(), 1);
+        assert_eq!(table.live_leases(), 1);
+        drop(lease);
+        assert_eq!(table.live_leases(), 0);
+        let raw = table.lease_raw(&mut ctx).unwrap();
+        table.release_raw(raw);
+        assert_eq!(table.live_leases(), 0);
+    }
+
+    #[test]
+    fn concurrent_churn_with_a_lying_sweeper_transitions_exactly_once() {
+        // Threads churn acquire/release while a sweeper declares everyone
+        // dead: every grant's HELD → FREE transition must happen exactly
+        // once no matter who performs it.
+        let threads = 4usize;
+        let cycles = if cfg!(miri) { 10 } else { 300 };
+        let table = Arc::new(RobustLeaseTable::with_capacity(threads));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let sweeper = {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ctx = ctx(99);
+                let mut swept = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    swept += table.sweep(&mut ctx, |_| true);
+                }
+                swept
+            })
+        };
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let table = Arc::clone(&table);
+                std::thread::spawn(move || {
+                    let mut ctx = ctx(t);
+                    let mut granted = 0usize;
+                    for _ in 0..cycles {
+                        if let Ok(name) = table.acquire(&mut ctx, t as u32 + 1) {
+                            granted += 1;
+                            table.release(&mut ctx, name);
+                        }
+                    }
+                    granted
+                })
+            })
+            .collect();
+        let granted: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let swept = sweeper.join().unwrap();
+        // Quiescent now: every grant was freed by exactly one transition.
+        assert_eq!(table.live_leases(), 0);
+        assert_eq!(table.transitions(), granted);
+        assert!(swept <= granted);
+    }
+}

@@ -36,6 +36,7 @@ use crate::free_list::FreeListKind;
 use crate::lease::{LongLivedRenaming, NameLease};
 use crate::recycler::Recycler;
 use crate::traits::Renaming;
+use shmem::arena::{Arena, ArenaCell};
 use shmem::process::ProcessCtx;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -83,7 +84,9 @@ pub struct ShardedRecycler<R: Renaming> {
     span: usize,
     per_shard_max: usize,
     /// Releases of names outside every shard's range (misuse; diagnostics).
-    leaked: AtomicUsize,
+    /// Arena-resident when built with [`ShardedRecycler::with_free_list_in`]
+    /// so cross-process misuse is visible to every process.
+    leaked: ArenaCell<AtomicUsize>,
 }
 
 impl<R: Renaming> ShardedRecycler<R> {
@@ -113,6 +116,47 @@ impl<R: Renaming> ShardedRecycler<R> {
             .into_iter()
             .map(|inner| Recycler::with_free_list(inner, per_shard_max, kind))
             .collect();
+        Self::assemble(shards, per_shard_max, ArenaCell::default())
+    }
+
+    /// Like [`ShardedRecycler::with_free_list`], but places every shard's
+    /// free list and header counters in the caller's `arena` — the
+    /// cross-process constructor. Size the arena with
+    /// [`ShardedRecycler::footprint`].
+    pub fn with_free_list_in(
+        inners: Vec<R>,
+        per_shard_max: usize,
+        kind: FreeListKind,
+        arena: &Arc<Arena>,
+    ) -> Self {
+        assert!(!inners.is_empty(), "a sharded recycler needs a shard");
+        let shards: Box<[Recycler<R>]> = inners
+            .into_iter()
+            .map(|inner| Recycler::with_free_list_in(inner, per_shard_max, kind, arena))
+            .collect();
+        Self::assemble(
+            shards,
+            per_shard_max,
+            ArenaCell::new_in(arena, AtomicUsize::new(0)),
+        )
+    }
+
+    /// The number of arena bytes the sharded recycler allocates when built
+    /// with [`ShardedRecycler::with_free_list_in`]: one recycler footprint
+    /// per inner object plus the shared misuse counter line.
+    pub fn footprint(inners: &[R], per_shard_max: usize, kind: FreeListKind) -> usize {
+        inners
+            .iter()
+            .map(|inner| Recycler::footprint(inner, per_shard_max, kind))
+            .sum::<usize>()
+            + 64
+    }
+
+    fn assemble(
+        shards: Box<[Recycler<R>]>,
+        per_shard_max: usize,
+        leaked: ArenaCell<AtomicUsize>,
+    ) -> Self {
         let span = shards[0].name_bound();
         assert!(
             shards.iter().all(|shard| shard.name_bound() == span),
@@ -122,7 +166,7 @@ impl<R: Renaming> ShardedRecycler<R> {
             shards,
             span,
             per_shard_max,
-            leaked: AtomicUsize::new(0),
+            leaked,
         }
     }
 
@@ -162,7 +206,7 @@ impl<R: Renaming> ShardedRecycler<R> {
     /// Names lost to recycling misuse: double releases (counted by the
     /// owning shard) plus releases outside every shard's range.
     pub fn leaked_names(&self) -> usize {
-        self.leaked.load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
+        self.leaked.get().load(Ordering::Relaxed) // lint: relaxed-ok(diagnostic counter; no ordering dependency)
             + self
                 .shards
                 .iter()
@@ -200,7 +244,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for ShardedRecycler<R> {
                     // range. Contain it: count the leak (the admission slot
                     // stays burned, matching the per-shard recycler's
                     // leaked-name stance) and keep sweeping.
-                    self.leaked.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
+                    self.leaked.get().fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
                 }
                 // The home shard is full: overflow to the next one.
                 Err(RenamingError::CapacityExceeded { .. }) => continue,
@@ -263,7 +307,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for ShardedRecycler<R> {
                     out[index] = self.globalize(shard, local);
                     index += 1;
                 } else {
-                    self.leaked.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
+                    self.leaked.get().fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
                     out.swap_remove(index);
                 }
             }
@@ -286,7 +330,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for ShardedRecycler<R> {
         if name == 0 || name > self.shards.len() * self.span {
             // Unreachable through `NameLease`; count the misuse like the
             // per-shard recyclers do for their own ranges.
-            self.leaked.fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
+            self.leaked.get().fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(diagnostic counter; no ordering dependency)
             return;
         }
         let shard = (name - 1) / self.span;

@@ -17,6 +17,7 @@ use adaptive_renaming::counter::MonotoneCounter;
 use adaptive_renaming::lease::{assert_tight_lease_namespace, LeaseRecord, LongLivedRenaming};
 use adaptive_renaming::linear_probe::LinearProbeRenaming;
 use adaptive_renaming::recycler::Recycler;
+use adaptive_renaming::robust::RobustLeaseTable;
 use adaptive_renaming::traits::{assert_tight_namespace, Renaming};
 use cnet::counter::NetworkCounter;
 use cnet::family::CountingFamily;
@@ -213,6 +214,16 @@ pub fn all() -> Vec<ScenarioDef> {
             expect_violations: false,
             exhaustive: true,
             about: "lease/release churn through the recycler: tight lease namespace",
+        },
+        ScenarioDef {
+            name: "robust_sweep_2p",
+            procs: 2,
+            build: build_robust_sweep,
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "crash-robust lease table: a releaser races a sweeper that presumes \
+                    it dead — every grant's HELD→FREE transition happens exactly once",
         },
         ScenarioDef {
             name: "recycler_churn_3p",
@@ -672,6 +683,82 @@ fn build_recycler_churn(procs: usize, cycles: usize) -> BuiltScenario {
                     "{} fresh names but only {} returned to the free list",
                     recycler.fresh_names(),
                     recycler.free_names()
+                ));
+            }
+            Ok(())
+        }
+    });
+    BuiltScenario { body, check }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-robust lease reclamation.
+// ---------------------------------------------------------------------------
+
+fn build_robust_sweep() -> BuiltScenario {
+    // Process 0 churns name 1 (acquire/release twice, owner tag 1); process
+    // 1 sweeps the table twice with an adversarial liveness predicate that
+    // declares owner 1 dead while it is alive and releasing. The green
+    // oracle is the protocol's exactly-once guarantee: no interleaving of
+    // the release CAS and the sweep CAS may free a grant zero or two times,
+    // and a stale sweep CAS must never clobber a re-grant (the generation
+    // stamp's job).
+    let table = Arc::new(RobustLeaseTable::with_capacity(2));
+    let body: ScenarioBody = Arc::new({
+        let table = Arc::clone(&table);
+        move |ctx| {
+            if ctx.id().as_usize() == 0 {
+                let mut names = 0u64;
+                for _ in 0..2 {
+                    let name = table.acquire(ctx, 1).expect("capacity 2 covers one holder");
+                    names = names * 10 + name as u64;
+                    table.release(ctx, name);
+                }
+                names
+            } else {
+                let mut reclaimed = 0u64;
+                for _ in 0..2 {
+                    reclaimed += table.sweep(ctx, |owner| owner == 1) as u64;
+                }
+                reclaimed
+            }
+        }
+    });
+    let check: ScenarioCheck = Box::new({
+        let table = Arc::clone(&table);
+        move |run: &VirtualRun<u64>| {
+            let mut results = [0u64; 2];
+            for (pid, &value) in run.outcome.completed() {
+                results[pid.as_usize()] = value;
+            }
+            // Solo contention: the churner always gets the minimal name.
+            if results[0] != 11 {
+                return Err(format!(
+                    "the solo churner must be granted name 1 twice, got digits {}",
+                    results[0]
+                ));
+            }
+            if table.live_leases() != 0 {
+                return Err(format!(
+                    "{} leases leaked at quiescence",
+                    table.live_leases()
+                ));
+            }
+            // Exactly-once: two grants, two HELD→FREE transitions, no
+            // matter how release and sweep raced for them.
+            if table.transitions() != 2 {
+                return Err(format!(
+                    "expected exactly 2 transitions for 2 grants, saw {} \
+                     ({} of them by the sweeper)",
+                    table.transitions(),
+                    results[1]
+                ));
+            }
+            if table.generation_of(1) != 2 || table.generation_of(2) != 0 {
+                return Err(format!(
+                    "generation stamps corrupted: slot 1 at {}, slot 2 at {}",
+                    table.generation_of(1),
+                    table.generation_of(2)
                 ));
             }
             Ok(())

@@ -8,6 +8,10 @@
 //! processes may crash. This crate provides that substrate:
 //!
 //! * [`register`] — MWMR atomic registers with per-operation step accounting.
+//! * [`arena`] — a relocatable, offset-addressed backing store for shared
+//!   structures ([`arena::ArenaBox`]/[`arena::ArenaSlice`] handles resolving
+//!   `base + offset`), with a process-private heap backend and an anonymous
+//!   `MAP_SHARED` mmap backend for true cross-process operation.
 //! * [`steps`] — the paper's cost model: counts of shared-memory reads,
 //!   writes, read-modify-writes and test-and-set invocations per process.
 //! * [`process`] — [`ProcessId`] and
@@ -54,21 +58,33 @@
 //! assert!(outcome.total_steps().total() >= 16);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the arena and procs modules opt back in with
+// a scoped `#![allow(unsafe_code)]` — they are the only places raw memory
+// and raw OS calls are handled, and the reason this crate can back its
+// registers with a MAP_SHARED mapping shared across forked processes.
+// Everything else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod adversary;
+pub mod arena;
 pub mod consistency;
 pub mod executor;
 pub mod history;
 pub mod pad;
 pub mod process;
+#[cfg(all(unix, not(miri)))]
+pub mod procs;
 pub mod register;
 pub mod steps;
 pub mod vexec;
 
 pub use adversary::{ArrivalSchedule, CrashPlan, ExecConfig, ScheduleSource, YieldPolicy};
+pub use arena::{
+    Arena, ArenaBackend, ArenaBox, ArenaCell, ArenaError, ArenaPod, ArenaRef, ArenaSlice,
+    ArenaSliceRef,
+};
 pub use executor::{ExecutionOutcome, Executor, ProcessOutcome};
 pub use history::{History, OpRecord, Recorder};
 pub use pad::CachePadded;

@@ -12,17 +12,19 @@
 //! hardware test-and-set object that the paper's "unit-cost test-and-set"
 //! bounds assume.
 
+use crate::arena::{Arena, ArenaCell};
 use crate::process::ProcessCtx;
 use crate::steps::StepKind;
 use crate::vexec::Loc;
 use parking_lot::RwLock;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A multi-writer multi-reader atomic register holding a `u64`.
 #[derive(Debug)]
 pub struct AtomicU64Register {
-    cell: AtomicU64,
+    cell: ArenaCell<AtomicU64>,
     loc: Loc,
 }
 
@@ -36,8 +38,20 @@ impl AtomicU64Register {
     /// Creates a register with the given initial value.
     pub fn new(initial: u64) -> Self {
         AtomicU64Register {
-            cell: AtomicU64::new(initial),
+            cell: ArenaCell::inline(AtomicU64::new(initial)),
             loc: Loc::fresh(),
+        }
+    }
+
+    /// Creates a register whose word lives in `arena`, on its own cache
+    /// line. The register's [`Loc`] is derived from the word's offset
+    /// ([`Arena::loc_for`]), so conflict classes are identical on every
+    /// backend and across processes sharing the arena.
+    pub fn new_in(arena: &Arc<Arena>, initial: u64) -> Self {
+        let cell = ArenaCell::new_in(arena, AtomicU64::new(initial));
+        AtomicU64Register {
+            loc: cell.loc().expect("arena cells have derived locs"),
+            cell,
         }
     }
 
@@ -50,20 +64,20 @@ impl AtomicU64Register {
     /// Atomically reads the register, charging one read step.
     pub fn read(&self, ctx: &mut ProcessCtx) -> u64 {
         ctx.record_at(StepKind::RegisterRead, self.loc);
-        self.cell.load(Ordering::SeqCst)
+        self.cell.get().load(Ordering::SeqCst)
     }
 
     /// Atomically writes the register, charging one write step.
     pub fn write(&self, ctx: &mut ProcessCtx, value: u64) {
         ctx.record_at(StepKind::RegisterWrite, self.loc);
-        self.cell.store(value, Ordering::SeqCst);
+        self.cell.get().store(value, Ordering::SeqCst);
     }
 
     /// Atomically replaces the value, returning the previous one and charging
     /// one read-modify-write step.
     pub fn swap(&self, ctx: &mut ProcessCtx, value: u64) -> u64 {
         ctx.record_at(StepKind::ReadModifyWrite, self.loc);
-        self.cell.swap(value, Ordering::SeqCst)
+        self.cell.get().swap(value, Ordering::SeqCst)
     }
 
     /// Atomically performs compare-and-swap, charging one read-modify-write
@@ -76,6 +90,7 @@ impl AtomicU64Register {
     ) -> Result<u64, u64> {
         ctx.record_at(StepKind::ReadModifyWrite, self.loc);
         self.cell
+            .get()
             .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
     }
 
@@ -83,20 +98,20 @@ impl AtomicU64Register {
     /// read-modify-write step.
     pub fn fetch_add(&self, ctx: &mut ProcessCtx, delta: u64) -> u64 {
         ctx.record_at(StepKind::ReadModifyWrite, self.loc);
-        self.cell.fetch_add(delta, Ordering::SeqCst)
+        self.cell.get().fetch_add(delta, Ordering::SeqCst)
     }
 
     /// Reads the register without charging any step. Intended for harness and
     /// test inspection only, never from algorithm code.
     pub fn peek(&self) -> u64 {
-        self.cell.load(Ordering::SeqCst)
+        self.cell.get().load(Ordering::SeqCst)
     }
 }
 
 /// A multi-writer multi-reader atomic register holding a `usize`.
 #[derive(Debug)]
 pub struct AtomicUsizeRegister {
-    cell: AtomicUsize,
+    cell: ArenaCell<AtomicUsize>,
     loc: Loc,
 }
 
@@ -110,8 +125,18 @@ impl AtomicUsizeRegister {
     /// Creates a register with the given initial value.
     pub fn new(initial: usize) -> Self {
         AtomicUsizeRegister {
-            cell: AtomicUsize::new(initial),
+            cell: ArenaCell::inline(AtomicUsize::new(initial)),
             loc: Loc::fresh(),
+        }
+    }
+
+    /// Creates a register whose word lives in `arena`, on its own cache
+    /// line (see [`AtomicU64Register::new_in`]).
+    pub fn new_in(arena: &Arc<Arena>, initial: usize) -> Self {
+        let cell = ArenaCell::new_in(arena, AtomicUsize::new(initial));
+        AtomicUsizeRegister {
+            loc: cell.loc().expect("arena cells have derived locs"),
+            cell,
         }
     }
 
@@ -123,20 +148,20 @@ impl AtomicUsizeRegister {
     /// Atomically reads the register, charging one read step.
     pub fn read(&self, ctx: &mut ProcessCtx) -> usize {
         ctx.record_at(StepKind::RegisterRead, self.loc);
-        self.cell.load(Ordering::SeqCst)
+        self.cell.get().load(Ordering::SeqCst)
     }
 
     /// Atomically writes the register, charging one write step.
     pub fn write(&self, ctx: &mut ProcessCtx, value: usize) {
         ctx.record_at(StepKind::RegisterWrite, self.loc);
-        self.cell.store(value, Ordering::SeqCst);
+        self.cell.get().store(value, Ordering::SeqCst);
     }
 
     /// Atomically replaces the value, returning the previous one and charging
     /// one read-modify-write step.
     pub fn swap(&self, ctx: &mut ProcessCtx, value: usize) -> usize {
         ctx.record_at(StepKind::ReadModifyWrite, self.loc);
-        self.cell.swap(value, Ordering::SeqCst)
+        self.cell.get().swap(value, Ordering::SeqCst)
     }
 
     /// Atomically performs compare-and-swap, charging one read-modify-write
@@ -149,6 +174,7 @@ impl AtomicUsizeRegister {
     ) -> Result<usize, usize> {
         ctx.record_at(StepKind::ReadModifyWrite, self.loc);
         self.cell
+            .get()
             .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
     }
 
@@ -156,19 +182,19 @@ impl AtomicUsizeRegister {
     /// read-modify-write step.
     pub fn fetch_add(&self, ctx: &mut ProcessCtx, delta: usize) -> usize {
         ctx.record_at(StepKind::ReadModifyWrite, self.loc);
-        self.cell.fetch_add(delta, Ordering::SeqCst)
+        self.cell.get().fetch_add(delta, Ordering::SeqCst)
     }
 
     /// Reads the register without charging any step (harness/test use only).
     pub fn peek(&self) -> usize {
-        self.cell.load(Ordering::SeqCst)
+        self.cell.get().load(Ordering::SeqCst)
     }
 }
 
 /// A multi-writer multi-reader atomic register holding a `bool`.
 #[derive(Debug)]
 pub struct AtomicBoolRegister {
-    cell: AtomicBool,
+    cell: ArenaCell<AtomicBool>,
     loc: Loc,
 }
 
@@ -182,8 +208,18 @@ impl AtomicBoolRegister {
     /// Creates a register with the given initial value.
     pub fn new(initial: bool) -> Self {
         AtomicBoolRegister {
-            cell: AtomicBool::new(initial),
+            cell: ArenaCell::inline(AtomicBool::new(initial)),
             loc: Loc::fresh(),
+        }
+    }
+
+    /// Creates a register whose word lives in `arena`, on its own cache
+    /// line (see [`AtomicU64Register::new_in`]).
+    pub fn new_in(arena: &Arc<Arena>, initial: bool) -> Self {
+        let cell = ArenaCell::new_in(arena, AtomicBool::new(initial));
+        AtomicBoolRegister {
+            loc: cell.loc().expect("arena cells have derived locs"),
+            cell,
         }
     }
 
@@ -195,13 +231,13 @@ impl AtomicBoolRegister {
     /// Atomically reads the register, charging one read step.
     pub fn read(&self, ctx: &mut ProcessCtx) -> bool {
         ctx.record_at(StepKind::RegisterRead, self.loc);
-        self.cell.load(Ordering::SeqCst)
+        self.cell.get().load(Ordering::SeqCst)
     }
 
     /// Atomically writes the register, charging one write step.
     pub fn write(&self, ctx: &mut ProcessCtx, value: bool) {
         ctx.record_at(StepKind::RegisterWrite, self.loc);
-        self.cell.store(value, Ordering::SeqCst);
+        self.cell.get().store(value, Ordering::SeqCst);
     }
 
     /// Atomically sets the register to `true`, returning the previous value
@@ -209,12 +245,12 @@ impl AtomicBoolRegister {
     /// test-and-set instruction.
     pub fn test_and_set(&self, ctx: &mut ProcessCtx) -> bool {
         ctx.record_at(StepKind::ReadModifyWrite, self.loc);
-        self.cell.swap(true, Ordering::SeqCst)
+        self.cell.get().swap(true, Ordering::SeqCst)
     }
 
     /// Reads the register without charging any step (harness/test use only).
     pub fn peek(&self) -> bool {
-        self.cell.load(Ordering::SeqCst)
+        self.cell.get().load(Ordering::SeqCst)
     }
 }
 
@@ -224,6 +260,10 @@ impl AtomicBoolRegister {
 /// Single-word registers ([`AtomicU64Register`], [`AtomicUsizeRegister`],
 /// [`AtomicBoolRegister`]) should be preferred where they fit; this type
 /// exists for compound values such as splitter states or labelled names.
+///
+/// `ValueRegister` is the one register that cannot be arena-backed: its
+/// lock is address-space-local state, so it has no `new_in`. Structures
+/// that must work across processes use the single-word registers.
 pub struct ValueRegister<T: Copy> {
     cell: RwLock<T>,
     loc: Loc,
@@ -357,6 +397,43 @@ mod tests {
         let reg: ValueRegister<u8> = ValueRegister::default();
         assert_eq!(reg.peek(), 0);
         assert!(format!("{reg:?}").contains("ValueRegister"));
+    }
+
+    #[test]
+    fn arena_backed_registers_behave_identically() {
+        use crate::arena::Arena;
+
+        let mut ctx = ctx();
+        let arena = Arena::heap(4096);
+        let reg = AtomicU64Register::new_in(&arena, 5);
+        assert_eq!(reg.read(&mut ctx), 5);
+        reg.write(&mut ctx, 9);
+        assert_eq!(reg.swap(&mut ctx, 11), 9);
+        assert_eq!(reg.compare_and_swap(&mut ctx, 11, 20), Ok(11));
+        assert_eq!(reg.fetch_add(&mut ctx, 2), 20);
+        assert_eq!(reg.peek(), 22);
+
+        let flag = AtomicBoolRegister::new_in(&arena, false);
+        assert!(!flag.test_and_set(&mut ctx));
+        assert!(flag.test_and_set(&mut ctx));
+
+        let count = AtomicUsizeRegister::new_in(&arena, 1);
+        assert_eq!(count.fetch_add(&mut ctx, 3), 1);
+        assert_eq!(count.peek(), 4);
+    }
+
+    #[test]
+    fn arena_backed_locs_are_offset_derived_and_distinct() {
+        use crate::arena::Arena;
+
+        let arena = Arena::heap(4096);
+        let a = AtomicU64Register::new_in(&arena, 0);
+        let b = AtomicU64Register::new_in(&arena, 0);
+        assert_ne!(a.loc(), b.loc());
+        assert!(a.loc().as_u64() & (1 << 63) != 0, "arena-derived loc tag");
+        // A heap register's loc comes from the global counter: untagged.
+        let c = AtomicU64Register::new(0);
+        assert_eq!(c.loc().as_u64() & (1 << 63), 0);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Cross-process crash tests over the `MAP_SHARED` arena backend.
+//!
+//! These tests `fork(2)` real child processes against an anonymous shared
+//! mapping ([`Arena::shared`]) and verify the two cross-process claims of the
+//! shared-memory substrate:
+//!
+//! * **Visibility** — atomic words allocated in a shared arena are the same
+//!   physical memory in every forked process; handle structs (`ArenaBox`,
+//!   compiled network wiring, lease-table slot vectors) are inherited by
+//!   value and keep resolving against the shared base.
+//! * **Crash-robust reclamation** — a child SIGKILLed mid-lease leaves its
+//!   slot `HELD(pid)`; the surviving parent's
+//!   [`RobustLeaseTable::sweep_dead_processes`] probes the pid, reclaims the
+//!   name, and the namespace stays tight.
+//!
+//! The fork discipline (allocate everything before the fork; children touch
+//! only atomics on the shared mapping and then `_exit`) is enforced by the
+//! [`shmem::procs`] helpers these tests are built on.
+
+#![cfg(all(unix, not(miri)))]
+
+use adaptive_renaming::lease::LongLivedRenaming;
+use adaptive_renaming::robust::RobustLeaseTable;
+use shmem::arena::{os_pid, os_process_alive, Arena, ArenaBackend};
+use shmem::process::{ProcessCtx, ProcessId};
+use shmem::procs::{fork_child, kill_child, wait_child, wait_for_clean_exit};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn shared_arena_words_are_visible_across_fork() {
+    let arena = Arena::shared(1 << 12).expect("anonymous MAP_SHARED mapping");
+    assert_eq!(arena.backend(), ArenaBackend::Shared);
+    let word = arena.alloc::<AtomicU64>();
+
+    let pid = fork_child({
+        let arena = Arc::clone(&arena);
+        move || {
+            word.get(&arena).store(0xC0FFEE, Ordering::SeqCst);
+        }
+    });
+    wait_for_clean_exit(pid);
+    assert_eq!(
+        word.get(&arena).load(Ordering::SeqCst),
+        0xC0FFEE,
+        "a child's store through the shared mapping must be visible here"
+    );
+}
+
+#[test]
+fn forked_incrementers_share_one_arena_counter() {
+    // Several children hammer one shared word; the total must be exact —
+    // the mapping is genuinely shared, not copy-on-write.
+    let arena = Arena::shared(1 << 12).expect("anonymous MAP_SHARED mapping");
+    let word = arena.alloc::<AtomicU64>();
+    let (children, increments) = (4, 1000u64);
+
+    let pids: Vec<i32> = (0..children)
+        .map(|_| {
+            fork_child({
+                let arena = Arc::clone(&arena);
+                move || {
+                    for _ in 0..increments {
+                        word.get(&arena).fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            })
+        })
+        .collect();
+    for pid in pids {
+        wait_for_clean_exit(pid);
+    }
+    assert_eq!(
+        word.get(&arena).load(Ordering::SeqCst),
+        children as u64 * increments
+    );
+}
+
+#[test]
+fn crashed_leaseholder_names_are_reclaimed_by_a_sweep() {
+    let arena =
+        Arena::shared(RobustLeaseTable::footprint(4) + 64).expect("anonymous MAP_SHARED mapping");
+    let table = Arc::new(RobustLeaseTable::with_capacity_in(&arena, 4));
+    // Handshake word: the child publishes its granted name here so the
+    // parent knows the lease is held before delivering SIGKILL.
+    let handshake = arena.alloc::<AtomicU64>();
+    // Pre-fork context for the child (fork discipline: no post-fork
+    // allocation — the context, the table handle and the arena all exist
+    // before the fork and are inherited by value).
+    let mut child_ctx = ProcessCtx::new(ProcessId::new(1), 7);
+
+    let pid = fork_child({
+        let arena = Arc::clone(&arena);
+        let table = Arc::clone(&table);
+        move || {
+            let name = table
+                .acquire(&mut child_ctx, os_pid())
+                .expect("an empty table has free names");
+            handshake.get(&arena).store(name as u64, Ordering::SeqCst);
+            // Hold the lease until the parent kills us: the crash leaves the
+            // slot HELD with our pid stamped as owner.
+            loop {
+                std::hint::spin_loop();
+            }
+        }
+    });
+
+    // Wait for the lease, then crash the holder without warning.
+    while handshake.get(&arena).load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+    let name = handshake.get(&arena).load(Ordering::SeqCst) as usize;
+    kill_child(pid);
+    assert!(
+        wait_child(pid).killed(),
+        "the child must have died of SIGKILL, not exited"
+    );
+
+    // The crash is now observable: the slot is held by a dead pid.
+    let mut ctx = ProcessCtx::new(ProcessId::new(0), 3);
+    assert!(!os_process_alive(pid as u32), "the reaped child is gone");
+    assert_eq!(table.holder(name), Some(pid as u32));
+    assert_eq!(
+        table.live_leases(),
+        1,
+        "the crashed lease still counts as live"
+    );
+
+    // The surviving process sweeps and gets the name back.
+    assert_eq!(table.sweep_dead_processes(&mut ctx), 1);
+    assert_eq!(table.holder(name), None);
+    assert_eq!(table.live_leases(), 0);
+    assert_eq!(
+        table.acquire(&mut ctx, os_pid()).unwrap(),
+        name,
+        "the reclaimed minimum is granted again — the namespace stays tight"
+    );
+    // A second sweep finds nothing: the reclamation was exactly-once.
+    assert_eq!(table.sweep_dead_processes(&mut ctx), 0);
+    assert_eq!(table.transitions(), 1);
+}
+
+#[test]
+fn forked_clients_drive_a_shared_network_counter() {
+    use cnet::counter::NetworkCounter;
+    use cnet::family::CountingFamily;
+    use cnet::verify::has_step_property;
+
+    let (family, width) = (CountingFamily::Bitonic, 4);
+    let arena =
+        Arena::shared(NetworkCounter::footprint(family, width)).expect("MAP_SHARED mapping");
+    let counter = Arc::new(NetworkCounter::new_in(family, width, &arena));
+    let (children, increments) = (4usize, 200u64);
+
+    let pids: Vec<i32> = (0..children)
+        .map(|child| {
+            // Pre-fork context, as above.
+            let mut ctx = ProcessCtx::new(ProcessId::new(child), child as u64);
+            fork_child({
+                let counter = Arc::clone(&counter);
+                move || {
+                    for _ in 0..increments {
+                        counter.increment(&mut ctx);
+                    }
+                }
+            })
+        })
+        .collect();
+    for pid in pids {
+        wait_for_clean_exit(pid);
+    }
+    // Quiescent: every child token is accounted for, and the exit counts
+    // satisfy the counting network's step property.
+    assert_eq!(counter.peek(), children as u64 * increments);
+    assert!(
+        has_step_property(&counter.exit_counts()),
+        "exit counts {:?} violate the step property",
+        counter.exit_counts()
+    );
+}

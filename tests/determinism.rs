@@ -96,6 +96,75 @@ fn seeded_virtual_executions_replay_byte_identically() {
     }
 }
 
+/// The satellite claim of the arena refactor: location identities derived
+/// from arena offsets are *stable across backends*, so a seeded virtual
+/// execution over a heap-backed arena and a `MAP_SHARED` one replays
+/// byte-identically — same schedule, same step stats, same results, and the
+/// same sequence of location *offsets* (only the per-arena id bits differ).
+#[cfg(all(unix, not(miri)))]
+#[test]
+fn virtual_executions_replay_identically_on_both_arena_backends() {
+    use adaptive_renaming::robust::RobustLeaseTable;
+    use shmem::arena::Arena;
+
+    const OFFSET_BITS: u64 = (1 << 34) - 1;
+
+    fn arena_run(arena: Arc<Arena>, seed: u64) -> VirtualRun<u64> {
+        let table = Arc::new(RobustLeaseTable::with_capacity_in(&arena, 3));
+        VirtualExecutor::with_seed(seed).run(3, move |ctx| {
+            let mut names = 0u64;
+            for _ in 0..2 {
+                if let Ok(name) = table.acquire(ctx, ctx.id().as_u64() as u32 + 1) {
+                    names = names * 10 + name as u64;
+                    table.release(ctx, name);
+                }
+            }
+            names
+        })
+    }
+
+    fn event_offsets(run: &VirtualRun<u64>) -> Vec<u64> {
+        run.trace
+            .events
+            .iter()
+            .filter(|event| !event.op.loc.is_anon())
+            .map(|event| event.op.loc.as_u64() & OFFSET_BITS)
+            .collect()
+    }
+
+    for seed in [0u64, 5, 31] {
+        let heap = arena_run(Arena::heap(RobustLeaseTable::footprint(3)), seed);
+        let shared = arena_run(
+            Arena::shared(RobustLeaseTable::footprint(3)).expect("MAP_SHARED arena"),
+            seed,
+        );
+        assert_eq!(
+            heap.trace.schedule, shared.trace.schedule,
+            "seed {seed}: schedules must agree across backends"
+        );
+        assert_eq!(
+            canonical_events(&heap),
+            canonical_events(&shared),
+            "seed {seed}: event streams must agree across backends"
+        );
+        assert_eq!(
+            event_offsets(&heap),
+            event_offsets(&shared),
+            "seed {seed}: arena-derived location offsets must be stable"
+        );
+        assert_eq!(
+            heap.outcome.per_process_steps(),
+            shared.outcome.per_process_steps(),
+            "seed {seed}: per-process StepStats must be byte-identical"
+        );
+        assert_eq!(
+            heap.outcome.results_sorted(),
+            shared.outcome.results_sorted(),
+            "seed {seed}: granted names must be identical"
+        );
+    }
+}
+
 #[test]
 fn distinct_seeds_explore_distinct_schedules() {
     let (a, _) = contended_virtual_run(1);

@@ -20,6 +20,16 @@ ALLOWLIST=(
   crates/core/src/free_list.rs
 )
 
+# A stale allowlist entry would silently exempt whatever file later takes
+# the name; fail fast instead. (Deliberately NOT allowlisted: the arena and
+# robust-lease modules — everything there is SeqCst and must stay that way.)
+for entry in "${ALLOWLIST[@]}"; do
+  if [[ ! -f "$entry" ]]; then
+    echo "lint_orderings: stale allowlist entry: $entry does not exist" >&2
+    exit 1
+  fi
+done
+
 is_allowed() {
   local file=$1 entry
   for entry in "${ALLOWLIST[@]}"; do

@@ -1,0 +1,83 @@
+//! Minimal offline stand-in for the `libc` crate.
+//!
+//! The build environment has no access to crates.io, so — like the other
+//! `vendor/` crates — this declares only the tiny API subset the workspace
+//! uses: anonymous shared mappings (`mmap`/`munmap`) for the
+//! `shmem::arena` `MAP_SHARED` backend, and the `fork`/`kill`/`waitpid`
+//! process-control calls the fork-based crash tests and multi-process
+//! benches need. The declarations bind to the platform C library that the
+//! Rust `std` already links, so no extra linkage is required.
+//!
+//! Everything here is `cfg(unix)`: on non-unix targets the crate compiles
+//! to nothing and callers are expected to gate themselves the same way.
+
+#![no_std]
+#![allow(non_camel_case_types)]
+#![allow(non_snake_case)]
+
+#[cfg(unix)]
+pub use self::unix::*;
+
+#[cfg(unix)]
+mod unix {
+    use core::ffi::c_void;
+
+    pub type c_int = i32;
+    pub type c_char = i8;
+    pub type size_t = usize;
+    pub type off_t = i64;
+    pub type pid_t = i32;
+
+    // Protection and mapping flags (Linux values; identical on x86_64 and
+    // aarch64, which are the targets this workspace builds on).
+    pub const PROT_READ: c_int = 0x1;
+    pub const PROT_WRITE: c_int = 0x2;
+    pub const MAP_SHARED: c_int = 0x01;
+    pub const MAP_PRIVATE: c_int = 0x02;
+    pub const MAP_ANONYMOUS: c_int = 0x20;
+    pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+
+    pub const SIGKILL: c_int = 9;
+    pub const WNOHANG: c_int = 1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: size_t,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: off_t,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+        pub fn fork() -> pid_t;
+        pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+        pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+        pub fn getpid() -> pid_t;
+        pub fn _exit(status: c_int) -> !;
+    }
+
+    /// `WIFEXITED(status)`: the child terminated normally via `_exit`.
+    #[must_use]
+    pub fn WIFEXITED(status: c_int) -> bool {
+        status & 0x7f == 0
+    }
+
+    /// `WEXITSTATUS(status)`: the low 8 bits of the child's exit code.
+    #[must_use]
+    pub fn WEXITSTATUS(status: c_int) -> c_int {
+        (status >> 8) & 0xff
+    }
+
+    /// `WIFSIGNALED(status)`: the child was terminated by a signal.
+    #[must_use]
+    pub fn WIFSIGNALED(status: c_int) -> bool {
+        ((status & 0x7f) + 1) >> 1 > 0
+    }
+
+    /// `WTERMSIG(status)`: the signal that terminated the child.
+    #[must_use]
+    pub fn WTERMSIG(status: c_int) -> c_int {
+        status & 0x7f
+    }
+}
