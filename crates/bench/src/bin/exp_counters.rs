@@ -34,8 +34,17 @@
 //! network and adaptive backends, that the exit-wire counts satisfy the
 //! step property at quiescence (per cascade layer for adaptive).
 //!
-//! The numbers are written to `BENCH_counters.json`. Run with
-//! `cargo run --release -p renaming-bench --bin exp_counters`; pass
+//! The numbers are written to `BENCH_counters.json`. A separate **untimed**
+//! telemetry pass then rebuilds each backend with every worker bound to its
+//! own `obs` metric stripe and writes the merged snapshots — per-backend
+//! latency histograms (`cnet.increment_ns`, `adaptive.increment_ns`),
+//! prism outcomes, route-ups, balancer toggles and the contention sensor's
+//! realized-contention gauges — to `OBS_counters.json`. Telemetry stays out
+//! of the timed sweep: the workers there never bind a sink, so the
+//! committed `BENCH_counters.json` baselines and the `--gate` verdicts
+//! price the unbound (one flag load per site) hot path.
+//!
+//! Run with `cargo run --release -p renaming-bench --bin exp_counters`; pass
 //! `--smoke` for a seconds-long CI-sized run that skips the JSON, or
 //! `--gate` to replay the **full** sizing and fail (exit 1) when any
 //! backend's *best* replayed execution regresses more than 20% past the
@@ -453,6 +462,94 @@ fn write_json(sizing: &Sizing, samples: &[Sample]) -> std::io::Result<()> {
     std::fs::write("BENCH_counters.json", json)
 }
 
+/// One untimed telemetry execution of `backend`: every worker binds its own
+/// stripe of a fresh heap [`MetricsSlab`](obs::MetricsSlab), runs the
+/// sizing's per-worker increments, and the stripes merge into one
+/// [`Snapshot`](obs::Snapshot) — the per-backend histogram/counter rows of
+/// `OBS_counters.json`.
+fn observe(
+    sizing: &Sizing,
+    threads: usize,
+    counter: Arc<dyn Counter>,
+) -> (obs::Snapshot, shmem::steps::StepStats) {
+    let ops_per_worker = sizing.ops_per_worker;
+    let slab = obs::MetricsSlab::heap(threads);
+    let config = ExecConfig::new(0).with_arrival(Arrivals::Bursty.schedule());
+    let outcome = Executor::new(config).run(threads, {
+        let counter = Arc::clone(&counter);
+        let slab = Arc::clone(&slab);
+        move |ctx| {
+            obs::bind_metrics(slab.writer(ctx.id().as_usize()));
+            for _ in 0..ops_per_worker {
+                counter.increment(ctx);
+            }
+            obs::unbind();
+        }
+    });
+    (obs::Snapshot::collect(&slab), outcome.total_steps())
+}
+
+/// Renders a [`StepStats`](shmem::steps::StepStats) as a JSON object via
+/// its `as_pairs` exporter surface, dropping zero entries.
+fn steps_json(steps: &shmem::steps::StepStats) -> String {
+    let fields: Vec<String> = steps
+        .as_pairs()
+        .iter()
+        .filter(|(_, value)| *value > 0)
+        .map(|(name, value)| format!("\"{name}\": {value}"))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// Writes `OBS_counters.json`: one telemetry row per (backend, threads)
+/// cell, each carrying the merged snapshot of that cell's bound run. The
+/// `realized_k` field is the row's realized contention — the number of
+/// workers actually incrementing — which the adaptive backend's
+/// `adaptive.sensor_estimate_fp` / `adaptive.routed_width` gauges can be
+/// read against.
+fn write_obs_json(sizing: &Sizing) -> std::io::Result<()> {
+    let width = PROVISIONED_WIDTH;
+    let mut rows = String::new();
+    for &threads in sizing.threads {
+        let backends: [(&str, Arc<dyn Counter>); 4] = [
+            (
+                "monotone",
+                <dyn Counter>::builder().monotone().build().unwrap(),
+            ),
+            (
+                "network",
+                Arc::new(NetworkCounter::new(CountingFamily::Bitonic, width)),
+            ),
+            (
+                "adaptive",
+                Arc::new(AdaptiveNetworkCounter::new(CountingFamily::Bitonic, width)),
+            ),
+            (
+                "fetch_add",
+                <dyn Counter>::builder().fetch_add().build().unwrap(),
+            ),
+        ];
+        for (backend, counter) in backends {
+            let (snapshot, steps) = observe(sizing, threads, counter);
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"backend\": \"{backend}\", \"threads\": {threads}, \
+                 \"realized_k\": {threads}, \"steps\": {}, \"telemetry\": {}}}",
+                steps_json(&steps),
+                snapshot.to_json().trim_end(),
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"counters\",\n  \"ops_per_worker\": {},\n  \
+         \"rows\": [\n{rows}\n  ]\n}}\n",
+        sizing.ops_per_worker,
+    );
+    std::fs::write("OBS_counters.json", json)
+}
+
 /// Before/after record for the cache-line-padding satellite, kept alongside
 /// the refreshed numbers: the pre-padding committed baseline for the fixed
 /// network backend at the widest, most contended configuration.
@@ -513,6 +610,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|arg| arg == "--smoke");
     let gate = args.iter().any(|arg| arg == "--gate");
+    // `--no-obs` skips the telemetry pass: the overhead gate
+    // (tools/obs_overhead.sh) compares telemetry-on vs obs-off builds over
+    // *identical* work, so the bound recording of the telemetry pass must
+    // not leak into the comparison.
+    let no_obs = args.iter().any(|arg| arg == "--no-obs");
     // The gate replays the full per-execution workload (a smoke-sized run
     // against the committed full-sized baseline would compare different
     // workloads) with extra executions per cell — see GATE.
@@ -547,12 +649,25 @@ fn main() {
     }
     if gate {
         run_gate(&samples);
-    } else if sizing.write_json {
-        match write_json(sizing, &samples) {
-            Ok(()) => println!("wrote BENCH_counters.json"),
-            Err(error) => eprintln!("failed to write BENCH_counters.json: {error}"),
-        }
     } else {
-        println!("smoke mode: BENCH_counters.json left untouched");
+        if sizing.write_json {
+            match write_json(sizing, &samples) {
+                Ok(()) => println!("wrote BENCH_counters.json"),
+                Err(error) => eprintln!("failed to write BENCH_counters.json: {error}"),
+            }
+        } else {
+            println!("smoke mode: BENCH_counters.json left untouched");
+        }
+        // The telemetry pass runs after every timed execution has finished:
+        // binding a sink flips the process-wide enable flag, so the order
+        // keeps the timed sweep above on the never-enabled fast path.
+        if no_obs {
+            println!("--no-obs: OBS_counters.json left untouched");
+        } else {
+            match write_obs_json(sizing) {
+                Ok(()) => println!("wrote OBS_counters.json"),
+                Err(error) => eprintln!("failed to write OBS_counters.json: {error}"),
+            }
+        }
     }
 }

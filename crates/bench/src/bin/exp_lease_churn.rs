@@ -37,6 +37,16 @@
 //! The numbers are written to `BENCH_lease_churn.json` so the trajectory of
 //! the long-lived hot path is tracked across revisions.
 //!
+//! A separate **untimed** telemetry pass then re-runs each variant with
+//! every worker bound to its own `obs` metric stripe and writes the merged
+//! snapshots — grant/acquire latency histograms, fresh/recycled splits,
+//! CAS retry and stash/flush counters — to `OBS_lease_churn.json`. The
+//! robust row's stripes live in the same `MAP_SHARED` arena as the lease
+//! table, escrowed per forked child and merged by the parent at snapshot
+//! time. Telemetry stays out of the timed sweep: workers there never bind
+//! a sink, so the committed baselines and `--gate` verdicts price the
+//! unbound hot path.
+//!
 //! Run with `cargo run --release -p renaming-bench --bin exp_lease_churn`;
 //! pass `--smoke` for a seconds-long CI-sized run that skips the JSON, or
 //! `--gate` to replay the **full** sizing and fail (exit 1) when any
@@ -624,6 +634,159 @@ fn write_json(sizing: &Sizing, samples: &[Sample]) -> std::io::Result<()> {
     std::fs::write("BENCH_lease_churn.json", json)
 }
 
+/// One untimed telemetry execution of an in-process variant: each worker
+/// binds its own stripe of a fresh heap
+/// [`MetricsSlab`](obs::MetricsSlab), churns the sizing's per-worker
+/// cycles, and the stripes merge into one snapshot.
+fn observe_cycles<F>(
+    sizing: &Sizing,
+    threads: usize,
+    ops_per_call: usize,
+    cycle: F,
+) -> obs::Snapshot
+where
+    F: Fn(&mut shmem::process::ProcessCtx, usize) -> usize + Send + Sync,
+{
+    let calls_per_worker = sizing.ops_per_worker / ops_per_call;
+    let slab = obs::MetricsSlab::heap(threads);
+    let cycle = &cycle;
+    Executor::new(ExecConfig::new(0))
+        .run(threads, {
+            let slab = Arc::clone(&slab);
+            move |ctx| {
+                obs::bind_metrics(slab.writer(ctx.id().as_usize()));
+                for _ in 0..calls_per_worker {
+                    cycle(ctx, threads);
+                }
+                obs::unbind();
+            }
+        })
+        .results();
+    obs::Snapshot::collect(&slab)
+}
+
+/// The cross-process telemetry row: forked children churn the crash-robust
+/// lease table while recording into per-child metric stripes **escrowed in
+/// the same `MAP_SHARED` arena as the table itself** — each child owns its
+/// stripe's cache lines, and the parent merges the slab into one snapshot
+/// after the children exit. The acquire-latency histogram and CAS-retry
+/// counters of the full robust protocol on real shared memory.
+#[cfg(all(unix, not(miri)))]
+fn observe_robust_procs(sizing: &Sizing, processes: usize) -> obs::Snapshot {
+    use adaptive_renaming::robust::RobustLeaseTable;
+    use shmem::arena::{os_pid, Arena};
+    use shmem::process::{ProcessCtx, ProcessId};
+    use shmem::procs::{fork_child, wait_for_clean_exit};
+
+    let calls_per_worker = sizing.ops_per_worker;
+    let arena = Arena::shared(
+        RobustLeaseTable::footprint(processes) + obs::MetricsSlab::footprint(processes) + 64,
+    )
+    .expect("anonymous MAP_SHARED arena");
+    let table = Arc::new(RobustLeaseTable::with_capacity_in(&arena, processes));
+    let slab = obs::MetricsSlab::new_in(&arena, processes);
+    let pids: Vec<i32> = (0..processes)
+        .map(|worker| {
+            // Pre-fork context; the child binds its stripe post-fork (the
+            // sink binding is plain thread-local state) and touches only
+            // atomics on the shared mapping.
+            let ctx = ProcessCtx::new(ProcessId::new(worker), worker as u64);
+            let table = Arc::clone(&table);
+            let slab = Arc::clone(&slab);
+            fork_child(move || {
+                let mut ctx = ctx;
+                obs::bind_metrics(slab.writer(worker));
+                for _ in 0..calls_per_worker {
+                    let name = table
+                        .acquire(&mut ctx, os_pid())
+                        .expect("table capacity equals the process count");
+                    table.release(&mut ctx, name);
+                }
+            })
+        })
+        .collect();
+    for pid in pids {
+        wait_for_clean_exit(pid);
+    }
+    obs::Snapshot::collect(&slab)
+}
+
+/// Writes `OBS_lease_churn.json`: one telemetry row per (variant, threads)
+/// cell, each carrying the merged snapshot of that cell's bound run.
+fn write_obs_json(sizing: &Sizing) -> std::io::Result<()> {
+    let mut rows = String::new();
+    let mut push_row = |variant: &str, threads: usize, snapshot: obs::Snapshot| {
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"variant\": \"{variant}\", \"threads\": {threads}, \
+             \"telemetry\": {}}}",
+            snapshot.to_json().trim_end(),
+        ));
+    };
+    for &threads in sizing.threads {
+        let hierarchical = Arc::new(Recycler::with_free_list(
+            network(WIDTH),
+            threads,
+            FreeListKind::Hierarchical,
+        ));
+        push_row(
+            "recycler_hierarchical",
+            threads,
+            observe_cycles(sizing, threads, 1, {
+                let recycler = Arc::clone(&hierarchical);
+                move |ctx, _| {
+                    let name = recycler
+                        .lease_raw(ctx)
+                        .expect("admission bound equals the worker count");
+                    recycler.release_with(ctx, name);
+                    name
+                }
+            }),
+        );
+
+        let stash = Arc::new(BatchedRecycler::new(
+            Arc::new(Recycler::with_free_list(
+                network(WIDTH),
+                threads,
+                FreeListKind::Hierarchical,
+            )) as Arc<dyn LongLivedRenaming>,
+            BATCH,
+        ));
+        push_row(
+            "builder_default_stash8",
+            threads,
+            observe_cycles(sizing, threads, 1, {
+                let stash = Arc::clone(&stash);
+                move |ctx, _| {
+                    // Same spurious-collision retry as the timed row.
+                    let name = loop {
+                        if let Ok(name) = stash.lease_raw(ctx) {
+                            break name;
+                        }
+                    };
+                    stash.release_with(ctx, name);
+                    name
+                }
+            }),
+        );
+
+        #[cfg(all(unix, not(miri)))]
+        push_row(
+            "robust_mmap_procs",
+            threads,
+            observe_robust_procs(sizing, threads),
+        );
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"lease_churn\",\n  \"ops_per_worker\": {},\n  \
+         \"rows\": [\n{rows}\n  ]\n}}\n",
+        sizing.ops_per_worker,
+    );
+    std::fs::write("OBS_lease_churn.json", json)
+}
+
 /// `--gate`: replay the full sizing and compare every (variant, threads)
 /// cell's best (minimum ns/op) execution against the committed
 /// `BENCH_lease_churn.json`, failing when even the best replay sits >20%
@@ -669,6 +832,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|arg| arg == "--smoke");
     let gate = args.iter().any(|arg| arg == "--gate");
+    // `--no-obs` skips the telemetry pass: the overhead gate
+    // (tools/obs_overhead.sh) compares telemetry-on vs obs-off builds over
+    // *identical* work, so the bound recording of the telemetry pass must
+    // not leak into the comparison.
+    let no_obs = args.iter().any(|arg| arg == "--no-obs");
     // The gate replays the full per-execution workload (a smoke-sized run
     // against the committed full-sized baseline would compare different
     // workloads) with extra executions per cell — see GATE.
@@ -710,12 +878,25 @@ fn main() {
     }
     if gate {
         run_gate(&samples);
-    } else if sizing.write_json {
-        match write_json(sizing, &samples) {
-            Ok(()) => println!("wrote BENCH_lease_churn.json"),
-            Err(error) => eprintln!("failed to write BENCH_lease_churn.json: {error}"),
-        }
     } else {
-        println!("smoke mode: BENCH_lease_churn.json left untouched");
+        if sizing.write_json {
+            match write_json(sizing, &samples) {
+                Ok(()) => println!("wrote BENCH_lease_churn.json"),
+                Err(error) => eprintln!("failed to write BENCH_lease_churn.json: {error}"),
+            }
+        } else {
+            println!("smoke mode: BENCH_lease_churn.json left untouched");
+        }
+        // The telemetry pass runs after every timed execution has finished:
+        // binding a sink flips the process-wide enable flag, so the order
+        // keeps the timed sweep above on the never-enabled fast path.
+        if no_obs {
+            println!("--no-obs: OBS_lease_churn.json left untouched");
+        } else {
+            match write_obs_json(sizing) {
+                Ok(()) => println!("wrote OBS_lease_churn.json"),
+                Err(error) => eprintln!("failed to write OBS_lease_churn.json: {error}"),
+            }
+        }
     }
 }

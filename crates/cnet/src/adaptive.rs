@@ -277,21 +277,32 @@ impl AdaptiveNetworkCounter {
     /// offered to that layer's prism, and — unless eliminated — carried
     /// through the layer's network and deposited with its weight.
     pub fn increment(&self, ctx: &mut ProcessCtx) {
-        let level =
-            ContentionSensor::level_for(self.sensor.load_for_routing(ctx), self.layers.len());
+        let increment_timer = obs::start();
+        let fp = self.sensor.load_for_routing(ctx);
+        let level = ContentionSensor::level_for(fp, self.layers.len());
         let layer = &self.layers[level];
+        obs::count(obs::Metric::AdaptiveIncrement);
+        obs::gauge(obs::Metric::SensorEstimateFp, fp);
+        obs::gauge(obs::Metric::RoutedWidth, layer.width() as u64);
+        if level > 0 {
+            obs::count(obs::Metric::AdaptiveRouteUp);
+        }
         let outcome = layer.prism.visit(ctx);
         match outcome {
             PrismOutcome::Eliminated => {
                 // A collision is strong evidence of contention beyond this
                 // layer's width: report enough tokens to widen the route.
                 self.sensor.observe(ctx, 2 * layer.width() as u64);
+                obs::count(obs::Metric::PrismEliminated);
+                obs::finish(increment_timer, obs::Metric::AdaptiveIncrementNs);
                 return;
             }
             PrismOutcome::Combined => {
                 self.sensor.observe(ctx, 2 * layer.width() as u64);
+                obs::count(obs::Metric::PrismCombined);
             }
             PrismOutcome::FellThrough => {
+                obs::count(obs::Metric::PrismFellThrough);
                 // Misses are the common (quiet) case; sample them so the
                 // sensor word does not serialize the fast path.
                 if ctx.random_index(MISS_SAMPLE_PERIOD) == 0 {
@@ -302,6 +313,7 @@ impl AdaptiveNetworkCounter {
         let entry = ctx.id().as_usize() % layer.width();
         let wire = layer.network.traverse(ctx, entry);
         layer.deposit(ctx, wire, outcome.weight());
+        obs::finish(increment_timer, obs::Metric::AdaptiveIncrementNs);
     }
 
     /// Reads the counter by summing every layer's exit wires, one register

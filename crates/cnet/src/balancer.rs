@@ -105,6 +105,7 @@ impl Balancer {
     #[inline]
     pub fn toggle(&self, ctx: &mut ProcessCtx) -> BalancerSlot {
         ctx.record_at(StepKind::Balancer, self.loc);
+        obs::count(obs::Metric::BalancerToggle);
         if self
             .passed
             .get()

@@ -156,9 +156,13 @@ impl<T: BalancingTopology> NetworkCounter<T> {
     /// fetch-and-increment that is quiescently consistent but (provably) not
     /// linearizable.
     pub fn fetch_increment(&self, ctx: &mut ProcessCtx) -> u64 {
+        let increment_timer = obs::start();
         let entry = self.entry_wire(ctx);
         let wire = self.network.traverse(ctx, entry);
-        self.deposit(ctx, wire)
+        let ticket = self.deposit(ctx, wire);
+        obs::count(obs::Metric::NetIncrement);
+        obs::finish(increment_timer, obs::Metric::NetIncrementNs);
+        ticket
     }
 
     /// The deposit half of [`fetch_increment`](NetworkCounter::fetch_increment):

@@ -219,6 +219,8 @@ impl BatchedRecycler {
                 std::mem::take(&mut *stash)
             };
             if !drained.is_empty() {
+                obs::count(obs::Metric::BatchedFlush);
+                obs::event(obs::EventKind::Flush, index as u64, drained.len() as u64);
                 self.inner.release_many_raw(&drained);
             }
         }
@@ -238,6 +240,7 @@ impl LongLivedRenaming for BatchedRecycler {
         ctx.record(StepKind::ReadModifyWrite);
         let home = ctx.id().as_usize() % self.stashes.len();
         if let Some(name) = self.pop_stashed(home) {
+            obs::count(obs::Metric::BatchedStashHit);
             return Ok(name);
         }
         match self.inner.lease_raw(ctx) {
@@ -274,6 +277,8 @@ impl LongLivedRenaming for BatchedRecycler {
         // one seqlock bump for the whole batch, and holding the mutex across
         // it would serialize releases against the inner free list.
         if !drained.is_empty() {
+            obs::count(obs::Metric::BatchedFlush);
+            obs::event(obs::EventKind::Flush, index as u64, drained.len() as u64);
             self.inner.release_many_raw(&drained);
         }
     }

@@ -215,6 +215,7 @@ impl FreeList {
             return false;
         }
         self.push_counter().fetch_add(1, Ordering::SeqCst);
+        obs::count(obs::Metric::FreeListPush);
         true
     }
 
@@ -232,6 +233,7 @@ impl FreeList {
         let pushed = names.iter().filter(|&&name| self.set_bit(name)).count();
         if pushed > 0 {
             self.push_counter().fetch_add(pushed, Ordering::SeqCst);
+            obs::add(obs::Metric::FreeListPush, pushed as u64);
         }
         pushed
     }
@@ -270,10 +272,14 @@ impl FreeList {
     /// [`FreeList::pop_coherent`] when a miss must mean "observably empty at
     /// one instant".
     pub fn pop(&self) -> Option<usize> {
-        match self.flags() {
+        let popped = match self.flags() {
             None => self.pop_flat(),
             Some(summary) => self.pop_hierarchical(summary),
+        };
+        if popped.is_some() {
+            obs::count(obs::Metric::FreeListPop);
         }
+        popped
     }
 
     fn pop_flat(&self) -> Option<usize> {

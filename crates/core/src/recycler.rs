@@ -286,6 +286,7 @@ impl<R: Renaming> Recycler<R> {
     /// and [`ShardedRecycler`](crate::sharded::ShardedRecycler). The caller
     /// owes the name one [`LongLivedRenaming::release_raw`].
     pub(crate) fn grant(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
+        let lease_timer = obs::start();
         // Admission control: bound the simultaneously live leases. The
         // reservation is taken before touching shared state and unreserved
         // on failure. Reading `pushes` *after* the reservation makes the
@@ -311,10 +312,18 @@ impl<R: Renaming> Recycler<R> {
         // proves every issued ticket still has a live owner.
         ctx.record(StepKind::ReadModifyWrite);
         if let Some(name) = self.free.pop_coherent() {
+            obs::count(obs::Metric::RecyclerGrant);
+            obs::count(obs::Metric::RecyclerRecycled);
+            obs::finish(lease_timer, obs::Metric::GrantNs);
             return Ok(name);
         }
         match self.grant_fresh(ctx) {
-            Ok(name) => Ok(name),
+            Ok(name) => {
+                obs::count(obs::Metric::RecyclerGrant);
+                obs::count(obs::Metric::RecyclerFresh);
+                obs::finish(lease_timer, obs::Metric::GrantNs);
+                Ok(name)
+            }
             Err(error) => {
                 self.granted().fetch_sub(1, Ordering::SeqCst);
                 Err(error)
@@ -456,6 +465,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for Recycler<R> {
     }
 
     fn release_raw(&self, name: usize) {
+        obs::count(obs::Metric::RecyclerRelease);
         if !self.free.push(name) {
             // A rejected push is a double release (or an out-of-range name,
             // unreachable through `NameLease`). The admission slot was

@@ -187,6 +187,7 @@ impl RobustLeaseTable {
     /// stamp, so a release that landed mid-scan triggers a rescan instead of
     /// a spurious failure.
     pub fn acquire(&self, ctx: &mut ProcessCtx, owner_tag: u32) -> Result<usize, RenamingError> {
+        let acquire_timer = obs::start();
         loop {
             let stamp = self.releases.read(ctx);
             let mut progress = false;
@@ -195,8 +196,18 @@ impl RobustLeaseTable {
                 while !is_held(word) {
                     let claimed = pack_held(next_generation(generation(word)), owner_tag);
                     match slot.compare_and_swap(ctx, word, claimed) {
-                        Ok(_) => return Ok(index + 1),
+                        Ok(_) => {
+                            obs::count(obs::Metric::RobustAcquire);
+                            obs::finish(acquire_timer, obs::Metric::RobustAcquireNs);
+                            obs::event(
+                                obs::EventKind::LeaseGranted,
+                                (index + 1) as u64,
+                                owner_tag as u64,
+                            );
+                            return Ok(index + 1);
+                        }
                         Err(actual) => {
+                            obs::count(obs::Metric::RobustCasRetry);
                             // Lost the race for this slot; it may have been
                             // re-freed with a newer generation, so re-read
                             // rather than skipping ahead (skipping would
@@ -238,8 +249,11 @@ impl RobustLeaseTable {
             .is_ok()
         {
             self.releases.fetch_add(ctx, 1);
+            obs::count(obs::Metric::RobustRelease);
+            obs::event(obs::EventKind::LeaseReleased, name as u64, 0);
             true
         } else {
+            obs::count(obs::Metric::RobustCasRetry);
             false
         }
     }
@@ -255,7 +269,7 @@ impl RobustLeaseTable {
     /// exactly-once transition holds regardless.
     pub fn sweep(&self, ctx: &mut ProcessCtx, mut is_dead: impl FnMut(u32) -> bool) -> usize {
         let mut reclaimed = 0;
-        for slot in &self.slots {
+        for (index, slot) in self.slots.iter().enumerate() {
             let word = slot.read(ctx);
             if is_held(word)
                 && is_dead(owner(word))
@@ -265,6 +279,12 @@ impl RobustLeaseTable {
             {
                 self.releases.fetch_add(ctx, 1);
                 reclaimed += 1;
+                obs::count(obs::Metric::RobustSwept);
+                obs::event(
+                    obs::EventKind::SweepReclaimed,
+                    (index + 1) as u64,
+                    owner(word) as u64,
+                );
             }
         }
         reclaimed
@@ -275,9 +295,26 @@ impl RobustLeaseTable {
     /// [`shmem::arena::os_process_alive`]. The sweep every surviving
     /// process runs after a peer crashes mid-lease over a `MAP_SHARED`
     /// arena (`tests/crash_reclaim.rs`).
+    ///
+    /// As a postmortem hook, every distinct dead pid whose name this sweep
+    /// reclaims is reported to [`obs::postmortem::notify_dead`]: if the
+    /// sweeping process has a [`obs::FlightRecorder`] installed and the dead
+    /// process had attached one of its rings, the dead process's last
+    /// recorded events are dumped for inspection.
     #[cfg(all(unix, not(miri)))]
     pub fn sweep_dead_processes(&self, ctx: &mut ProcessCtx) -> usize {
-        self.sweep(ctx, |pid| !shmem::arena::os_process_alive(pid))
+        let mut dead_pids: Vec<u32> = Vec::new();
+        let reclaimed = self.sweep(ctx, |pid| {
+            let dead = !shmem::arena::os_process_alive(pid);
+            if dead && !dead_pids.contains(&pid) {
+                dead_pids.push(pid);
+            }
+            dead
+        });
+        for pid in dead_pids {
+            obs::postmortem::notify_dead(pid);
+        }
+        reclaimed
     }
 
     /// The owner of a held name, or `None` if the name is free

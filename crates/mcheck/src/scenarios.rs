@@ -226,6 +226,16 @@ pub fn all() -> Vec<ScenarioDef> {
                     it dead — every grant's HELD→FREE transition happens exactly once",
         },
         ScenarioDef {
+            name: "obs_ring_2p",
+            procs: 2,
+            build: build_obs_ring,
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "flight-recorder seqlock ring: a reader races the single writer — \
+                    non-torn snapshots are never half-written",
+        },
+        ScenarioDef {
             name: "recycler_churn_3p",
             procs: 3,
             build: || build_recycler_churn(3, 1),
@@ -684,6 +694,78 @@ fn build_recycler_churn(procs: usize, cycles: usize) -> BuiltScenario {
                     recycler.fresh_names(),
                     recycler.free_names()
                 ));
+            }
+            Ok(())
+        }
+    });
+    BuiltScenario { body, check }
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder seqlock ring.
+// ---------------------------------------------------------------------------
+
+/// The writer's single event: name 1, payload `1 * 1000 + 7`. A reader
+/// snapshot that is *not* marked torn must decode exactly this pairing — a
+/// half-written slot leaking through the seqlock would break it.
+const OBS_RING_NAME: u64 = 1;
+const OBS_RING_PAYLOAD: u64 = OBS_RING_NAME * 1000 + 7;
+
+fn build_obs_ring() -> BuiltScenario {
+    // One single-writer ring of capacity 1 on the heap arena backend.
+    // Process 0 writes one event through the schedule-visible seqlock
+    // protocol (entry bump, four slot stores, exit bump — six shared steps);
+    // process 1 snapshots the ring with a bounded retry. The green oracle is
+    // the seqlock's honesty contract: every snapshot the reader accepts as
+    // consistent (untorn) contains only fully written events, and the
+    // bounded-retry fallback may return garbage only with the torn flag set.
+    let recorder = obs::FlightRecorder::heap(1, 1);
+    let body: ScenarioBody = Arc::new({
+        let recorder = Arc::clone(&recorder);
+        move |ctx| {
+            if ctx.id().as_usize() == 0 {
+                recorder.writer(0).log_vis(
+                    ctx,
+                    obs::EventKind::Mark,
+                    OBS_RING_NAME,
+                    OBS_RING_PAYLOAD,
+                );
+                0
+            } else {
+                let events = recorder.events_vis(ctx, 0, 2);
+                for event in &events {
+                    if !event.torn
+                        && (event.name != OBS_RING_NAME || event.payload != OBS_RING_PAYLOAD)
+                    {
+                        // An untorn snapshot leaked a half-written slot.
+                        return 999;
+                    }
+                }
+                events.len() as u64
+            }
+        }
+    });
+    let check: ScenarioCheck = Box::new({
+        let recorder = Arc::clone(&recorder);
+        move |run: &VirtualRun<u64>| {
+            for (pid, &value) in run.outcome.completed() {
+                if pid.as_usize() == 1 && value == 999 {
+                    return Err("an untorn reader snapshot contained a half-written event".into());
+                }
+            }
+            // Quiescent re-read: the writer's event is fully visible, untorn.
+            let events = recorder.events(0);
+            if events.len() != 1 {
+                return Err(format!("{} events at quiescence, expected 1", events.len()));
+            }
+            let event = &events[0];
+            if event.torn
+                || event.seq != 0
+                || event.kind != obs::EventKind::Mark
+                || event.name != OBS_RING_NAME
+                || event.payload != OBS_RING_PAYLOAD
+            {
+                return Err(format!("quiescent snapshot corrupted: {event:?}"));
             }
             Ok(())
         }

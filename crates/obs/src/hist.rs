@@ -1,0 +1,253 @@
+//! Log-bucketed (HDR-style) histograms.
+//!
+//! A [`Histogram`] is 64 power-of-two buckets plus three summary words
+//! (count, sum, max). Bucket `0` holds the value `0`; bucket `i ≥ 1` holds
+//! the values in `[2^(i-1), 2^i - 1]` (the last bucket extends to
+//! `u64::MAX`). That is one `leading_zeros` per record, covers the full
+//! `u64` range, and keeps relative error under 2× — plenty for latency
+//! telemetry, where the interesting signal is the *octave* a quantile lands
+//! in, not its third digit.
+//!
+//! The owned [`Histogram`] is the sequential oracle and the merge target;
+//! the arena-resident per-process copies live as `BUCKETS + 3` atomic words
+//! inside a [`MetricsSlab`](crate::metrics::MetricsSlab) stripe and are
+//! folded into a `Histogram` only at snapshot time.
+
+/// Number of buckets: one per value octave, plus the zero bucket.
+pub const BUCKETS: usize = 64;
+
+/// Arena words one histogram occupies: the buckets plus count, sum and max.
+pub const HIST_WORDS: usize = BUCKETS + 3;
+
+/// The bucket index covering `value`: 0 for 0, else `64 − clz(value)`
+/// capped at [`BUCKETS`]` − 1`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The inclusive `[floor, ceil]` value range of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket {index} out of range");
+    match index {
+        0 => (0, 0),
+        63 => (1 << 62, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// An owned log-bucketed histogram (see the module docs for the bucket
+/// scheme).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Rebuilds a histogram from its `BUCKETS + 3` raw words, as laid out in
+    /// a metrics-slab stripe (buckets, then count, sum, max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly [`HIST_WORDS`] long.
+    pub fn from_words(words: &[u64]) -> Self {
+        assert_eq!(words.len(), HIST_WORDS, "histogram word count");
+        let mut counts = [0u64; BUCKETS];
+        counts.copy_from_slice(&words[..BUCKETS]);
+        Histogram {
+            counts,
+            count: words[BUCKETS],
+            sum: words[BUCKETS + 1],
+            max: words[BUCKETS + 2],
+        }
+    }
+
+    /// Records one value. The sum wraps on overflow — the same semantics as
+    /// the arena-resident stripe's `fetch_add` sum word, so an owned oracle
+    /// and a merged snapshot agree bit-for-bit on any input.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one (sum wraps, as in [`record`](Self::record)).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The count in bucket `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= BUCKETS`.
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+
+    /// Mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`): the ceiling of
+    /// the bucket the quantile's rank falls in (the histogram's resolution
+    /// is one octave). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_bounds(index).1;
+            }
+        }
+        self.max
+    }
+
+    /// Renders the non-empty buckets as a compact single-line summary.
+    pub fn render(&self) -> String {
+        if self.count == 0 {
+            return "(empty)".to_string();
+        }
+        let buckets: Vec<String> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| format!("≥{}:{c}", bucket_bounds(i).0))
+            .collect();
+        format!(
+            "n={} mean={:.0} p50≤{} p99≤{} max={} [{}]",
+            self.count,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max,
+            buckets.join(" ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        for index in 0..BUCKETS {
+            let (floor, ceil) = bucket_bounds(index);
+            assert_eq!(bucket_of(floor), index, "floor of bucket {index}");
+            assert_eq!(bucket_of(ceil), index, "ceil of bucket {index}");
+        }
+    }
+
+    #[test]
+    fn adjacent_bucket_bounds_are_contiguous() {
+        for index in 0..BUCKETS - 1 {
+            let (_, ceil) = bucket_bounds(index);
+            let (next_floor, _) = bucket_bounds(index + 1);
+            assert_eq!(ceil + 1, next_floor, "gap after bucket {index}");
+        }
+    }
+
+    #[test]
+    fn record_merge_and_quantiles_agree_with_the_obvious_oracle() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [0, 1, 2, 100, 1000] {
+            a.record(v);
+        }
+        for v in [7, 7, 1 << 40] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.sum(), 1117 + (1u64 << 40));
+        assert_eq!(a.max(), 1 << 40);
+        assert!(a.quantile(0.5) >= 7, "median rank lands at or above 7");
+        assert_eq!(a.quantile(1.0), bucket_bounds(bucket_of(1 << 40)).1);
+        assert_eq!(Histogram::new().quantile(0.9), 0);
+    }
+
+    #[test]
+    fn word_round_trip_is_lossless() {
+        let mut h = Histogram::new();
+        for v in [3, 900, 900, 0] {
+            h.record(v);
+        }
+        let mut words = vec![0u64; HIST_WORDS];
+        words[..BUCKETS].copy_from_slice(&h.counts);
+        words[BUCKETS] = h.count;
+        words[BUCKETS + 1] = h.sum;
+        words[BUCKETS + 2] = h.max;
+        assert_eq!(Histogram::from_words(&words), h);
+        assert!(h.render().contains("n=4"));
+    }
+}

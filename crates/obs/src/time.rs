@@ -1,0 +1,57 @@
+//! Timestamps for flight-recorder stamps and latency histograms.
+//!
+//! Real builds read the monotonic clock against a process-global epoch
+//! pinned at recorder construction (pre-fork, so children inherit the same
+//! epoch through the forked address space and stamps stay comparable
+//! across processes). Under miri — which isolates the host clock — the
+//! "clock" is a deterministic process-local counter, which is exactly what
+//! the heap-backend recorder tests want anyway.
+
+#[cfg(not(miri))]
+mod imp {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    /// Pins the epoch (idempotent). Called by recorder constructors so the
+    /// pin happens before any fork.
+    pub fn init_epoch() {
+        let _ = EPOCH.get_or_init(Instant::now);
+    }
+
+    /// Nanoseconds since the epoch (pinning it on first use).
+    pub fn now_ns() -> u64 {
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(miri)]
+mod imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static TICKS: AtomicU64 = AtomicU64::new(0);
+
+    /// No clock to pin under miri.
+    pub fn init_epoch() {}
+
+    /// A deterministic monotone tick standing in for the isolated clock.
+    pub fn now_ns() -> u64 {
+        TICKS.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+pub use imp::{init_epoch, now_ns};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_clock_is_monotone() {
+        init_epoch();
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests of the log-bucketed histogram: the bucket scheme
+//! partitions the `u64` range, and concurrent per-stripe recording merged
+//! at snapshot time agrees exactly with the sequential oracle.
+//!
+//! Runs under miri (heap-backed slab, plain `std::thread::scope`); case
+//! counts shrink there so the interpreted run stays in budget.
+
+use obs::hist::{bucket_bounds, bucket_of, Histogram, BUCKETS};
+use obs::{Metric, MetricsSlab};
+use proptest::prelude::*;
+
+#[cfg(miri)]
+const CASES: u32 = 4;
+#[cfg(not(miri))]
+const CASES: u32 = 64;
+
+/// Spreads a raw `u64` across all value octaves: uniform raw values would
+/// land in the top few buckets almost surely, so each value is shifted
+/// right by an amount drawn from its own low bits.
+fn spread(raw: u64) -> u64 {
+    raw >> (raw % 64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: CASES,
+        .. ProptestConfig::default()
+    })]
+
+    /// Every value lands in a bucket whose inclusive bounds contain it, and
+    /// the bucket is the unique one: the previous bucket ends below the
+    /// value, the next starts above it.
+    #[test]
+    fn bucket_of_agrees_with_bucket_bounds(raw in 0u64..u64::MAX) {
+        let value = spread(raw);
+        let index = bucket_of(value);
+        prop_assert!(index < BUCKETS);
+        let (floor, ceil) = bucket_bounds(index);
+        prop_assert!(floor <= value && value <= ceil,
+            "value {value} outside bucket {index} = [{floor}, {ceil}]");
+        if index > 0 {
+            prop_assert!(bucket_bounds(index - 1).1 < value);
+        }
+        if index < BUCKETS - 1 {
+            prop_assert!(value < bucket_bounds(index + 1).0);
+        }
+    }
+
+    /// Merging histograms built from any split of the values equals the
+    /// histogram of all values recorded sequentially — bucket by bucket,
+    /// plus count, sum and max.
+    #[test]
+    fn merge_of_any_split_equals_the_sequential_oracle(
+        raws in proptest::collection::vec(0u64..u64::MAX, 0..40),
+        split in 0usize..40,
+    ) {
+        let values: Vec<u64> = raws.iter().map(|&raw| spread(raw)).collect();
+        let mut oracle = Histogram::new();
+        for &value in &values {
+            oracle.record(value);
+        }
+        let split = split.min(values.len());
+        let (left, right) = values.split_at(split);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &value in left {
+            a.record(value);
+        }
+        for &value in right {
+            b.record(value);
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &oracle);
+        prop_assert_eq!(a.count(), values.len() as u64);
+        prop_assert_eq!(a.max(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Concurrent recording through per-thread slab stripes, merged at
+    /// snapshot time, agrees exactly with the sequential oracle: escrowed
+    /// stripes make the merge a quiescent sum, so no update is lost no
+    /// matter how the recording threads interleave.
+    #[test]
+    fn concurrent_stripe_recording_merges_to_the_sequential_oracle(
+        raws in proptest::collection::vec(0u64..u64::MAX, 0..24),
+        stripes in 1usize..4,
+    ) {
+        let values: Vec<u64> = raws.iter().map(|&raw| spread(raw)).collect();
+        let mut oracle = Histogram::new();
+        for &value in &values {
+            oracle.record(value);
+        }
+        let slab = MetricsSlab::heap(stripes);
+        std::thread::scope(|scope| {
+            for stripe in 0..stripes {
+                let writer = slab.writer(stripe);
+                let values = &values;
+                scope.spawn(move || {
+                    // Stripe `s` records values s, s+stripes, s+2*stripes…
+                    for value in values.iter().skip(stripe).step_by(stripes) {
+                        writer.record(Metric::GrantNs, *value);
+                    }
+                });
+            }
+        });
+        let merged = slab.merged_hist(Metric::GrantNs);
+        prop_assert_eq!(&merged, &oracle);
+    }
+}

@@ -141,6 +141,83 @@ fn crashed_leaseholder_names_are_reclaimed_by_a_sweep() {
 }
 
 #[test]
+fn a_crashed_leaseholders_flight_recorder_tail_survives_the_sweep() {
+    // The observability variant of the reclamation test: the child records
+    // its lease events into an arena-resident flight-recorder ring; after
+    // SIGKILL the sweeping parent recovers the dead child's last events —
+    // including the grant of the very lease the sweep reclaims.
+    use obs::{EventKind, FlightRecorder};
+
+    let footprint = RobustLeaseTable::footprint(4) + FlightRecorder::footprint(2, 8) + 64;
+    let arena = Arena::shared(footprint).expect("anonymous MAP_SHARED mapping");
+    let table = Arc::new(RobustLeaseTable::with_capacity_in(&arena, 4));
+    let recorder = FlightRecorder::new_in(&arena, 2, 8);
+    let handshake = arena.alloc::<AtomicU64>();
+    let mut child_ctx = ProcessCtx::new(ProcessId::new(1), 7);
+
+    let pid = fork_child({
+        let arena = Arc::clone(&arena);
+        let table = Arc::clone(&table);
+        let recorder = Arc::clone(&recorder);
+        move || {
+            // The child claims ring 1, registers its pid on it, and binds it
+            // as this process's event sink: the robust table's acquire path
+            // logs LeaseGranted into shared memory from here on.
+            let writer = recorder.writer(1);
+            writer.attach_current_process();
+            obs::bind_ring(writer);
+            let name = table
+                .acquire(&mut child_ctx, os_pid())
+                .expect("an empty table has free names");
+            handshake.get(&arena).store(name as u64, Ordering::SeqCst);
+            loop {
+                std::hint::spin_loop();
+            }
+        }
+    });
+
+    while handshake.get(&arena).load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+    let name = handshake.get(&arena).load(Ordering::SeqCst) as usize;
+    kill_child(pid);
+    assert!(wait_child(pid).killed());
+
+    // The dead child's ring is findable by pid and its tail is readable
+    // even though the writer died without any shutdown handshake.
+    assert_eq!(recorder.find_ring(pid as u32), Some(1));
+
+    // The sweeping parent installs the recorder as the postmortem source;
+    // reclaiming the dead pid's name dumps its tail.
+    obs::postmortem::install(Arc::clone(&recorder));
+    let mut ctx = ProcessCtx::new(ProcessId::new(0), 3);
+    assert_eq!(table.sweep_dead_processes(&mut ctx), 1);
+    obs::postmortem::uninstall();
+
+    let reports = obs::postmortem::take_reports();
+    assert_eq!(reports.len(), 1, "one dead pid, one postmortem");
+    let report = &reports[0];
+    assert_eq!(report.pid, pid as u32);
+    assert_eq!(report.ring, 1);
+    let last_lease = report
+        .events
+        .iter()
+        .rev()
+        .find(|event| event.kind == EventKind::LeaseGranted)
+        .expect("the dead child's last lease event is in the recovered tail");
+    assert_eq!(
+        last_lease.name, name as u64,
+        "the recovered grant names the lease the sweep reclaimed"
+    );
+    assert_eq!(last_lease.payload, pid as u64, "stamped with the dead pid");
+    assert!(
+        report.rendered.contains("LeaseGranted"),
+        "{}",
+        report.rendered
+    );
+}
+
+#[test]
 fn forked_clients_drive_a_shared_network_counter() {
     use cnet::counter::NetworkCounter;
     use cnet::family::CountingFamily;

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Observability overhead gate: the telemetry-compiled-in build must run the
+# fixed-work bench smokes within TOLERANCE_PERCENT (default 5%) of the
+# telemetry-compiled-out (`obs-off`) build.
+#
+# Both builds run the identical `--smoke --no-obs` workload (the telemetry
+# pass is skipped: its bound recording is deliberate, paid-for work, not
+# overhead). The sweeps never bind an obs sink, so the price being measured
+# is the instrumented hot paths' guard: one relaxed load of the process-wide
+# enable flag and a predictable branch per site. Each build is run RUNS
+# times (default 8) and the *best* wall-clock times are compared — the
+# floor converges on the true cost while scheduler noise stays out of the
+# verdict — with SLACK_MS (default 2) of absolute slack absorbing the
+# millisecond granularity of short smoke runs.
+#
+# Usage: tools/obs_overhead.sh   (exits non-zero on a blown budget)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-8}"
+TOLERANCE_PERCENT="${TOLERANCE_PERCENT:-5}"
+SLACK_MS="${SLACK_MS:-2}"
+
+echo "obs_overhead: building telemetry-on and telemetry-off smoke binaries"
+cargo build --release -q -p renaming-bench --bin exp_counters --bin exp_lease_churn
+# The obs-off build gets its own target dir so both binaries exist at once
+# (the feature change would otherwise force a rebuild on every flip).
+cargo build --release -q -p renaming-bench --bin exp_counters --bin exp_lease_churn \
+  --features obs-off --target-dir target/obs-off
+
+best_ms() {
+  local bin="$1" best="" run start end ms
+  for run in $(seq "$RUNS"); do
+    start=$(date +%s%N)
+    "$bin" --smoke --no-obs > /dev/null
+    end=$(date +%s%N)
+    ms=$(((end - start) / 1000000))
+    if [[ -z "$best" || "$ms" -lt "$best" ]]; then best=$ms; fi
+  done
+  echo "$best"
+}
+
+fail=0
+for exp in exp_counters exp_lease_churn; do
+  on_ms=$(best_ms "target/release/$exp")
+  off_ms=$(best_ms "target/obs-off/release/$exp")
+  budget_ms=$((off_ms * (100 + TOLERANCE_PERCENT) / 100 + SLACK_MS))
+  echo "obs_overhead: $exp best-of-$RUNS: on=${on_ms}ms off=${off_ms}ms" \
+    "budget=${budget_ms}ms (off + ${TOLERANCE_PERCENT}% + ${SLACK_MS}ms)"
+  if [[ "$on_ms" -gt "$budget_ms" ]]; then
+    echo "obs_overhead: $exp telemetry-on exceeds the ${TOLERANCE_PERCENT}% budget" >&2
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "obs_overhead: FAILED — telemetry must stay within ${TOLERANCE_PERCENT}% of obs-off" >&2
+  exit 1
+fi
+echo "obs_overhead: telemetry overhead within ${TOLERANCE_PERCENT}%"
