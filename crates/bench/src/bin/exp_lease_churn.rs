@@ -258,7 +258,7 @@ fn network(capacity: usize) -> Arc<dyn Renaming> {
 #[cfg(all(unix, not(miri)))]
 fn measure_robust_procs(sizing: &Sizing, processes: usize) -> Sample {
     use adaptive_renaming::robust::RobustLeaseTable;
-    use shmem::arena::{os_pid, Arena};
+    use shmem::arena::Arena;
     use shmem::process::{ProcessCtx, ProcessId};
     use shmem::procs::{fork_child, wait_for_clean_exit};
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -299,6 +299,13 @@ fn measure_robust_procs(sizing: &Sizing, processes: usize) -> Sample {
                 );
                 fork_child(move || {
                     let mut ctx = ctx;
+                    // Register before signalling ready: the registry claim
+                    // is atomics-only (fork-safe) and must stay outside the
+                    // timed window. Dead children of earlier executions are
+                    // recycled here, so the registry never fills up.
+                    let registration = table
+                        .register_current_process()
+                        .expect("the registry admits every live child");
                     ready.fetch_add(1, Ordering::SeqCst);
                     while start_gate.load(Ordering::SeqCst) == 0 {
                         std::hint::spin_loop();
@@ -306,7 +313,7 @@ fn measure_robust_procs(sizing: &Sizing, processes: usize) -> Sample {
                     let mut worst = 0usize;
                     for _ in 0..calls_per_worker {
                         let name = table
-                            .acquire(&mut ctx, os_pid())
+                            .acquire(&mut ctx, registration.tag())
                             .expect("table capacity equals the process count");
                         worst = worst.max(name);
                         table.release(&mut ctx, name);
@@ -674,7 +681,7 @@ where
 #[cfg(all(unix, not(miri)))]
 fn observe_robust_procs(sizing: &Sizing, processes: usize) -> obs::Snapshot {
     use adaptive_renaming::robust::RobustLeaseTable;
-    use shmem::arena::{os_pid, Arena};
+    use shmem::arena::Arena;
     use shmem::process::{ProcessCtx, ProcessId};
     use shmem::procs::{fork_child, wait_for_clean_exit};
 
@@ -696,9 +703,12 @@ fn observe_robust_procs(sizing: &Sizing, processes: usize) -> obs::Snapshot {
             fork_child(move || {
                 let mut ctx = ctx;
                 obs::bind_metrics(slab.writer(worker));
+                let registration = table
+                    .register_current_process()
+                    .expect("the registry admits every live child");
                 for _ in 0..calls_per_worker {
                     let name = table
-                        .acquire(&mut ctx, os_pid())
+                        .acquire(&mut ctx, registration.tag())
                         .expect("table capacity equals the process count");
                     table.release(&mut ctx, name);
                 }

@@ -1,0 +1,118 @@
+//! Bounded exponential backoff for transient-contention retry loops.
+//!
+//! The crash-recovery paths introduced with the chaos harness put
+//! acquirers in a new situation: an operation that would previously have
+//! failed fast (`CapacityExceeded`) may be failing only because a sweep or
+//! restart recovery is *in flight* — the capacity exists, it just has not
+//! been pushed back yet. Those callers retry a bounded number of times,
+//! and this type paces the retries: spin (busy-wait) while the wait is
+//! expected to be nanoseconds, then escalate to `yield_now` so a stalled
+//! recoverer on the same core can actually run, then report completion so
+//! the caller falls back to its ordinary error path.
+//!
+//! The shape (doubling spins up to a spin limit, then yields up to a yield
+//! limit) is the classic one from crossbeam's `Backoff`; re-implemented
+//! here because the build is offline and the workspace vendors no
+//! concurrency crates. Deliberately *not* time-based: under the virtual
+//! executor (`shmem::vexec`) and miri there is no meaningful wall clock,
+//! but a step-bounded loop terminates identically everywhere.
+
+/// Doubling spin counts up to `2^SPIN_LIMIT` iterations per step.
+const SPIN_LIMIT: u32 = 6;
+/// After the spin phase, this many additional `yield_now` steps.
+const YIELD_LIMIT: u32 = 10;
+
+/// A bounded exponential backoff (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use adaptive_renaming::backoff::Backoff;
+///
+/// let mut backoff = Backoff::new();
+/// let mut attempts = 0;
+/// while !backoff.is_completed() {
+///     attempts += 1;
+///     backoff.snooze();
+/// }
+/// assert_eq!(attempts, 17, "the retry budget is bounded and deterministic");
+/// ```
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// A fresh backoff at step zero.
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Resets to step zero — call after the contended operation succeeds so
+    /// a long-lived loop starts its next wait cheap again.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Busy-spins for the current step's duration and advances the step.
+    /// Use when the caller will retry regardless (pure contention, no
+    /// blocked-on-a-peer component); never yields the thread.
+    pub fn spin(&mut self) {
+        for _ in 0..1u32 << self.step.min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step <= SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Backs off for the current step and advances it: spins while the step
+    /// is below the spin limit, yields the thread afterwards (a recoverer
+    /// holding the admission gate may need this core to finish).
+    pub fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        self.step += 1;
+    }
+
+    /// Whether the bounded budget is spent: the caller should stop retrying
+    /// and take its ordinary failure path.
+    pub fn is_completed(&self) -> bool {
+        self.step > SPIN_LIMIT + YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_budget_is_deterministic_and_bounded() {
+        let mut backoff = Backoff::new();
+        let mut steps = 0;
+        while !backoff.is_completed() {
+            backoff.snooze();
+            steps += 1;
+        }
+        assert_eq!(steps, (SPIN_LIMIT + YIELD_LIMIT + 1) as usize);
+        backoff.reset();
+        assert!(!backoff.is_completed(), "reset restores the budget");
+    }
+
+    #[test]
+    fn spin_saturates_below_the_yield_phase() {
+        let mut backoff = Backoff::new();
+        for _ in 0..100 {
+            backoff.spin();
+        }
+        assert!(
+            !backoff.is_completed(),
+            "pure spinning never exhausts the snooze budget"
+        );
+    }
+}

@@ -266,6 +266,69 @@ impl FreeList {
         true
     }
 
+    /// Re-derives the summary level from the data words, flagging any
+    /// non-empty data word whose summary bit is clear. Returns the number
+    /// of flags repaired; `0` for the flat layout.
+    ///
+    /// A crash between a push's data `fetch_or` and its summary ensure
+    /// leaves exactly this inconsistency: the name's bit is set but
+    /// hierarchical pops skip its word forever — lost capacity. Because
+    /// summary flags are monotone (never cleared), repair is pure
+    /// re-derivation: setting a flag that should be set cannot race any
+    /// concurrent pusher or popper, so this is safe to run at any time, not
+    /// only during restart recovery ([`crate::recovery::recover`] calls it
+    /// on every win).
+    pub fn repair_summary(&self) -> usize {
+        let Some(summary) = self.flags() else {
+            return 0;
+        };
+        let mut repaired = 0;
+        for (index, word) in self.data().iter().enumerate() {
+            if word.load(Ordering::SeqCst) == 0 {
+                continue;
+            }
+            let flag = &summary[index / 64];
+            let summary_bit = 1u64 << (index % 64);
+            if flag.load(Ordering::SeqCst) & summary_bit == 0 {
+                flag.fetch_or(summary_bit, Ordering::SeqCst);
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+
+    /// Injects a torn push: sets `name`'s **data** bit without the summary
+    /// ensure or the seqlock bump — the state a kill inside
+    /// [`FreeList::push`] leaves behind, which [`FreeList::repair_summary`]
+    /// exists to fix. Chaos-harness fault hook; returns whether the data
+    /// bit was newly set. On the flat layout the data bit *is* the whole
+    /// push minus the seqlock, so the injection degenerates to an
+    /// uncounted push.
+    pub fn inject_torn_push(&self, name: usize) -> bool {
+        if name == 0 || name > self.bound {
+            return false;
+        }
+        let (word, bit) = ((name - 1) / 64, 1u64 << ((name - 1) % 64));
+        self.data()[word].fetch_or(bit, Ordering::SeqCst) & bit == 0
+    }
+
+    /// A flat copy of every shared word — data, summary (if any), then the
+    /// push counter. Equal snapshots mean byte-identical list state; the
+    /// recovery idempotence tests pin on it.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        self.data()
+            .iter()
+            .map(|word| word.load(Ordering::SeqCst))
+            .chain(
+                self.flags()
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|flag| flag.load(Ordering::SeqCst)),
+            )
+            .chain(std::iter::once(self.pushes() as u64))
+            .collect()
+    }
+
     /// Claims the smallest free name in one scan, if any.
     ///
     /// A `None` from a single scan is **not** an atomic emptiness check; use

@@ -77,6 +77,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adaptive;
+pub mod backoff;
 pub mod batched;
 pub mod bit_batching;
 pub mod builder;
@@ -89,6 +90,7 @@ pub mod lease;
 pub mod linear_probe;
 pub mod loose;
 pub mod ltas;
+pub mod recovery;
 pub mod recycler;
 pub mod renaming_network;
 pub mod robust;

@@ -294,14 +294,33 @@ impl<R: Renaming> Recycler<R> {
         // in-flight reservations are all counted, completed releases may
         // lag), so admission can spuriously reject under a race but can
         // never over-admit past `max_concurrent`.
-        let reserved = self.granted().fetch_add(1, Ordering::SeqCst) + 1;
-        let live = reserved.saturating_sub(self.free.pushes());
-        if live > self.max_concurrent {
+        //
+        // A rejection is retried with bounded backoff while releases keep
+        // landing (the `pushes` seqlock moving between rejections): during
+        // a crash-recovery sweep the capacity exists and is in the middle
+        // of being pushed back, and failing fast would surface the sweep as
+        // spurious `CapacityExceeded` to every concurrent acquirer. A
+        // genuinely full recycler rejects with `pushes` unchanged and fails
+        // after one retry, preserving the fail-fast contract at capacity.
+        let mut backoff = crate::backoff::Backoff::new();
+        let mut rejected_at = None;
+        let live = loop {
+            let reserved = self.granted().fetch_add(1, Ordering::SeqCst) + 1;
+            let pushes = self.free.pushes();
+            let live = reserved.saturating_sub(pushes);
+            if live <= self.max_concurrent {
+                break live;
+            }
             self.granted().fetch_sub(1, Ordering::SeqCst);
-            return Err(RenamingError::CapacityExceeded {
-                capacity: self.max_concurrent,
-            });
-        }
+            if backoff.is_completed() || rejected_at == Some(pushes) {
+                return Err(RenamingError::CapacityExceeded {
+                    capacity: self.max_concurrent,
+                });
+            }
+            obs::count(obs::Metric::RecyclerAdmissionRetry);
+            rejected_at = Some(pushes);
+            backoff.snooze();
+        };
         // lint: relaxed-ok(peak watermark is advisory; fetch_max below is the RMW)
         if live > self.peak().load(Ordering::Relaxed) {
             self.peak().fetch_max(live, Ordering::AcqRel); // lint: relaxed-ok(monotone watermark RMW; AcqRel keeps concurrent maxes ordered)

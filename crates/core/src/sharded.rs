@@ -234,6 +234,7 @@ impl<R: Renaming + 'static> LongLivedRenaming for ShardedRecycler<R> {
     fn lease_raw(&self, ctx: &mut ProcessCtx) -> Result<usize, RenamingError> {
         let count = self.shards.len();
         let home = self.home_shard(ctx);
+        let mut first_error = None;
         for offset in 0..count {
             let shard = (home + offset) % count;
             match self.shards[shard].grant(ctx) {
@@ -248,12 +249,23 @@ impl<R: Renaming + 'static> LongLivedRenaming for ShardedRecycler<R> {
                 }
                 // The home shard is full: overflow to the next one.
                 Err(RenamingError::CapacityExceeded { .. }) => continue,
-                Err(error) => return Err(error),
+                // Any other shard failure — e.g. a home shard wedged by a
+                // crashed process (its inner fresh path poisoned, its names
+                // unreleased) — must not wedge the *stealer*: remember the
+                // first cause and keep sweeping, exactly as for exhaustion.
+                // Returning here used to let one dead shard deny the whole
+                // object while healthy shards still had capacity.
+                Err(error) => {
+                    first_error.get_or_insert(error);
+                    continue;
+                }
             }
         }
-        Err(RenamingError::CapacityExceeded {
+        // Every shard failed. Surface the first non-capacity cause if one
+        // cut the sweep short; plain exhaustion otherwise.
+        Err(first_error.unwrap_or(RenamingError::CapacityExceeded {
             capacity: count * self.per_shard_max,
-        })
+        }))
     }
 
     /// Batch form: fills the batch shard by shard starting at the caller's

@@ -16,6 +16,7 @@
 use adaptive_renaming::counter::MonotoneCounter;
 use adaptive_renaming::lease::{assert_tight_lease_namespace, LeaseRecord, LongLivedRenaming};
 use adaptive_renaming::linear_probe::LinearProbeRenaming;
+use adaptive_renaming::recovery::recover_with;
 use adaptive_renaming::recycler::Recycler;
 use adaptive_renaming::robust::RobustLeaseTable;
 use adaptive_renaming::traits::{assert_tight_namespace, Renaming};
@@ -30,7 +31,7 @@ use shmem::consistency::{
     CounterSpec, SequentialSpec,
 };
 use shmem::history::Recorder;
-use shmem::process::ProcessCtx;
+use shmem::process::{ProcessCtx, ProcessId};
 use shmem::register::AtomicU64Register;
 use shmem::vexec::VirtualRun;
 use std::ops::RangeInclusive;
@@ -224,6 +225,17 @@ pub fn all() -> Vec<ScenarioDef> {
             exhaustive: true,
             about: "crash-robust lease table: a releaser races a sweeper that presumes \
                     it dead — every grant's HELD→FREE transition happens exactly once",
+        },
+        ScenarioDef {
+            name: "recover_race_2p",
+            procs: 2,
+            build: build_recover_race,
+            crash_sweep: None,
+            expect_violations: false,
+            exhaustive: true,
+            about: "two fresh attachers race restart recovery at the same epoch — \
+                    exactly one wins the CAS, every dead lease is reclaimed once, \
+                    the torn slot is quarantined once, and the loser touches nothing",
         },
         ScenarioDef {
             name: "obs_ring_2p",
@@ -842,6 +854,72 @@ fn build_robust_sweep() -> BuiltScenario {
                     table.generation_of(1),
                     table.generation_of(2)
                 ));
+            }
+            Ok(())
+        }
+    });
+    BuiltScenario { body, check }
+}
+
+fn build_recover_race() -> BuiltScenario {
+    // Pre-seeded crash image (real-mode ctx, before the virtual run): name 1
+    // held by a dead raw owner, name 2 torn — claimed mid-kill with no owner
+    // published. Both processes then race `recover_with` at the same attach
+    // epoch, the restart race two fresh attachers of a named arena run. The
+    // green oracle: exactly one claimant wins the epoch CAS and does all the
+    // work exactly once — one HELD→FREE transition for the dead lease, one
+    // quarantine parking for the torn slot — while the loser returns without
+    // touching the table.
+    let table = Arc::new(RobustLeaseTable::with_capacity(2));
+    let mut setup = ProcessCtx::new(ProcessId::new(0), 11);
+    table
+        .acquire(&mut setup, 7)
+        .expect("seeding the dead owner's lease");
+    assert!(
+        table.inject_torn_slot(&mut setup, 2),
+        "seeding the torn slot"
+    );
+    let body: ScenarioBody = Arc::new({
+        let table = Arc::clone(&table);
+        move |ctx| {
+            let report = recover_with(ctx, &table, &[], 1, |_| true, true);
+            u64::from(report.won) * 100 + report.reclaimed as u64 * 10 + report.quarantined as u64
+        }
+    });
+    let check: ScenarioCheck = Box::new({
+        let table = Arc::clone(&table);
+        move |run: &VirtualRun<u64>| {
+            let mut results = Vec::new();
+            for (_, &value) in run.outcome.completed() {
+                results.push(value);
+            }
+            results.sort_unstable();
+            if results != [0, 111] {
+                return Err(format!(
+                    "expected one winner doing all the work (111) and one \
+                     no-op loser (0), got {results:?}"
+                ));
+            }
+            if table.transitions() != 1 {
+                return Err(format!(
+                    "the dead lease must be freed exactly once, saw {} transitions",
+                    table.transitions()
+                ));
+            }
+            if table.quarantined() != 1 {
+                return Err(format!(
+                    "the torn slot must be parked exactly once, quarantine holds {}",
+                    table.quarantined()
+                ));
+            }
+            if table.last_recovered_epoch() != 1 {
+                return Err(format!(
+                    "epoch should settle at 1, at {}",
+                    table.last_recovered_epoch()
+                ));
+            }
+            if table.admissions_gated() {
+                return Err("the winner left the admission gate raised".into());
             }
             Ok(())
         }

@@ -95,6 +95,12 @@ metrics! {
         PrismCombined => ("prism.combined", Counter),
         PrismFellThrough => ("prism.fell_through", Counter),
         BalancerToggle => ("balancer.toggle", Counter),
+        RobustQuarantined => ("robust.quarantined", Counter),
+        RobustGateWait => ("robust.gate_wait", Counter),
+        RecyclerAdmissionRetry => ("recycler.admission_retry", Counter),
+        RecoverRuns => ("recover.runs", Counter),
+        RecoverReclaimed => ("recover.reclaimed", Counter),
+        RecoverSummaryRepairs => ("recover.summary_repairs", Counter),
         SensorEstimateFp => ("adaptive.sensor_estimate_fp", Gauge),
         RoutedWidth => ("adaptive.routed_width", Gauge),
     }
@@ -103,6 +109,7 @@ metrics! {
         RobustAcquireNs => "robust.acquire_ns",
         NetIncrementNs => "cnet.increment_ns",
         AdaptiveIncrementNs => "adaptive.increment_ns",
+        RecoverNs => "recover.ns",
     }
 }
 
@@ -291,22 +298,18 @@ impl StripeWriter {
     pub fn record(&self, metric: Metric, value: u64) {
         let base = self.base + metric.offset();
         let bucket = bucket_of(value);
-        // lint: relaxed-ok(escrowed per-process histogram words; read only at quiesced snapshots)
         self.slab
             .word(base + bucket)
-            .fetch_add(1, Ordering::Relaxed);
-        // lint: relaxed-ok(escrowed per-process histogram words; read only at quiesced snapshots)
+            .fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(escrowed per-process histogram words; read only at quiesced snapshots)
         self.slab
             .word(base + crate::hist::BUCKETS)
-            .fetch_add(1, Ordering::Relaxed);
-        // lint: relaxed-ok(escrowed per-process histogram words; read only at quiesced snapshots)
+            .fetch_add(1, Ordering::Relaxed); // lint: relaxed-ok(escrowed per-process histogram words; read only at quiesced snapshots)
         self.slab
             .word(base + crate::hist::BUCKETS + 1)
-            .fetch_add(value, Ordering::Relaxed);
-        // lint: relaxed-ok(escrowed per-process histogram words; read only at quiesced snapshots)
+            .fetch_add(value, Ordering::Relaxed); // lint: relaxed-ok(escrowed per-process histogram words; read only at quiesced snapshots)
         self.slab
             .word(base + crate::hist::BUCKETS + 2)
-            .fetch_max(value, Ordering::Relaxed);
+            .fetch_max(value, Ordering::Relaxed); // lint: relaxed-ok(escrowed per-process histogram words; read only at quiesced snapshots)
     }
 }
 

@@ -55,6 +55,10 @@ pub enum EventKind {
     Flush = 6,
     /// A free-form application marker.
     Mark = 7,
+    /// Restart recovery reclaimed a dead owner's name.
+    Recovered = 8,
+    /// Recovery parked a torn/indeterminate slot on the quarantine list.
+    Quarantined = 9,
 }
 
 impl EventKind {
@@ -67,6 +71,8 @@ impl EventKind {
             4 => EventKind::SweepReclaimed,
             5 => EventKind::Increment,
             6 => EventKind::Flush,
+            8 => EventKind::Recovered,
+            9 => EventKind::Quarantined,
             _ => EventKind::Mark,
         }
     }

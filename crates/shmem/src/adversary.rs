@@ -260,6 +260,119 @@ impl ExecConfig {
     }
 }
 
+/// What the chaos harness does to one child at a chosen moment.
+///
+/// Unlike [`CrashPlan`], which terminates *virtual* processes inside the
+/// executor, a fault plan drives **real OS signals** from a supervising
+/// parent ([`crate::procs::kill_child`], [`crate::procs::stop_child`]):
+/// children publish per-operation progress words, and the parent fires
+/// each fault when its child's progress crosses the planned index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// SIGKILL: the child dies uncooperatively, leases in hand.
+    Kill,
+    /// SIGSTOP for `pause_ops` observed operations of the other children
+    /// (then SIGCONT): the child is *stalled, not dead* — a sweep that
+    /// reclaims its leases is wrong, which is exactly what this arm tests.
+    Stall {
+        /// How much forward progress (summed over live children) the
+        /// parent waits for before delivering SIGCONT.
+        pause_ops: u64,
+    },
+    /// Torn-write injection: the parent flips arena words into the
+    /// half-written states a kill can leave (a lease slot claimed with no
+    /// owner published, a free-list data bit without its summary flag) via
+    /// the structures' fault hooks. The child itself is untouched.
+    TornWrite,
+}
+
+/// One planned fault: `child` gets `action` once it has performed
+/// `at_op` operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChildFault {
+    /// Index of the targeted child (the forker's ordinal, not a pid).
+    pub child: usize,
+    /// The child-local operation count at which the fault fires.
+    pub at_op: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic, seeded schedule of kill/stall/torn-write faults over a
+/// fleet of forked children — same seed, same storm.
+///
+/// # Example
+///
+/// ```
+/// use shmem::adversary::FaultPlan;
+///
+/// let plan = FaultPlan::from_seed(7, 4, 100);
+/// assert_eq!(plan, FaultPlan::from_seed(7, 4, 100), "deterministic");
+/// assert!(plan.faults().iter().all(|fault| fault.child < 4));
+/// assert!(!plan.faults().is_empty(), "a storm plans at least one fault");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<ChildFault>,
+}
+
+impl FaultPlan {
+    /// Derives a plan for `children` children performing `ops` operations
+    /// each. Roughly half the children draw a fault: mostly kills (the
+    /// storm), some stalls, an occasional torn write; at least one child
+    /// is always killed so every seed exercises recovery. Fault indices
+    /// are uniform over `1..=ops`, so kills land anywhere from the first
+    /// lease to the last release.
+    pub fn from_seed(seed: u64, children: usize, ops: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA_017_9A5);
+        let mut faults = Vec::new();
+        for child in 0..children {
+            if !rng.gen_bool(0.5) {
+                continue;
+            }
+            let at_op = rng.gen_range(1..=ops.max(1));
+            let action = match rng.gen_range(0..10u32) {
+                0..=5 => FaultAction::Kill,
+                6..=8 => FaultAction::Stall {
+                    pause_ops: rng.gen_range(1..=ops.max(1)),
+                },
+                _ => FaultAction::TornWrite,
+            };
+            faults.push(ChildFault {
+                child,
+                at_op,
+                action,
+            });
+        }
+        if !faults.iter().any(|fault| fault.action == FaultAction::Kill) {
+            let child = rng.gen_range(0..children.max(1));
+            let at_op = rng.gen_range(1..=ops.max(1));
+            faults.retain(|fault| fault.child != child);
+            faults.push(ChildFault {
+                child,
+                at_op,
+                action: FaultAction::Kill,
+            });
+        }
+        FaultPlan { faults }
+    }
+
+    /// The planned faults, at most one per child.
+    pub fn faults(&self) -> &[ChildFault] {
+        &self.faults
+    }
+
+    /// The children this plan SIGKILLs.
+    pub fn killed_children(&self) -> impl Iterator<Item = usize> + '_ {
+        self.faults
+            .iter()
+            .filter(|fault| fault.action == FaultAction::Kill)
+            .map(|fault| fault.child)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +381,28 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn fault_plans_always_kill_and_target_each_child_at_most_once() {
+        for seed in 0..200 {
+            let plan = FaultPlan::from_seed(seed, 6, 50);
+            assert!(
+                plan.killed_children().next().is_some(),
+                "seed {seed}: every storm kills someone"
+            );
+            let mut children: Vec<usize> = plan.faults().iter().map(|fault| fault.child).collect();
+            children.sort_unstable();
+            children.dedup();
+            assert_eq!(
+                children.len(),
+                plan.faults().len(),
+                "seed {seed}: at most one fault per child"
+            );
+            for fault in plan.faults() {
+                assert!((1..=50).contains(&fault.at_op), "seed {seed}: {fault:?}");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! structure built from them is relocatable by construction: fork the
 //! process (or map the region elsewhere) and every handle still resolves.
 //!
-//! Two backends are provided:
+//! Three backends are provided:
 //!
 //! * [`ArenaBackend::Heap`] (default): a process-private 64-byte-aligned
 //!   heap block. Identical layout and code paths to the shared backend, but
@@ -22,6 +22,17 @@
 //!   not under miri). A child created with `fork()` inherits the mapping at
 //!   the same address — but nothing relies on that: all access goes through
 //!   offsets, and the handles themselves are inherited by-value.
+//! * [`ArenaBackend::File`]: a *named* `MAP_SHARED` mmap over a regular
+//!   file, so **unrelated** processes attach by path instead of by fork
+//!   inheritance ([`Arena::file_create`] / [`Arena::file_attach`]). The
+//!   first 64 bytes of the file hold a validated [`FileHeader`] — magic,
+//!   layout version, capacity, an attach-epoch counter bumped on every
+//!   attach, and a dirty flag that survives a crash — which is what makes
+//!   crash-consistent restart recovery possible (see `core::recovery`).
+//!   An attached arena is opened in *preserve* mode: the `*_with`
+//!   allocators claim offsets in construction order but skip their
+//!   initializing writes, so re-running a structure's `*_in` constructor
+//!   re-derives the same handles over the surviving bytes.
 //!
 //! # Allocation discipline
 //!
@@ -98,6 +109,12 @@ pub enum ArenaBackend {
     /// An anonymous `MAP_SHARED` mapping: visible to children created with
     /// `fork()`. Unix only; unavailable under miri.
     Shared,
+    /// A file-backed `MAP_SHARED` mapping with a validated [`FileHeader`]:
+    /// unrelated processes attach by path ([`Arena::file_attach`]) and the
+    /// bytes survive every process detaching. Unix only; unavailable under
+    /// miri. The variant is payload-free (handles stay `Copy`); the path
+    /// is carried by the constructors and [`Arena::path`].
+    File,
 }
 
 impl fmt::Display for ArenaBackend {
@@ -105,6 +122,7 @@ impl fmt::Display for ArenaBackend {
         match self {
             ArenaBackend::Heap => f.write_str("heap"),
             ArenaBackend::Shared => f.write_str("shared"),
+            ArenaBackend::File => f.write_str("file"),
         }
     }
 }
@@ -116,8 +134,9 @@ impl FromStr for ArenaBackend {
         match s {
             "heap" | "private" => Ok(ArenaBackend::Heap),
             "shared" | "mmap" => Ok(ArenaBackend::Shared),
+            "file" | "named" => Ok(ArenaBackend::File),
             other => Err(format!(
-                "unknown arena backend {other:?} (expected \"heap\" or \"shared\")"
+                "unknown arena backend {other:?} (expected \"heap\", \"shared\" or \"file\")"
             )),
         }
     }
@@ -133,6 +152,15 @@ pub enum ArenaError {
     InvalidCapacity(usize),
     /// The underlying `mmap` call failed.
     MapFailed(std::io::Error),
+    /// The [`ArenaBackend::File`] backend needs a path: use
+    /// [`Arena::file_create`] / [`Arena::file_attach`], not `with_backend`.
+    PathRequired,
+    /// Creating, opening or sizing the backing file failed.
+    Io(std::io::Error),
+    /// The file exists but its [`FileHeader`] does not validate (wrong
+    /// magic, unknown layout version, or a capacity that disagrees with
+    /// the file's size) — it is not an arena this build can attach to.
+    BadHeader(String),
 }
 
 impl fmt::Display for ArenaError {
@@ -148,11 +176,59 @@ impl fmt::Display for ArenaError {
                 )
             }
             ArenaError::MapFailed(err) => write!(f, "mmap failed: {err}"),
+            ArenaError::PathRequired => {
+                write!(
+                    f,
+                    "the file backend needs a path: use Arena::file_create / file_attach"
+                )
+            }
+            ArenaError::Io(err) => write!(f, "arena file i/o failed: {err}"),
+            ArenaError::BadHeader(why) => write!(f, "arena file header invalid: {why}"),
         }
     }
 }
 
 impl std::error::Error for ArenaError {}
+
+/// Magic tag in the first word of a file-backed arena ("ARENAv1\0", little
+/// endian). A file without it is not an arena and is refused at attach.
+pub const ARENA_MAGIC: u64 = 0x0031_764e_4552_4141;
+
+/// Layout version stamped at [`Arena::file_create`] and required verbatim at
+/// [`Arena::file_attach`]. Bump whenever the byte layout of any
+/// arena-resident structure changes incompatibly.
+pub const ARENA_LAYOUT_VERSION: u64 = 1;
+
+/// Bytes reserved at the start of a file-backed arena for the validated
+/// header — exactly one allocation line, so the first real allocation still
+/// lands on a fresh 64-byte boundary.
+pub const FILE_HEADER_BYTES: usize = 64;
+
+/// The validated header at offset 0 of a file-backed arena.
+///
+/// All fields are atomics because unrelated live processes share the
+/// mapping: the attach-epoch bump and the dirty-flag handshake race with
+/// other attachers by design. The header occupies the first of the file's
+/// [`FILE_HEADER_BYTES`]; the remaining header bytes are reserved (zero).
+#[derive(Debug)]
+#[repr(C)]
+pub struct FileHeader {
+    /// [`ARENA_MAGIC`], written last at create so a torn create never
+    /// validates.
+    pub magic: AtomicU64,
+    /// [`ARENA_LAYOUT_VERSION`] of the creating build.
+    pub layout_version: AtomicU64,
+    /// Usable capacity in bytes (the file is this plus the header line).
+    pub capacity: AtomicU64,
+    /// Count of attaches (create included); bumped by every
+    /// [`Arena::file_attach`]. Recovery uses it to arbitrate which fresh
+    /// attacher repairs a dirty arena.
+    pub attach_epoch: AtomicU64,
+    /// Raised on attach, cleared only by an explicit [`Arena::mark_clean`]:
+    /// a process that dies (or merely exits) without the clean handshake
+    /// leaves the flag up, telling the next attacher to run recovery.
+    pub dirty: AtomicU64,
+}
 
 /// Marker for types that may be placed in an [`Arena`].
 ///
@@ -200,6 +276,14 @@ enum Storage {
         base: NonNull<u8>,
         len: usize,
     },
+    /// A file-backed `MAP_SHARED` mapping. The fd is closed right after
+    /// mapping (the mapping keeps the file pinned); dropping unmaps only —
+    /// the bytes live on in the file until someone unlinks it.
+    #[cfg(all(unix, not(miri)))]
+    File {
+        base: NonNull<u8>,
+        len: usize,
+    },
 }
 
 impl Storage {
@@ -208,6 +292,8 @@ impl Storage {
             Storage::Heap { base, .. } => *base,
             #[cfg(all(unix, not(miri)))]
             Storage::Shared { base, .. } => *base,
+            #[cfg(all(unix, not(miri)))]
+            Storage::File { base, .. } => *base,
         }
     }
 }
@@ -220,11 +306,12 @@ impl Drop for Storage {
                 unsafe { dealloc(base.as_ptr(), *layout) };
             }
             #[cfg(all(unix, not(miri)))]
-            Storage::Shared { base, len } => {
-                // Safety: mapped with exactly this length in Arena::shared.
-                // A forked child that exits via `_exit` never runs this; a
-                // child that returns normally unmaps only its own address
-                // space, not the parent's mapping.
+            Storage::Shared { base, len } | Storage::File { base, len } => {
+                // Safety: mapped with exactly this length in map_shared /
+                // map_file. A forked child that exits via `_exit` never runs
+                // this; a child that returns normally unmaps only its own
+                // address space, not the parent's mapping (and for the file
+                // backend, never the file's bytes).
                 unsafe { libc::munmap(base.as_ptr().cast(), *len) };
             }
         }
@@ -242,6 +329,19 @@ pub struct Arena {
     cursor: AtomicUsize,
     backend: ArenaBackend,
     id: u64,
+    /// Attach/preserve mode ([`Arena::file_attach`]): the `*_with`
+    /// allocators claim offsets but skip their initializing writes, so the
+    /// bytes a previous fleet left behind survive re-construction.
+    preserve: bool,
+    /// The backing file's path (file backend only).
+    path: Option<std::path::PathBuf>,
+    /// This mapping's attach epoch (file backend only): the post-bump value
+    /// of the header's attach counter.
+    attach_epoch: Option<u64>,
+    /// Whether the header's dirty flag was already up when this process
+    /// attached — i.e. some earlier attacher never completed the
+    /// [`Arena::mark_clean`] handshake and recovery should run.
+    attached_dirty: bool,
 }
 
 // Safety: the region is only ever accessed through `&T` where `T: ArenaPod`
@@ -282,7 +382,9 @@ impl Arena {
 
     /// Creates an arena on the requested backend. [`ArenaBackend::Shared`]
     /// fails with [`ArenaError::UnsupportedBackend`] on non-unix platforms
-    /// and under miri.
+    /// and under miri; [`ArenaBackend::File`] always fails here with
+    /// [`ArenaError::PathRequired`] — use [`Arena::file_create`] /
+    /// [`Arena::file_attach`].
     pub fn with_backend(backend: ArenaBackend, capacity: usize) -> Result<Arc<Arena>, ArenaError> {
         if capacity == 0 || capacity > MAX_ARENA_CAPACITY {
             return Err(ArenaError::InvalidCapacity(capacity));
@@ -299,6 +401,7 @@ impl Arena {
                 Storage::Heap { base, layout }
             }
             ArenaBackend::Shared => Self::map_shared(capacity)?,
+            ArenaBackend::File => return Err(ArenaError::PathRequired),
         };
         Ok(Arc::new(Arena {
             storage,
@@ -306,7 +409,156 @@ impl Arena {
             cursor: AtomicUsize::new(0),
             backend,
             id: NEXT_ARENA_ID.fetch_add(1, Ordering::SeqCst),
+            preserve: false,
+            path: None,
+            attach_epoch: None,
+            attached_dirty: false,
         }))
+    }
+
+    /// Creates a **named** arena: a fresh file at `path` sized
+    /// `capacity + FILE_HEADER_BYTES`, mapped `MAP_SHARED`, with a validated
+    /// [`FileHeader`] stamped at offset 0. `capacity` is the usable byte
+    /// count — size it with the same `footprint` helpers as any other
+    /// backend. Fails if the file already exists (chaos/restart loops unlink
+    /// stale arenas explicitly; silently reusing one would hide a leak).
+    #[cfg(all(unix, not(miri)))]
+    pub fn file_create(
+        path: impl AsRef<std::path::Path>,
+        capacity: usize,
+    ) -> Result<Arc<Arena>, ArenaError> {
+        let path = path.as_ref();
+        if capacity == 0 || capacity > MAX_ARENA_CAPACITY {
+            return Err(ArenaError::InvalidCapacity(capacity));
+        }
+        let total = capacity + FILE_HEADER_BYTES;
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(ArenaError::Io)?;
+        file.set_len(total as u64).map_err(ArenaError::Io)?;
+        let storage = Self::map_file(&file, total)?;
+        // The fd closes when `file` drops below; the mapping outlives it.
+        let arena = Arena {
+            storage,
+            capacity: total,
+            cursor: AtomicUsize::new(FILE_HEADER_BYTES),
+            backend: ArenaBackend::File,
+            id: NEXT_ARENA_ID.fetch_add(1, Ordering::SeqCst),
+            preserve: false,
+            path: Some(path.to_path_buf()),
+            attach_epoch: Some(1),
+            attached_dirty: false,
+        };
+        let header = arena.file_header().expect("file backend has a header");
+        header
+            .layout_version
+            .store(ARENA_LAYOUT_VERSION, Ordering::SeqCst);
+        header.capacity.store(capacity as u64, Ordering::SeqCst);
+        header.attach_epoch.store(1, Ordering::SeqCst);
+        header.dirty.store(1, Ordering::SeqCst);
+        // Magic last: a create torn before this line never validates.
+        header.magic.store(ARENA_MAGIC, Ordering::SeqCst);
+        Ok(Arc::new(arena))
+    }
+
+    /// Attaches to an existing named arena by path, validating its
+    /// [`FileHeader`] (magic, layout version, capacity vs file size). On
+    /// success the header's attach epoch is bumped, the dirty flag is
+    /// raised, and the arena is returned in *preserve* mode: re-running the
+    /// same `*_in` constructors in the same order re-claims the same offsets
+    /// **without** re-initializing the bytes — [`Arena::was_dirty`] then
+    /// tells the caller whether recovery must run over the surviving state.
+    #[cfg(all(unix, not(miri)))]
+    pub fn file_attach(path: impl AsRef<std::path::Path>) -> Result<Arc<Arena>, ArenaError> {
+        let path = path.as_ref();
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(ArenaError::Io)?;
+        let total = file.metadata().map_err(ArenaError::Io)?.len();
+        if (total as usize) < FILE_HEADER_BYTES + ARENA_ALIGN
+            || total as usize > MAX_ARENA_CAPACITY + FILE_HEADER_BYTES
+        {
+            return Err(ArenaError::BadHeader(format!(
+                "file size {total} cannot hold a header plus any capacity"
+            )));
+        }
+        let total = total as usize;
+        let storage = Self::map_file(&file, total)?;
+        let mut arena = Arena {
+            storage,
+            capacity: total,
+            cursor: AtomicUsize::new(FILE_HEADER_BYTES),
+            backend: ArenaBackend::File,
+            id: NEXT_ARENA_ID.fetch_add(1, Ordering::SeqCst),
+            preserve: true,
+            path: Some(path.to_path_buf()),
+            attach_epoch: None,
+            attached_dirty: false,
+        };
+        {
+            let header = arena.file_header().expect("file backend has a header");
+            let magic = header.magic.load(Ordering::SeqCst);
+            if magic != ARENA_MAGIC {
+                return Err(ArenaError::BadHeader(format!(
+                    "magic {magic:#018x} != {ARENA_MAGIC:#018x} (not an arena, or a torn create)"
+                )));
+            }
+            let version = header.layout_version.load(Ordering::SeqCst);
+            if version != ARENA_LAYOUT_VERSION {
+                return Err(ArenaError::BadHeader(format!(
+                    "layout version {version} != {ARENA_LAYOUT_VERSION}"
+                )));
+            }
+            let capacity = header.capacity.load(Ordering::SeqCst);
+            if capacity as usize != total - FILE_HEADER_BYTES {
+                return Err(ArenaError::BadHeader(format!(
+                    "header capacity {capacity} disagrees with file size {total}"
+                )));
+            }
+        }
+        // Validated: join the arena. The dirty flag is a swap so we learn
+        // whether a previous fleet left without the clean handshake, and the
+        // epoch bump gives this attacher a unique recovery-arbitration
+        // ticket.
+        let (was_dirty, epoch) = {
+            let header = arena.file_header().expect("validated above");
+            (
+                header.dirty.swap(1, Ordering::SeqCst) != 0,
+                header.attach_epoch.fetch_add(1, Ordering::SeqCst) + 1,
+            )
+        };
+        arena.attached_dirty = was_dirty;
+        arena.attach_epoch = Some(epoch);
+        Ok(Arc::new(arena))
+    }
+
+    #[cfg(all(unix, not(miri)))]
+    fn map_file(file: &std::fs::File, len: usize) -> Result<Storage, ArenaError> {
+        use std::os::unix::io::AsRawFd;
+        // Safety: mapping a regular file we just opened read/write, length
+        // checked against the file size by the callers; the result is
+        // checked against MAP_FAILED before use.
+        let raw = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if raw == libc::MAP_FAILED {
+            return Err(ArenaError::MapFailed(std::io::Error::last_os_error()));
+        }
+        let base = NonNull::new(raw.cast::<u8>())
+            .ok_or_else(|| ArenaError::MapFailed(std::io::Error::last_os_error()))?;
+        Ok(Storage::File { base, len })
     }
 
     #[cfg(all(unix, not(miri)))]
@@ -344,6 +596,66 @@ impl Arena {
     /// The backend this arena was created on.
     pub fn backend(&self) -> ArenaBackend {
         self.backend
+    }
+
+    /// The backing file's path (file backend only).
+    pub fn path(&self) -> Option<&std::path::Path> {
+        self.path.as_deref()
+    }
+
+    /// Whether this arena is in attach/preserve mode: the `*_with`
+    /// allocators claim offsets but keep the bytes found in the file.
+    pub fn preserves_contents(&self) -> bool {
+        self.preserve
+    }
+
+    /// This mapping's attach epoch (file backend only): 1 for the creator,
+    /// bumped once per [`Arena::file_attach`]. Distinct per attacher, which
+    /// is what recovery's single-winner arbitration keys on.
+    pub fn attach_epoch(&self) -> Option<u64> {
+        self.attach_epoch
+    }
+
+    /// Whether the dirty flag was already up when this process attached —
+    /// i.e. a previous fleet died (or exited) without [`Arena::mark_clean`]
+    /// and the surviving state needs recovery. Always `false` for the
+    /// creator and for non-file backends.
+    pub fn was_dirty(&self) -> bool {
+        self.attached_dirty
+    }
+
+    /// The header's dirty flag as of now (file backend only; `false`
+    /// otherwise). Raised by every attach, cleared only by
+    /// [`Arena::mark_clean`].
+    pub fn is_dirty(&self) -> bool {
+        self.file_header()
+            .map(|h| h.dirty.load(Ordering::SeqCst) != 0)
+            .unwrap_or(false)
+    }
+
+    /// Clears the dirty flag — the orderly-shutdown handshake. Call only
+    /// when every structure in the arena is quiescent (no leases held, no
+    /// operations in flight); the next attacher will then skip recovery.
+    /// No-op on non-file backends.
+    pub fn mark_clean(&self) {
+        if let Some(header) = self.file_header() {
+            header.dirty.store(0, Ordering::SeqCst);
+        }
+    }
+
+    /// The validated header of a file-backed arena; `None` for the heap and
+    /// anonymous-shared backends (which have no header line).
+    pub fn file_header(&self) -> Option<&FileHeader> {
+        #[cfg(all(unix, not(miri)))]
+        if matches!(self.storage, Storage::File { .. }) {
+            debug_assert!(std::mem::size_of::<FileHeader>() <= FILE_HEADER_BYTES);
+            // Safety: the file backend reserves the first FILE_HEADER_BYTES
+            // (one mapped, page-aligned line) for exactly this struct, whose
+            // fields are all atomics (zero-valid, Sync); the bump cursor
+            // starts past it so no allocation can alias it.
+            return Some(unsafe { &*self.storage.base().as_ptr().cast::<FileHeader>() });
+        }
+        None
     }
 
     /// Total capacity in bytes.
@@ -423,12 +735,19 @@ impl Arena {
         }
     }
 
-    /// Allocates one `T` initialized to `value`, on its own cache line.
+    /// Allocates one `T` initialized to `value`, on its own cache line. In
+    /// attach/preserve mode ([`Arena::file_attach`]) the offset is claimed
+    /// but the initializing write is skipped: the bytes already in the file
+    /// are the value (T is zero-valid and pointer-free, so whatever a
+    /// previous fleet left is a valid T — possibly a torn one, which is
+    /// recovery's problem, not memory safety's).
     pub fn alloc_with<T: ArenaPod>(&self, value: T) -> ArenaBox<T> {
         let handle = self.alloc::<T>();
-        // Safety: bump() just handed this region out exclusively; nothing
-        // can hold a reference into it yet, and T has no Drop to leak.
-        unsafe { std::ptr::write(self.raw_at::<T>(handle.offset), value) };
+        if !self.preserve {
+            // Safety: bump() just handed this region out exclusively; nothing
+            // can hold a reference into it yet, and T has no Drop to leak.
+            unsafe { std::ptr::write(self.raw_at::<T>(handle.offset), value) };
+        }
         handle
     }
 
@@ -448,7 +767,10 @@ impl Arena {
     }
 
     /// Allocates a slice of `len` elements, initializing element `i` with
-    /// `init(i, loc)` where `loc` is the element's derived [`Loc`].
+    /// `init(i, loc)` where `loc` is the element's derived [`Loc`]. In
+    /// attach/preserve mode the offsets are claimed but the writes are
+    /// skipped, exactly as in [`Arena::alloc_with`] (the init closure still
+    /// runs, since callers may rely on its side effects for bookkeeping).
     pub fn alloc_slice_with<T: ArenaPod>(
         &self,
         len: usize,
@@ -458,8 +780,10 @@ impl Arena {
         for i in 0..len {
             let elem_offset = handle.offset + i * std::mem::size_of::<T>();
             let value = init(i, self.loc_for(elem_offset));
-            // Safety: freshly claimed exclusive region, as in alloc_with.
-            unsafe { std::ptr::write(self.raw_at::<T>(elem_offset), value) };
+            if !self.preserve {
+                // Safety: freshly claimed exclusive region, as in alloc_with.
+                unsafe { std::ptr::write(self.raw_at::<T>(elem_offset), value) };
+            }
         }
         handle
     }
@@ -1005,6 +1329,136 @@ mod tests {
         let word = arena.alloc_with(AtomicU64::new(3));
         word.get(&arena).fetch_add(4, Ordering::SeqCst);
         assert_eq!(word.get(&arena).load(Ordering::SeqCst), 7);
+    }
+
+    #[cfg(all(unix, not(miri)))]
+    mod file_backend {
+        use super::*;
+
+        fn scratch_path(tag: &str) -> std::path::PathBuf {
+            let path = std::env::temp_dir().join(format!(
+                "arena_{}_{}_{tag}.shm",
+                std::process::id(),
+                NEXT_ARENA_ID.load(Ordering::SeqCst)
+            ));
+            let _ = std::fs::remove_file(&path);
+            path
+        }
+
+        #[test]
+        fn create_write_drop_attach_round_trips_bytes() {
+            let path = scratch_path("roundtrip");
+            let created = Arena::file_create(&path, 4096).expect("file arena");
+            assert_eq!(created.backend(), ArenaBackend::File);
+            assert_eq!(created.path(), Some(path.as_path()));
+            assert_eq!(created.attach_epoch(), Some(1));
+            assert!(!created.was_dirty(), "the creator never sees dirt");
+            assert!(created.is_dirty(), "attached processes raise the flag");
+            assert!(!created.preserves_contents());
+            let word = created.alloc_with(AtomicU64::new(7));
+            let slab = created.alloc_slice::<AtomicU64>(4);
+            slab.at(&created, 2).store(99, Ordering::SeqCst);
+            word.get(&created).store(41, Ordering::SeqCst);
+            drop(created);
+
+            // A fresh, unrelated mapping of the same path sees the bytes.
+            let attached = Arena::file_attach(&path).expect("attach by path");
+            assert!(attached.preserves_contents());
+            assert_eq!(attached.attach_epoch(), Some(2));
+            assert!(attached.was_dirty(), "no clean handshake happened");
+            // Re-run the same allocation sequence: same offsets, preserved
+            // values (alloc_with must NOT overwrite the surviving 41).
+            let word2 = attached.alloc_with(AtomicU64::new(0));
+            let slab2 = attached.alloc_slice::<AtomicU64>(4);
+            assert_eq!(word2.offset(), word.offset());
+            assert_eq!(slab2.offset(), slab.offset());
+            assert_eq!(word2.get(&attached).load(Ordering::SeqCst), 41);
+            assert_eq!(slab2.at(&attached, 2).load(Ordering::SeqCst), 99);
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        #[test]
+        fn clean_handshake_clears_the_dirty_flag_for_the_next_attach() {
+            let path = scratch_path("clean");
+            let created = Arena::file_create(&path, 1024).expect("file arena");
+            created.mark_clean();
+            assert!(!created.is_dirty());
+            drop(created);
+            let attached = Arena::file_attach(&path).expect("attach");
+            assert!(!attached.was_dirty(), "the handshake was completed");
+            assert!(attached.is_dirty(), "but attaching re-raises the flag");
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        #[test]
+        fn header_validation_rejects_non_arenas_and_torn_creates() {
+            // Not a file at all.
+            let missing = scratch_path("missing");
+            assert!(matches!(
+                Arena::file_attach(&missing),
+                Err(ArenaError::Io(_))
+            ));
+            // A too-small file cannot hold the header.
+            let tiny = scratch_path("tiny");
+            std::fs::write(&tiny, b"hi").unwrap();
+            assert!(matches!(
+                Arena::file_attach(&tiny),
+                Err(ArenaError::BadHeader(_))
+            ));
+            std::fs::remove_file(&tiny).unwrap();
+            // A right-sized file of zeros has no magic: exactly what a
+            // create torn before its final magic store leaves behind.
+            let torn = scratch_path("torn");
+            std::fs::write(&torn, vec![0u8; 4096 + FILE_HEADER_BYTES]).unwrap();
+            assert!(matches!(
+                Arena::file_attach(&torn),
+                Err(ArenaError::BadHeader(_))
+            ));
+            std::fs::remove_file(&torn).unwrap();
+        }
+
+        #[test]
+        fn create_refuses_existing_files_and_with_backend_needs_a_path() {
+            let path = scratch_path("exists");
+            let arena = Arena::file_create(&path, 1024).expect("file arena");
+            assert!(matches!(
+                Arena::file_create(&path, 1024),
+                Err(ArenaError::Io(_))
+            ));
+            drop(arena);
+            std::fs::remove_file(&path).unwrap();
+            assert!(matches!(
+                Arena::with_backend(ArenaBackend::File, 1024),
+                Err(ArenaError::PathRequired)
+            ));
+            assert!(matches!(
+                Arena::file_create(scratch_path("zero"), 0),
+                Err(ArenaError::InvalidCapacity(0))
+            ));
+        }
+
+        #[test]
+        fn file_backend_parses_and_displays() {
+            assert_eq!("file".parse::<ArenaBackend>().unwrap(), ArenaBackend::File);
+            assert_eq!("named".parse::<ArenaBackend>().unwrap(), ArenaBackend::File);
+            assert_eq!(ArenaBackend::File.to_string(), "file");
+        }
+
+        #[test]
+        fn header_line_is_reserved_and_capacity_accounts_for_it() {
+            let path = scratch_path("layout");
+            let arena = Arena::file_create(&path, 1024).expect("file arena");
+            // The first allocation lands after the header line.
+            let first = arena.alloc::<AtomicU64>();
+            assert_eq!(first.offset(), FILE_HEADER_BYTES);
+            // The full requested capacity is usable beyond the header.
+            assert_eq!(arena.remaining(), 1024 - 64);
+            let header = arena.file_header().expect("file arenas have headers");
+            assert_eq!(header.magic.load(Ordering::SeqCst), ARENA_MAGIC);
+            assert_eq!(header.capacity.load(Ordering::SeqCst), 1024);
+            drop(arena);
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 
     #[cfg(miri)]

@@ -91,6 +91,24 @@ pub fn kill_child(pid: i32) {
     unsafe { libc::kill(pid, libc::SIGKILL) };
 }
 
+/// Delivers SIGSTOP to `pid`: the child freezes mid-operation but stays
+/// *alive* — `kill(pid, 0)` still succeeds, so a liveness sweep must NOT
+/// reclaim its leases. The chaos harness uses stalls to test exactly that
+/// boundary (a stalled process is slow, not dead). Pair with
+/// [`resume_child`], or with [`kill_child`] (SIGKILL terminates stopped
+/// processes too).
+pub fn stop_child(pid: i32) {
+    // SAFETY: as kill_child — SIGSTOP cannot be caught, blocked or ignored,
+    // and a stale pid at worst returns ESRCH.
+    unsafe { libc::kill(pid, libc::SIGSTOP) };
+}
+
+/// Delivers SIGCONT to `pid`, resuming a child frozen by [`stop_child`].
+pub fn resume_child(pid: i32) {
+    // SAFETY: as kill_child.
+    unsafe { libc::kill(pid, libc::SIGCONT) };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +127,31 @@ mod tests {
         });
         wait_for_clean_exit(pid);
         assert_eq!(word.load(Ordering::SeqCst), 41);
+    }
+
+    #[test]
+    fn stopped_children_stay_alive_and_resume() {
+        let arena = Arena::shared(4096).expect("MAP_SHARED arena");
+        let word = arena.alloc::<AtomicU64>().pin(&arena);
+        let pid = fork_child({
+            let word = word.clone();
+            move || {
+                while word.load(Ordering::SeqCst) == 0 {
+                    std::hint::spin_loop();
+                }
+                word.store(2, Ordering::SeqCst);
+            }
+        });
+        // Freeze the child before letting it proceed: the pid still probes
+        // alive (a stall is not a crash), and nothing moves while stopped.
+        stop_child(pid);
+        assert!(crate::arena::os_process_alive(pid as u32));
+        word.store(1, Ordering::SeqCst);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(word.load(Ordering::SeqCst), 1, "a stopped child is frozen");
+        resume_child(pid);
+        wait_for_clean_exit(pid);
+        assert_eq!(word.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 fn main() {
     use adaptive_renaming::robust::RobustLeaseTable;
     use obs::{FlightRecorder, MetricsSlab, Snapshot};
-    use shmem::arena::{os_pid, Arena};
+    use shmem::arena::Arena;
     use shmem::process::{ProcessCtx, ProcessId};
     use shmem::procs::{fork_child, kill_child, wait_child, wait_for_clean_exit};
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,9 +59,15 @@ fn main() {
                     writer.attach_current_process();
                     obs::bind_ring(writer);
                     obs::bind_metrics(slab.writer(child));
+                    // Register with the lease table: the returned tag (not
+                    // the bare pid) goes into every lease, so the sweep can
+                    // tell this incarnation from a later pid-reuse stranger.
+                    let registration = table
+                        .register_current_process()
+                        .expect("the registry admits every child");
                     for round in 0..rounds {
                         let name = table
-                            .acquire(&mut ctx, os_pid())
+                            .acquire(&mut ctx, registration.tag())
                             .expect("table sized for all children");
                         // Child 1 crashes mid-lease, halfway through its
                         // rounds: SIGKILL arrives while it spins here, so
@@ -95,8 +101,8 @@ fn main() {
 
     println!("killed child pid {victim} while it held name {stuck_name}");
     println!(
-        "before the sweep: name {stuck_name} is held by {:?}, {} lease(s) live\n",
-        table.holder(stuck_name),
+        "before the sweep: name {stuck_name} is held by pid {:?}, {} lease(s) live\n",
+        table.owner_pid(stuck_name),
         adaptive_renaming::lease::LongLivedRenaming::live_leases(&*table),
     );
 

@@ -21,7 +21,7 @@
 
 use adaptive_renaming::lease::LongLivedRenaming;
 use adaptive_renaming::robust::RobustLeaseTable;
-use shmem::arena::{os_pid, os_process_alive, Arena, ArenaBackend};
+use shmem::arena::{os_process_alive, Arena, ArenaBackend};
 use shmem::process::{ProcessCtx, ProcessId};
 use shmem::procs::{fork_child, kill_child, wait_child, wait_for_clean_exit};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -93,12 +93,19 @@ fn crashed_leaseholder_names_are_reclaimed_by_a_sweep() {
         let arena = Arc::clone(&arena);
         let table = Arc::clone(&table);
         move || {
+            // Registration is the child's first act on the shared table:
+            // the returned tag (registry slot + start-generation) is what
+            // gets stamped into the lease, so the sweeping parent can
+            // prove this incarnation dead even if the OS recycles the pid.
+            let registration = table
+                .register_current_process()
+                .expect("the registry admits the child");
             let name = table
-                .acquire(&mut child_ctx, os_pid())
+                .acquire(&mut child_ctx, registration.tag())
                 .expect("an empty table has free names");
             handshake.get(&arena).store(name as u64, Ordering::SeqCst);
             // Hold the lease until the parent kills us: the crash leaves the
-            // slot HELD with our pid stamped as owner.
+            // slot HELD with our registration tag stamped as owner.
             loop {
                 std::hint::spin_loop();
             }
@@ -119,7 +126,11 @@ fn crashed_leaseholder_names_are_reclaimed_by_a_sweep() {
     // The crash is now observable: the slot is held by a dead pid.
     let mut ctx = ProcessCtx::new(ProcessId::new(0), 3);
     assert!(!os_process_alive(pid as u32), "the reaped child is gone");
-    assert_eq!(table.holder(name), Some(pid as u32));
+    assert_eq!(
+        table.owner_pid(name),
+        Some(pid as u32),
+        "the held slot's tag resolves to the dead child's pid"
+    );
     assert_eq!(
         table.live_leases(),
         1,
@@ -130,8 +141,11 @@ fn crashed_leaseholder_names_are_reclaimed_by_a_sweep() {
     assert_eq!(table.sweep_dead_processes(&mut ctx), 1);
     assert_eq!(table.holder(name), None);
     assert_eq!(table.live_leases(), 0);
+    let parent = table
+        .register_current_process()
+        .expect("the registry admits the parent");
     assert_eq!(
-        table.acquire(&mut ctx, os_pid()).unwrap(),
+        table.acquire(&mut ctx, parent.tag()).unwrap(),
         name,
         "the reclaimed minimum is granted again — the namespace stays tight"
     );
@@ -166,8 +180,11 @@ fn a_crashed_leaseholders_flight_recorder_tail_survives_the_sweep() {
             let writer = recorder.writer(1);
             writer.attach_current_process();
             obs::bind_ring(writer);
+            let registration = table
+                .register_current_process()
+                .expect("the registry admits the child");
             let name = table
-                .acquire(&mut child_ctx, os_pid())
+                .acquire(&mut child_ctx, registration.tag())
                 .expect("an empty table has free names");
             handshake.get(&arena).store(name as u64, Ordering::SeqCst);
             loop {
@@ -209,7 +226,10 @@ fn a_crashed_leaseholders_flight_recorder_tail_survives_the_sweep() {
         last_lease.name, name as u64,
         "the recovered grant names the lease the sweep reclaimed"
     );
-    assert_eq!(last_lease.payload, pid as u64, "stamped with the dead pid");
+    assert!(
+        last_lease.payload >= 1 << 24,
+        "stamped with the dead child's registration tag"
+    );
     assert!(
         report.rendered.contains("LeaseGranted"),
         "{}",

@@ -339,6 +339,76 @@ proptest! {
         prop_assert_eq!(sharded.leaked_names(), 0);
     }
 
+    /// A dead home shard must not wedge stealers. A process that crashes
+    /// inside an acquisition burns one of its home shard's admission slots
+    /// forever; with per-shard admission this small, a couple of crashes
+    /// wall off entire shards. The guarantee under test: a single fresh
+    /// late-arriver can still collect *every* admission the crashes left
+    /// behind — the overflow sweep walks past wedged shards instead of
+    /// giving up at its home — and the namespace stays loose-tight
+    /// throughout.
+    #[test]
+    fn dead_home_shards_do_not_wedge_stealers(
+        k in 2usize..8,
+        shards in 2usize..5,
+        per_shard in 1usize..3,
+        rounds in 1usize..5,
+        seed in 0u64..1_000_000,
+        crash_percent in 20u8..70,
+    ) {
+        let sharded = Arc::new(ShardedRecycler::new(
+            (0..shards)
+                .map(|_| RenamingNetwork::<_>::new(sortnet::batcher::odd_even_network(16)))
+                .collect(),
+            per_shard, // tiny: stealing is the common path, one crash wedges a shard
+        ));
+        let span = sharded.span();
+        let config = ExecConfig::new(seed).with_crash_plan(CrashPlan::Random {
+            prob: f64::from(crash_percent) / 100.0,
+            max_steps: 30,
+        });
+        let records = churn(
+            Arc::clone(&sharded) as Arc<dyn LongLivedRenaming>,
+            k,
+            rounds,
+            config,
+        );
+        let check = assert_loose_lease_namespace(&records, shards, span);
+        prop_assert!(check.is_ok(), "{check:?}");
+        prop_assert_eq!(sharded.leaked_names(), 0);
+
+        // Only admissions burned by mid-acquisition crashes stay live (a
+        // crashed *holder*'s lease is released by its unwind).
+        let burned = sharded.live_leases();
+        let total = shards * per_shard;
+        prop_assert!(burned <= total, "{burned} burned > {total} admissions");
+
+        // The late arriver: home shard 0, which the crashes may have wedged
+        // entirely. Every unburned admission anywhere must still be
+        // stealable, the granted names globally distinct, and the first
+        // failure after that must be plain exhaustion.
+        let mut ctx = ProcessCtx::new(ProcessId::new(0), seed);
+        let mut survivors = Vec::new();
+        for _ in 0..total - burned {
+            match Arc::clone(&sharded).lease(&mut ctx) {
+                Ok(lease) => survivors.push(lease),
+                Err(error) => prop_assert!(
+                    false,
+                    "sweep wedged with {} of {} admissions free: {error}",
+                    total - burned - survivors.len(),
+                    total
+                ),
+            }
+        }
+        let names: std::collections::BTreeSet<usize> =
+            survivors.iter().map(|lease| lease.name()).collect();
+        prop_assert_eq!(names.len(), survivors.len(), "duplicate live names");
+        prop_assert!(
+            Arc::clone(&sharded).lease(&mut ctx).is_err(),
+            "lease granted beyond the admission bound"
+        );
+    }
+
     /// The hierarchical free list is pinned to the flat baseline: the same
     /// random push/pop/pop_coherent interleaving, replayed deterministically
     /// against both layouts, must produce identical pop-minimum results and

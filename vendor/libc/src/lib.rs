@@ -38,6 +38,8 @@ mod unix {
     pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
 
     pub const SIGKILL: c_int = 9;
+    pub const SIGCONT: c_int = 18;
+    pub const SIGSTOP: c_int = 19;
     pub const WNOHANG: c_int = 1;
 
     extern "C" {
